@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (or one claim
+of its Section 5 analysis) and prints the corresponding rows/series next to
+the paper's reported values, so that running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces a self-contained experimental report.  Timing is measured with
+pytest-benchmark (single round — these are experiments, not micro-benchmarks).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

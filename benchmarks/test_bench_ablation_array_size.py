@@ -1,0 +1,58 @@
+"""Experiment ``ablation_array_size`` — Section 5's dependence claim.
+
+"The power dissipation reduction depends on the memory array organisation
+(#row and #col) and on the March algorithm that is being run."  Sweeps the
+analytical model over column counts and algorithms (and over the word-width
+extension) to show those dependences.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import AnalyticalPowerModel
+from repro.march import PAPER_TABLE1_ALGORITHMS
+from repro.sram.geometry import ArrayGeometry
+
+COLUMN_SWEEP = (64, 128, 256, 512, 1024)
+
+
+def sweep():
+    rows = []
+    for columns in COLUMN_SWEEP:
+        geometry = ArrayGeometry(rows=512, columns=columns)
+        model = AnalyticalPowerModel(geometry)
+        row = {"# columns": columns}
+        for algorithm in PAPER_TABLE1_ALGORITHMS:
+            row[algorithm.name] = f"{100 * model.prr(algorithm):.1f} %"
+        rows.append(row)
+    word_rows = []
+    for bits in (1, 4, 8, 16, 32):
+        geometry = ArrayGeometry(rows=512, columns=512, bits_per_word=bits)
+        model = AnalyticalPowerModel(geometry)
+        word_rows.append({
+            "bits per word": bits,
+            "PRR March C-": f"{100 * model.prr(PAPER_TABLE1_ALGORITHMS[0]):.1f} %",
+        })
+    return rows, word_rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_prr_dependence_on_array_organisation(benchmark, once):
+    rows, word_rows = once(benchmark, sweep)
+    print()
+    print(render_table(rows, title="Analytical PRR vs. array width "
+                                   "(512 rows, bit-oriented, Section 5 equations)"))
+    print()
+    print(render_table(word_rows, title="Word-oriented extension (paper future work): "
+                                        "PRR of March C- vs. word width (512x512 array)"))
+
+    # PRR must grow monotonically with the column count for every algorithm
+    # (more pre-charge circuits are switched off), and shrink as the word
+    # width grows (more columns stay active per access).
+    for algorithm in PAPER_TABLE1_ALGORITHMS:
+        series = [float(row[algorithm.name].split()[0]) for row in rows]
+        assert all(b > a for a, b in zip(series, series[1:])), algorithm.name
+    word_series = [float(row["PRR March C-"].split()[0]) for row in word_rows]
+    assert all(b < a for a, b in zip(word_series, word_series[1:]))

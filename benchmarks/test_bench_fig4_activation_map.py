@@ -1,0 +1,59 @@
+"""Experiment ``fig4_activation_map`` — the paper's Figure 4 (and Figure 8).
+
+Sweeps the selected column and records which pre-charge circuits the
+modified control logic keeps active: in the low-power test mode only the
+selected column (during its restoration phase) and the column that
+immediately follows it are ever pre-charged; in functional mode every
+column is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ModifiedPrechargeController
+
+
+COLUMNS = 16
+
+
+def build_activation_maps():
+    controller = ModifiedPrechargeController(columns=COLUMNS)
+    low_power = controller.activation_map(lptest=True)
+    controller.reset()
+    functional = controller.activation_map(lptest=False)
+    return controller, low_power, functional
+
+
+def render_map(table):
+    lines = ["   selected ->  " + "".join(f"{c % 10}" for c in range(COLUMNS))]
+    for selected, row in enumerate(table):
+        cells = "".join("#" if on else "." for on in row)
+        lines.append(f"   col {selected:3d} sel   {cells}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_precharge_activation_map(benchmark, once):
+    controller, low_power, functional = once(benchmark, build_activation_maps)
+    print()
+    print("Figure 4 — pre-charge activation in low-power test mode "
+          "(rows: selected column; '#' = pre-charge ON during the operation phase):")
+    print(render_map(low_power))
+    print()
+    print("Functional mode for contrast (every unselected column pre-charged):")
+    print(render_map(functional))
+    print()
+    print(f"Added control logic: {controller.transistors_per_column()} transistors "
+          f"per column, {controller.total_transistors()} for {COLUMNS} columns; "
+          f"extra delay on the Pr_j path: {controller.added_delay_on_pr_path() * 1e12:.0f} ps")
+
+    active_counts_lpt = [sum(row) for row in low_power]
+    active_counts_fn = [sum(row) for row in functional]
+    # Low-power mode: at most one other column pre-charged per cycle (none
+    # when the last column is selected); functional: all but the selected one.
+    assert all(count <= 1 for count in active_counts_lpt)
+    assert active_counts_lpt[-1] == 0
+    assert all(count == COLUMNS - 1 for count in active_counts_fn)
+    for selected in range(COLUMNS - 1):
+        assert low_power[selected][selected + 1] is True

@@ -1,0 +1,50 @@
+"""Experiment ``fig6_bitline_interaction`` — the paper's Figure 6a/6b.
+
+A cell left selected on floating bit lines (pre-charge OFF) progressively
+discharges the line connected to its '0' node — logic '0' is reached within
+roughly nine clock cycles — while the complementary line stays at VDD, and
+the read-equivalent stress on the cell dies away with the line voltage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bitline_discharge_fixture
+from repro.circuit import default_technology
+
+
+def simulate_discharge():
+    tech = default_technology()
+    fixture = bitline_discharge_fixture(tech=tech, rows=512)
+    result = fixture.simulate(t_stop=12 * tech.clock_period, dt=50e-12, record_every=4)
+    return tech, result
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_floating_bitline_discharge(benchmark, once):
+    tech, result = once(benchmark, simulate_discharge)
+    bl = result.waveform("BL")
+    blb = result.waveform("BLB")
+    print()
+    print("Figure 6a — floating bit line BL discharged by the unselected cell:")
+    print(bl.render_ascii(width=66, height=10))
+    logic_low = bl.first_crossing(0.3 * tech.vdd, "falling")
+    near_zero = bl.first_crossing(0.05 * tech.vdd, "falling")
+    print(f"  BL crosses logic '0' threshold after {logic_low / tech.clock_period:.1f} cycles")
+    if near_zero is not None:
+        print(f"  BL essentially fully discharged after {near_zero / tech.clock_period:.1f} cycles "
+              "(paper: ~9 cycles)")
+    print(f"  BLB stays at VDD: final value {blb.final_value():.3f} V (no stress on that side)")
+    print()
+    print("Figure 6b — residual RES on the cell (proportional to the BL voltage):")
+    per_cycle = [bl.value_at(k * tech.clock_period) / tech.vdd for k in range(12)]
+    print("  cycle:    " + " ".join(f"{k:5d}" for k in range(12)))
+    print("  RES frac: " + " ".join(f"{v:5.2f}" for v in per_cycle))
+
+    assert logic_low is not None
+    assert 2.0 < logic_low / tech.clock_period < 12.0
+    assert blb.final_value() == pytest.approx(tech.vdd)
+    assert bl.final_value() < 0.1 * tech.vdd
+    # the residual stress decays monotonically
+    assert all(b <= a + 1e-9 for a, b in zip(per_cycle, per_cycle[1:]))

@@ -1,0 +1,50 @@
+"""Experiment ``overhead_functional`` — Section 4's negligible-impact claim.
+
+Quantifies what the modified pre-charge control logic costs when the memory
+operates normally: area (ten transistors per column), extra delay on the
+``Pr_j`` path (one transmission gate), and switching energy per column
+change relative to the energies that dominate an access.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import ModifiedPrechargeController
+from repro.circuit import default_technology
+from repro.power import PowerModel
+from repro.sram.geometry import PAPER_GEOMETRY
+
+
+def measure_overhead():
+    tech = default_technology()
+    controller = ModifiedPrechargeController(columns=64, tech=tech)
+    controller.evaluate(lptest=True, selected_column=10)
+    change = controller.evaluate(lptest=True, selected_column=11)
+    energies = PowerModel(PAPER_GEOMETRY, tech=tech).energies()
+    return tech, controller, change, energies
+
+
+@pytest.mark.benchmark(group="overhead")
+def test_modified_control_logic_overhead(benchmark, once):
+    tech, controller, change, energies = once(benchmark, measure_overhead)
+    rows = [
+        {"metric": "added transistors per column", "value": controller.transistors_per_column(),
+         "reference": "10 (paper §4)"},
+        {"metric": "extra delay on Pr_j path", "value": f"{controller.added_delay_on_pr_path() * 1e12:.0f} ps",
+         "reference": f"clock cycle = {tech.clock_period * 1e9:.0f} ns"},
+        {"metric": "control switching energy per column change",
+         "value": f"{change.switching_energy * 1e15:.2f} fJ",
+         "reference": f"one write cycle P_w = {energies.write * 1e15:.0f} fJ"},
+        {"metric": "controller critical path",
+         "value": f"{change.critical_path_delay * 1e12:.0f} ps",
+         "reference": "must settle well inside half a cycle"},
+    ]
+    print()
+    print(render_table(rows, title="Overhead of the modified pre-charge control logic"))
+
+    assert controller.transistors_per_column() == 10
+    assert controller.added_delay_on_pr_path() < 0.05 * tech.clock_period
+    assert change.switching_energy < 0.02 * energies.write
+    assert change.critical_path_delay < 0.5 * (tech.clock_period / 2)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Degree-of-freedom 1: choosing the address order does not change coverage.
+
+The paper's scheme is only legal because a March test may use any address
+permutation as its ⇑ sequence.  This example injects the classical fault
+battery into a small array and fault-simulates March C- under three very
+different orders — the word-line order the paper needs, the fast-row order a
+legacy BIST would use, and a pseudo-random permutation — showing that every
+fault is detected (or missed) identically, then prints which faults a weaker
+test (MATS+) misses.
+
+Run with:  python examples/dof1_coverage_study.py
+"""
+
+from repro.analysis import render_table
+from repro.faults import build_fault_list, check_order_invariance, run_coverage
+from repro.march import MARCH_CM, MATS_PLUS
+from repro.march.dof import coverage_equivalence_orders
+from repro.sram import ArrayGeometry
+
+
+def main() -> None:
+    geometry = ArrayGeometry(rows=6, columns=6)
+    orders = coverage_equivalence_orders(geometry, seeds=(42,))
+    battery = build_fault_list(geometry, locations=[(0, 0), (2, 4), (5, 5)])
+    print(f"Fault battery: {len(battery)} injected faults "
+          f"(stuck-at, transition, read-destructive, write-destructive, coupling)")
+    print()
+
+    rows = []
+    for order in orders:
+        for algorithm in (MARCH_CM, MATS_PLUS):
+            report = run_coverage(algorithm, order, geometry, battery)
+            rows.append({
+                "Address order": order.name,
+                "Algorithm": algorithm.name,
+                "Coverage": f"{100 * report.coverage:.1f} %",
+                "Missed faults": len(report.missed),
+            })
+    print(render_table(rows, title="Fault coverage under different DOF-1 choices"))
+    print()
+
+    invariance = check_order_invariance(MARCH_CM, orders, geometry, battery)
+    print("Per-fault invariance for March C-:", invariance.describe())
+    assert invariance.invariant
+
+    weakest = run_coverage(MATS_PLUS, orders[0], geometry, battery)
+    print()
+    print("Faults MATS+ misses (it only targets stuck-at/address faults):")
+    for description in weakest.missed[:8]:
+        print("  -", description)
+    if len(weakest.missed) > 8:
+        print(f"  ... and {len(weakest.missed) - 8} more")
+
+
+if __name__ == "__main__":
+    main()

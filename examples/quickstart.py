@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the test-power saving of the low-power test mode.
+
+Builds a modest SRAM, runs March C- in functional mode and in the paper's
+low-power test mode (word-line-after-word-line addressing, pre-charge
+restricted to the selected column and its successor), and prints the power
+breakdown and the resulting Power Reduction Ratio, together with the
+analytical prediction of the paper's Section 5 equations for the full
+512 x 512 array.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalPowerModel,
+    ArrayGeometry,
+    MARCH_CM,
+    PAPER_GEOMETRY,
+    TestSession,
+)
+from repro.analysis import format_power, format_percent, render_table
+from repro.power import PowerSource
+
+
+def main() -> None:
+    geometry = ArrayGeometry(rows=16, columns=64)
+    print(f"Memory under test : {geometry.describe()}")
+    print(f"March algorithm   : {MARCH_CM}")
+    print()
+
+    session = TestSession(geometry)
+    comparison = session.compare_modes(MARCH_CM)
+
+    rows = []
+    for result in (comparison.functional, comparison.low_power):
+        rows.append({
+            "Mode": result.mode,
+            "Cycles": result.cycles,
+            "Average power": format_power(result.average_power),
+            "Unselected pre-charge share":
+                format_percent(result.source_fraction(PowerSource.PRECHARGE_UNSELECTED)),
+            "Test verdict": "pass" if result.passed else "FAIL",
+        })
+    print(render_table(rows, title="March C- in both operating modes"))
+    print()
+    print(f"Measured Power Reduction Ratio on this array : {format_percent(comparison.prr)}")
+
+    analytical = AnalyticalPowerModel(PAPER_GEOMETRY)
+    prediction = analytical.predict(MARCH_CM)
+    print(f"Analytical PRR for the paper's 512x512 array  : {format_percent(prediction.prr)}"
+          f"  (paper reports 47.3 %)")
+
+
+if __name__ == "__main__":
+    main()

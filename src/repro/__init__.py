@@ -1,0 +1,83 @@
+"""repro — reproduction of "Minimizing Test Power in SRAM through Reduction
+of Pre-charge Activity" (Dilillo, Rosinger, Al-Hashimi, Girard — DATE 2006).
+
+The package is organised as one subpackage per subsystem:
+
+* :mod:`repro.circuit`  — Spice-substitute transient/gate simulation substrate
+* :mod:`repro.sram`     — behavioural, cycle-accurate SRAM with pre-charge and RES modelling
+* :mod:`repro.power`    — per-event energy model and cycle-accurate accounting
+* :mod:`repro.march`    — March test notation, algorithm library, address orders
+* :mod:`repro.faults`   — functional fault models and the DOF-1 coverage checks
+* :mod:`repro.core`     — the paper's contribution: modified pre-charge control,
+  low-power test mode planning, analytical PRR model, test sessions
+* :mod:`repro.bist`     — a BIST engine that deploys the low-power test mode
+* :mod:`repro.analysis` — experiment methodology helpers (scaling, fixtures, tables)
+
+Quickstart::
+
+    from repro import ArrayGeometry, TestSession, MARCH_CM
+
+    geometry = ArrayGeometry(rows=64, columns=64)
+    session = TestSession(geometry)
+    comparison = session.compare_modes(MARCH_CM)
+    print(f"PRR = {comparison.prr:.1%}")
+"""
+
+from .circuit import PAPER_TECHNOLOGY, TechnologyParameters, default_technology
+from .sram import (
+    ArrayGeometry,
+    OperatingMode,
+    PAPER_GEOMETRY,
+    PrechargePlan,
+    SMALL_GEOMETRY,
+    SRAM,
+    checkerboard_background,
+    solid_background,
+)
+from .power import EnergyLedger, PowerModel, PowerSource
+from .march import (
+    MARCH_CM,
+    MARCH_G,
+    MARCH_SR,
+    MARCH_SS,
+    MATS_PLUS,
+    MarchAlgorithm,
+    PAPER_TABLE1_ALGORITHMS,
+    RowMajorOrder,
+    get_algorithm,
+    parse_march,
+)
+from .core import (
+    AnalyticalPowerModel,
+    LowPowerTestPlanner,
+    ModeComparison,
+    ModifiedPrechargeController,
+    TestSession,
+    compare_modes,
+)
+from .bist import BistController, BistOrder
+from .faults import FaultInjection, FaultSimulator, StuckAtFault
+
+__version__ = "1.0.0"
+
+#: The paper this repository reproduces.
+PAPER_REFERENCE = (
+    "L. Dilillo, P. Rosinger, B. M. Al-Hashimi, P. Girard, "
+    "\"Minimizing Test Power in SRAM through Reduction of Pre-charge Activity\", "
+    "Design, Automation and Test in Europe (DATE), 2006."
+)
+
+__all__ = [
+    "PAPER_REFERENCE", "__version__",
+    "TechnologyParameters", "PAPER_TECHNOLOGY", "default_technology",
+    "ArrayGeometry", "PAPER_GEOMETRY", "SMALL_GEOMETRY", "SRAM",
+    "OperatingMode", "PrechargePlan", "solid_background", "checkerboard_background",
+    "EnergyLedger", "PowerModel", "PowerSource",
+    "MarchAlgorithm", "parse_march", "get_algorithm", "RowMajorOrder",
+    "MARCH_CM", "MARCH_SS", "MATS_PLUS", "MARCH_SR", "MARCH_G",
+    "PAPER_TABLE1_ALGORITHMS",
+    "AnalyticalPowerModel", "LowPowerTestPlanner", "ModifiedPrechargeController",
+    "TestSession", "ModeComparison", "compare_modes",
+    "BistController", "BistOrder",
+    "FaultInjection", "FaultSimulator", "StuckAtFault",
+]

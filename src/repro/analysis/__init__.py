@@ -1,0 +1,18 @@
+"""Experiment support: scaling methodology, circuit fixtures, table rendering."""
+
+from .scaling import ReducedRowEquivalent, ScalingError, reduced_row_equivalent
+from .fixtures import (
+    FixtureDescription,
+    bitline_discharge_fixture,
+    faulty_swap_fixture,
+    res_fight_fixture,
+    selected_column_cycle_fixture,
+)
+from .tables import format_energy, format_percent, format_power, render_table
+
+__all__ = [
+    "ReducedRowEquivalent", "ScalingError", "reduced_row_equivalent",
+    "FixtureDescription", "bitline_discharge_fixture", "faulty_swap_fixture",
+    "res_fight_fixture", "selected_column_cycle_fixture",
+    "format_energy", "format_percent", "format_power", "render_table",
+]

@@ -1,0 +1,257 @@
+"""Transient-simulation fixtures reproducing the paper's Spice figures.
+
+Each function builds a small :class:`repro.circuit.Circuit` representing the
+structure the paper simulated with Spice and returns it together with the
+node names of interest:
+
+* :func:`bitline_discharge_fixture` — Figure 5/6a: an unselected cell left
+  on floating bit lines progressively discharges one of them to logic '0'
+  over a handful of clock cycles, while the other stays at VDD;
+* :func:`res_fight_fixture` — Figure 2c: an unselected column in functional
+  mode, whose pre-charge circuit keeps replacing the charge the stressed
+  cell removes (the P_A term);
+* :func:`selected_column_cycle_fixture` — Figure 2a/2b: the selected
+  column's pre-charge OFF during the operation phase and ON during the
+  restoration phase;
+* :func:`faulty_swap_fixture` — Figure 6c/7: a full 6T cell storing the
+  opposite value is connected to bit lines left discharged by the previous
+  row; without the restoration cycle the cell is overwritten, with it the
+  cell survives.
+
+The fixtures use the calibrated technology values so their time constants
+line up with the behavioural model; the benchmark harness prints their
+waveforms and the key crossing times next to the paper's qualitative
+descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..circuit.elements import (
+    GROUND,
+    PiecewiseLinearSource,
+    Switch,
+    step_control,
+)
+from ..circuit.mosfet import nmos, pmos
+from ..circuit.technology import TechnologyParameters, default_technology
+from ..circuit.transient import Circuit, TransientResult
+
+
+@dataclass(frozen=True)
+class FixtureDescription:
+    """A ready-to-simulate circuit plus the nodes the experiment looks at."""
+
+    circuit: Circuit
+    nodes_of_interest: Tuple[str, ...]
+    description: str
+
+    def simulate(self, t_stop: float, dt: float = 20e-12,
+                 record_every: int = 5) -> TransientResult:
+        return self.circuit.simulate(t_stop=t_stop, dt=dt,
+                                     record=self.nodes_of_interest,
+                                     record_every=record_every)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 / 6a — floating bit-line discharge by an unselected cell
+# ----------------------------------------------------------------------
+def bitline_discharge_fixture(tech: TechnologyParameters | None = None,
+                              rows: int = 512) -> FixtureDescription:
+    """Unselected cell storing '1' on floating BL/BLB (pre-charge OFF).
+
+    The cell's '0' node (S) is connected to BL through the calibrated
+    discharge path while the word line is high; BLB sees no current because
+    both it and node SB sit at VDD (Figure 6a/6b).
+    """
+    tech = tech or default_technology()
+    circuit = Circuit(name="figure6-bitline-discharge")
+    c_bl = tech.bitline_capacitance(rows)
+    circuit.add_node_capacitance("BL", c_bl)
+    circuit.add_node_capacitance("BLB", c_bl)
+    circuit.set_initial_condition("BL", tech.vdd)
+    circuit.set_initial_condition("BLB", tech.vdd)
+    # The cell keeps node S at ground through its pull-down; the access
+    # transistor (word line high from t=0) exposes BL to that path.  The
+    # composite path is represented by its calibrated equivalent resistance.
+    circuit.add_element(Switch(
+        name="cell_discharge_path", node_a="BL", node_b=GROUND,
+        control=step_control(t_on=0.0),
+        on_resistance=tech.floating_discharge_resistance,
+    ))
+    # Node SB and BLB are both at VDD: no discharge path exists for BLB.
+    return FixtureDescription(
+        circuit=circuit,
+        nodes_of_interest=("BL", "BLB"),
+        description=(f"floating bit lines of a {rows}-row column driven by an "
+                     "unselected cell storing '1' (BL discharges, BLB holds VDD)"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2c — RES sustained by an active pre-charge (unselected column)
+# ----------------------------------------------------------------------
+def res_fight_fixture(tech: TechnologyParameters | None = None,
+                      rows: int = 512) -> FixtureDescription:
+    """Unselected column in functional mode: pre-charge ON against the cell.
+
+    The pre-charge pull-up (its effective resistance) holds BL at VDD while
+    the stressed cell keeps sinking its equilibrium current; the supply
+    energy reported by the VDD source over one cycle is the P_A the power
+    model uses.
+    """
+    tech = tech or default_technology()
+    circuit = Circuit(name="figure2c-res-fight")
+    c_bl = tech.bitline_capacitance(rows)
+    circuit.add_node_capacitance("BL", c_bl)
+    circuit.set_initial_condition("BL", tech.vdd)
+    circuit.add_source(PiecewiseLinearSource.constant("vdd_precharge", "VDDP", tech.vdd))
+    circuit.add_node_capacitance("VDDP", 1e-15)
+    # Pre-charge pull-up holding the line.
+    circuit.add_element(Switch(
+        name="precharge_pullup", node_a="VDDP", node_b="BL",
+        control=step_control(t_on=0.0), on_resistance=tech.precharge_resistance,
+    ))
+    # Stressed cell sinking its equilibrium current through the access path.
+    equivalent_res = tech.vdd / tech.res_equilibrium_current
+    circuit.add_element(Switch(
+        name="stressed_cell_path", node_a="BL", node_b=GROUND,
+        control=step_control(t_on=0.0), on_resistance=equivalent_res,
+    ))
+    return FixtureDescription(
+        circuit=circuit,
+        nodes_of_interest=("BL",),
+        description="unselected column, functional mode: pre-charge ON sustaining a RES",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2a/2b — the selected column over one clock cycle
+# ----------------------------------------------------------------------
+def selected_column_cycle_fixture(tech: TechnologyParameters | None = None,
+                                  rows: int = 512,
+                                  read_current: float = 150e-6
+                                  ) -> FixtureDescription:
+    """Selected column: pre-charge OFF then ON within one clock cycle.
+
+    During the operation phase (first half of the cycle) the accessed cell
+    discharges BL with its read current; during the restoration phase the
+    pre-charge circuit pulls BL back to VDD (Figure 2a/2b).
+    """
+    tech = tech or default_technology()
+    circuit = Circuit(name="figure2ab-selected-column")
+    c_bl = tech.bitline_capacitance(rows)
+    half = tech.clock_period / 2.0
+    circuit.add_node_capacitance("BL", c_bl)
+    circuit.set_initial_condition("BL", tech.vdd)
+    circuit.add_source(PiecewiseLinearSource.constant("vdd_precharge", "VDDP", tech.vdd))
+    circuit.add_node_capacitance("VDDP", 1e-15)
+    # Cell read path: active only during the operation phase, modelled as the
+    # resistance that sinks roughly the read current at VDD.
+    circuit.add_element(Switch(
+        name="cell_read_path", node_a="BL", node_b=GROUND,
+        control=step_control(t_on=0.0, t_off=half),
+        on_resistance=tech.vdd / read_current,
+    ))
+    # Pre-charge: OFF during the operation phase, ON during restoration.
+    circuit.add_element(Switch(
+        name="precharge_pullup", node_a="VDDP", node_b="BL",
+        control=step_control(t_on=half, t_off=tech.clock_period),
+        on_resistance=tech.precharge_resistance,
+    ))
+    return FixtureDescription(
+        circuit=circuit,
+        nodes_of_interest=("BL",),
+        description="selected column: operation phase (pre-charge OFF) then restoration (ON)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6c / 7 — faulty swap at the row transition
+# ----------------------------------------------------------------------
+def _add_6t_cell(circuit: Circuit, tech: TechnologyParameters, name: str,
+                 bl: str, blb: str, wl: str, stored_value: int) -> Tuple[str, str]:
+    """Instantiate a full 6T cell; returns its (S, SB) node names.
+
+    Following the paper's convention a stored '1' has S at '0' and SB at
+    VDD; S connects to BL through its access transistor.
+    """
+    s, sb = f"{name}_S", f"{name}_SB"
+    circuit.add_node_capacitance(s, tech.cell_node_cap)
+    circuit.add_node_capacitance(sb, tech.cell_node_cap)
+    if stored_value == 1:
+        circuit.set_initial_condition(s, 0.0)
+        circuit.set_initial_condition(sb, tech.vdd)
+    else:
+        circuit.set_initial_condition(s, tech.vdd)
+        circuit.set_initial_condition(sb, 0.0)
+    # Cross-coupled inverters.
+    circuit.add_source(PiecewiseLinearSource.constant(f"{name}_vdd", f"{name}_VDD", tech.vdd))
+    circuit.add_node_capacitance(f"{name}_VDD", 1e-15)
+    circuit.add_mosfet(pmos(tech, f"{name}_pu_s", drain=s, gate=sb,
+                            source=f"{name}_VDD", width_um=tech.cell_pullup_width_um))
+    circuit.add_mosfet(nmos(tech, f"{name}_pd_s", drain=s, gate=sb,
+                            source=GROUND, width_um=tech.cell_pulldown_width_um))
+    circuit.add_mosfet(pmos(tech, f"{name}_pu_sb", drain=sb, gate=s,
+                            source=f"{name}_VDD", width_um=tech.cell_pullup_width_um))
+    circuit.add_mosfet(nmos(tech, f"{name}_pd_sb", drain=sb, gate=s,
+                            source=GROUND, width_um=tech.cell_pulldown_width_um))
+    # Access transistors.
+    circuit.add_mosfet(nmos(tech, f"{name}_acc_s", drain=bl, gate=wl,
+                            source=s, width_um=tech.cell_access_width_um))
+    circuit.add_mosfet(nmos(tech, f"{name}_acc_sb", drain=blb, gate=wl,
+                            source=sb, width_um=tech.cell_access_width_um))
+    return s, sb
+
+
+def faulty_swap_fixture(restore_before_transition: bool,
+                        tech: TechnologyParameters | None = None,
+                        rows: int = 512) -> FixtureDescription:
+    """Row transition onto bit lines left discharged by the previous row.
+
+    The previous row's cell stored '0' and therefore discharged BLB while
+    leaving BL at VDD (the Figure 5/6 convention).  The next row's cell
+    stores the opposite value '1' (S at '0', SB at VDD): its SB node meets a
+    BLB that is sitting at '0' with a capacitance three orders of magnitude
+    larger, so without restoration the cell is overwritten (Figure 6c);
+    activating the pre-charge for one cycle before the word line of the new
+    row rises (Figure 7) prevents the swap.
+    """
+    tech = tech or default_technology()
+    circuit = Circuit(name="figure7-row-transition")
+    c_bl = tech.bitline_capacitance(rows)
+    period = tech.clock_period
+    circuit.add_node_capacitance("BL", c_bl)
+    circuit.add_node_capacitance("BLB", c_bl)
+    # Bit lines as the previous row's cell (storing '0') left them:
+    # BL held at VDD, BLB discharged to '0'.
+    circuit.set_initial_condition("BL", tech.vdd)
+    circuit.set_initial_condition("BLB", 0.0)
+
+    if restore_before_transition:
+        circuit.add_source(PiecewiseLinearSource.constant("vdd_precharge", "VDDP", tech.vdd))
+        circuit.add_node_capacitance("VDDP", 1e-15)
+        for line in ("BL", "BLB"):
+            circuit.add_element(Switch(
+                name=f"precharge_{line}", node_a="VDDP", node_b=line,
+                control=step_control(t_on=0.0, t_off=period),
+                on_resistance=tech.precharge_resistance,
+            ))
+
+    # Word line of the next row rises after the (optional) restoration cycle.
+    circuit.add_source(PiecewiseLinearSource.pulse(
+        "wordline_next_row", "WL", low=0.0, high=tech.vdd,
+        t_rise_start=period, t_fall_start=4.0 * period))
+    circuit.add_node_capacitance("WL", 10e-15)
+    # The next row's cell stores '1': node S at '0', connected to BL.
+    _add_6t_cell(circuit, tech, name="victim", bl="BL", blb="BLB",
+                 wl="WL", stored_value=1)
+    return FixtureDescription(
+        circuit=circuit,
+        nodes_of_interest=("BL", "BLB", "victim_S", "victim_SB", "WL"),
+        description=("row transition onto "
+                     + ("restored" if restore_before_transition else "floating discharged")
+                     + " bit lines (victim cell stores '1')"),
+    )

@@ -1,0 +1,85 @@
+"""Reduced-row measurement methodology for large arrays.
+
+The paper's evaluation uses a 512 x 512 array.  Running the cycle-accurate
+behavioural memory over the millions of clock cycles a March test needs on
+that array is possible but slow in pure Python, and — crucially — it is not
+necessary: the per-cycle physics of the proposed scheme depends on
+
+* the number of *columns* (how many pre-charge circuits are suppressed),
+* the *bit-line capacitance* (set by the number of rows each line spans),
+* the row-transition frequency (once per ``#operations x #columns`` cycles
+  for a word-line-sequential order — independent of the number of rows).
+
+The number of rows only multiplies how many times the same per-row pattern
+repeats.  The helper below therefore builds a *reduced-row equivalent*: an
+array with the full column count but fewer instantiated rows, whose
+technology parameters are rescaled so each bit line still carries the
+capacitance (and floating-discharge time constant) of the full-height
+array.  Average power per cycle — and therefore the PRR — measured on the
+reduced-row equivalent matches the full array; the test-suite checks this
+against the analytical model, and EXPERIMENTS.md documents the methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.technology import TechnologyParameters, default_technology
+from ..sram.geometry import ArrayGeometry
+
+
+class ScalingError(Exception):
+    """Raised for impossible reductions."""
+
+
+@dataclass(frozen=True)
+class ReducedRowEquivalent:
+    """A measurement stand-in for a taller array."""
+
+    #: the full-size geometry being emulated.
+    target: ArrayGeometry
+    #: the geometry actually instantiated (same columns, fewer rows).
+    reduced: ArrayGeometry
+    #: technology with the bit-line loading of the full-size array.
+    tech: TechnologyParameters
+
+    @property
+    def row_reduction_factor(self) -> float:
+        return self.target.rows / self.reduced.rows
+
+    def describe(self) -> str:
+        return (f"{self.reduced.rows}-row stand-in for {self.target.describe()} "
+                f"(bit-line capacitance preserved)")
+
+
+def reduced_row_equivalent(target: ArrayGeometry, rows: int,
+                           tech: TechnologyParameters | None = None
+                           ) -> ReducedRowEquivalent:
+    """Build a reduced-row equivalent of ``target`` with ``rows`` rows.
+
+    The per-cell bit-line capacitance is scaled up so that
+    ``bitline_capacitance(rows)`` of the reduced array equals
+    ``bitline_capacitance(target.rows)`` of the full array; the floating
+    discharge resistance is left unchanged (the time constant follows the
+    capacitance and therefore also matches).
+    """
+    tech = tech or default_technology()
+    if rows <= 0:
+        raise ScalingError("rows must be positive")
+    if rows > target.rows:
+        raise ScalingError(
+            f"reduced row count {rows} exceeds the target's {target.rows}")
+    if target.rows % rows != 0:
+        raise ScalingError(
+            f"target rows ({target.rows}) must be a multiple of the reduced "
+            f"row count ({rows}) so backgrounds tile identically")
+    reduced = ArrayGeometry(rows=rows, columns=target.columns,
+                            bits_per_word=target.bits_per_word)
+    full_cap = tech.bitline_capacitance(target.rows)
+    # Solve bitline_cap_fixed + rows * per_cell == full_cap for per_cell.
+    per_cell = (full_cap - tech.bitline_cap_fixed) / rows
+    scaled_tech = tech.scaled(
+        name=f"{tech.name} (reduced-row x{target.rows // rows})",
+        bitline_cap_per_cell=per_cell,
+    )
+    return ReducedRowEquivalent(target=target, reduced=reduced, tech=scaled_tech)

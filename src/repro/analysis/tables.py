@@ -1,0 +1,73 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness prints the same rows the paper's Table 1 reports (plus
+the extra diagnostics of this reproduction); this module keeps the
+formatting in one place so benches, examples and EXPERIMENTS.md agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def render_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty table)" if title else "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    formatted: List[Dict[str, str]] = []
+    for row in rows:
+        out: Dict[str, str] = {}
+        for col in columns:
+            value = row.get(col, "")
+            text = _format_value(value)
+            out[col] = text
+            widths[col] = max(widths[col], len(text))
+        formatted.append(out)
+    sep = "-+-".join("-" * widths[col] for col in columns)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(sep)
+    for row in formatted:
+        lines.append(" | ".join(row[col].ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e-2 or magnitude == 0:
+            return f"{value:.3f}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_energy(joules: float) -> str:
+    """Human-readable energy (fJ / pJ / nJ / µJ)."""
+    magnitude = abs(joules)
+    for unit, scale in (("µJ", 1e-6), ("nJ", 1e-9), ("pJ", 1e-12), ("fJ", 1e-15)):
+        if magnitude >= scale:
+            return f"{joules / scale:.2f} {unit}"
+    return f"{joules:.3e} J"
+
+
+def format_power(watts: float) -> str:
+    """Human-readable power (µW / mW / W)."""
+    magnitude = abs(watts)
+    for unit, scale in (("W", 1.0), ("mW", 1e-3), ("µW", 1e-6), ("nW", 1e-9)):
+        if magnitude >= scale:
+            return f"{watts / scale:.3f} {unit}"
+    return f"{watts:.3e} W"
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    return f"{100.0 * fraction:.{digits}f} %"

@@ -1,0 +1,19 @@
+"""Memory BIST substrate.
+
+A small built-in self-test engine that drives the March algorithms against
+the behavioural SRAM exactly the way an on-chip BIST controller would: an
+address generator restricted to hardware-friendly orders, a response
+comparator, and a controller FSM that owns the ``LPtest`` mode signal and
+the per-cycle pre-charge planning.  The BIST layer is how a user of this
+library would actually deploy the paper's low-power test mode.
+"""
+
+from .address_generator import AddressGenerator, BistOrder
+from .comparator import Comparator, ComparatorLog
+from .controller import BistController, BistResult, BistError
+
+__all__ = [
+    "AddressGenerator", "BistOrder",
+    "Comparator", "ComparatorLog",
+    "BistController", "BistResult", "BistError",
+]

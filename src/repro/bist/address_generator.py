@@ -1,0 +1,68 @@
+"""BIST address generator.
+
+On-chip BIST address generators do not materialise arbitrary permutations;
+they step a counter in one of a few hardware-friendly orders.  The generator
+here supports the two orders the repository's experiments need — the
+word-line-after-word-line order required by the low-power test mode, and the
+fast-row (column-major) order typical of legacy BIST — and exposes them as
+:class:`repro.march.ordering.AddressOrder` objects so the rest of the stack
+(execution walker, fault simulator, sessions) can consume them unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Tuple
+
+from ..march.ordering import AddressOrder, ColumnMajorOrder, RowMajorOrder
+from ..sram.geometry import ArrayGeometry
+
+
+class BistOrder(Enum):
+    """Counting orders a hardware address generator can implement cheaply."""
+
+    #: word-line after word-line (row-major): required by the low-power test mode.
+    WORDLINE_SEQUENTIAL = "wordline"
+    #: fast-row (column-major): the traditional functional-BIST order.
+    FAST_ROW = "fast-row"
+
+
+@dataclass
+class AddressGenerator:
+    """Counter-based address generator of a BIST engine."""
+
+    geometry: ArrayGeometry
+    order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL
+
+    def as_address_order(self) -> AddressOrder:
+        """The equivalent software :class:`AddressOrder`."""
+        if self.order is BistOrder.WORDLINE_SEQUENTIAL:
+            return RowMajorOrder(self.geometry)
+        return ColumnMajorOrder(self.geometry)
+
+    # ------------------------------------------------------------------
+    # Hardware-style stepping (used by the controller FSM and its tests)
+    # ------------------------------------------------------------------
+    def first(self, ascending: bool = True) -> int:
+        return 0 if ascending else self.geometry.word_count - 1
+
+    def next(self, position: int, ascending: bool = True) -> int | None:
+        """Counter step; returns ``None`` past the last address."""
+        if ascending:
+            nxt = position + 1
+            return nxt if nxt < self.geometry.word_count else None
+        nxt = position - 1
+        return nxt if nxt >= 0 else None
+
+    def coordinate(self, position: int) -> Tuple[int, int]:
+        """(row, word) for a counter value, respecting the configured order."""
+        return self.as_address_order().coordinate_at(position)
+
+    def sweep(self, ascending: bool = True) -> Iterator[Tuple[int, int]]:
+        order = self.as_address_order()
+        return order.ascending() if ascending else order.descending()
+
+    def supports_low_power_mode(self) -> bool:
+        """Only the word-line-sequential order satisfies the paper's requirement."""
+        return self.as_address_order().is_wordline_sequential()

@@ -1,0 +1,54 @@
+"""BIST response comparator.
+
+Compares every read response against the March expectation and keeps a
+bounded log of failing accesses (address, expected, observed), which is what
+an on-chip comparator would ship to the tester through the BIST result
+register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ComparatorLog:
+    """One failing read captured by the comparator."""
+
+    cycle: int
+    row: int
+    word: int
+    expected: int
+    observed: int
+
+
+@dataclass
+class Comparator:
+    """Pass/fail accumulator with a bounded failure log."""
+
+    log_limit: int = 64
+    failures: int = 0
+    log: List[ComparatorLog] = field(default_factory=list)
+
+    def check(self, cycle: int, row: int, word: int,
+              expected: int, observed: int) -> bool:
+        """Record one read comparison; returns True when it matches."""
+        if observed == expected:
+            return True
+        self.failures += 1
+        if len(self.log) < self.log_limit:
+            self.log.append(ComparatorLog(cycle=cycle, row=row, word=word,
+                                          expected=expected, observed=observed))
+        return False
+
+    @property
+    def passed(self) -> bool:
+        return self.failures == 0
+
+    def first_failure(self) -> Optional[ComparatorLog]:
+        return self.log[0] if self.log else None
+
+    def reset(self) -> None:
+        self.failures = 0
+        self.log.clear()

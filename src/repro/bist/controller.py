@@ -1,0 +1,118 @@
+"""BIST controller: owns the LPtest signal and sequences March tests.
+
+The controller ties together the address generator, the response comparator
+and the pre-charge planning.  It refuses to engage the low-power test mode
+when the configured address order is not word-line-sequential (the paper's
+precondition), falls back to functional mode for algorithms that need it
+(Section 4 notes that tests relying on functional-mode power behaviour must
+run with LPtest off), and reports pass/fail plus the power measurements of
+the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuit.technology import TechnologyParameters, default_technology
+from ..core.lowpower import FunctionalModePlanner, LowPowerTestPlanner
+from ..march.algorithm import MarchAlgorithm
+from ..march.execution import walk
+from ..power.sources import PowerSource
+from ..sram.array import BackgroundFunction, solid_background
+from ..sram.geometry import ArrayGeometry
+from ..sram.memory import OperatingMode, SRAM
+from .address_generator import AddressGenerator, BistOrder
+from .comparator import Comparator
+
+
+class BistError(Exception):
+    """Raised on unsupported BIST configurations."""
+
+
+@dataclass
+class BistResult:
+    """Outcome of one BIST run."""
+
+    algorithm: str
+    low_power_mode: bool
+    passed: bool
+    failures: int
+    cycles: int
+    total_energy: float
+    average_power: float
+    energy_by_source: Dict[PowerSource, float] = field(default_factory=dict)
+    failure_log: List = field(default_factory=list)
+
+    def describe(self) -> str:
+        mode = "low-power test mode" if self.low_power_mode else "functional mode"
+        verdict = "PASS" if self.passed else f"FAIL ({self.failures} mismatches)"
+        return (f"{self.algorithm} in {mode}: {verdict}, "
+                f"{self.cycles} cycles, {self.average_power * 1e3:.3f} mW average")
+
+
+class BistController:
+    """Sequencer for March tests on one memory instance."""
+
+    def __init__(self, geometry: ArrayGeometry,
+                 tech: TechnologyParameters | None = None,
+                 order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL,
+                 background: Optional[BackgroundFunction] = None) -> None:
+        self.geometry = geometry
+        self.tech = tech or default_technology()
+        self.address_generator = AddressGenerator(geometry, order)
+        self.background = background if background is not None else solid_background(0)
+        self.comparator = Comparator()
+
+    # ------------------------------------------------------------------
+    def build_memory(self, low_power: bool) -> SRAM:
+        mode = OperatingMode.LOW_POWER_TEST if low_power else OperatingMode.FUNCTIONAL
+        memory = SRAM(self.geometry, tech=self.tech, mode=mode,
+                      ledger_label=f"BIST [{mode.value}]")
+        memory.apply_background(self.background)
+        return memory
+
+    def run(self, algorithm: MarchAlgorithm, low_power: bool = True,
+            memory: Optional[SRAM] = None) -> BistResult:
+        """Run ``algorithm`` once and return the pass/fail + power result."""
+        if low_power and not self.address_generator.supports_low_power_mode():
+            raise BistError(
+                "the low-power test mode requires the word-line-sequential "
+                f"address order; the generator is configured for {self.address_generator.order}")
+        algorithm.validate()
+        if memory is None:
+            memory = self.build_memory(low_power)
+        else:
+            memory.set_mode(OperatingMode.LOW_POWER_TEST if low_power
+                            else OperatingMode.FUNCTIONAL)
+        planner = (LowPowerTestPlanner(self.geometry, tech=self.tech)
+                   if low_power else FunctionalModePlanner())
+        planner.reset()
+        self.comparator.reset()
+        order = self.address_generator.as_address_order()
+
+        for step in walk(algorithm, order):
+            plan = planner.plan(step) if low_power else None
+            if step.is_write:
+                memory.write(step.row, step.word, step.operation.value, plan=plan)
+                continue
+            outcome = memory.read(step.row, step.word, plan=plan)
+            self.comparator.check(cycle=outcome.cycle, row=step.row, word=step.word,
+                                  expected=step.operation.value, observed=outcome.value)
+
+        ledger = memory.ledger
+        return BistResult(
+            algorithm=algorithm.name,
+            low_power_mode=low_power,
+            passed=self.comparator.passed,
+            failures=self.comparator.failures,
+            cycles=memory.cycle,
+            total_energy=ledger.total_energy(),
+            average_power=ledger.average_power(),
+            energy_by_source=ledger.energy_by_source(),
+            failure_log=list(self.comparator.log),
+        )
+
+    def run_suite(self, algorithms, low_power: bool = True) -> List[BistResult]:
+        """Run several algorithms back to back (fresh memory each time)."""
+        return [self.run(algorithm, low_power=low_power) for algorithm in algorithms]

@@ -1,0 +1,89 @@
+"""Spice-substitute circuit simulation substrate.
+
+The original paper validates its low-power test scheme with transistor-level
+Spice simulations of a 0.13 µm SRAM.  This subpackage provides the
+replacement used throughout the repository:
+
+* :mod:`repro.circuit.technology` — the 0.13 µm / 1.6 V / 3 ns operating
+  point every other model is calibrated from;
+* :mod:`repro.circuit.mosfet` — square-law MOSFET devices;
+* :mod:`repro.circuit.elements` — resistors, switches, sources, capacitors;
+* :mod:`repro.circuit.transient` — a fixed-step nodal transient solver with
+  per-source energy accounting;
+* :mod:`repro.circuit.waveform` — sampled waveforms and their analysis;
+* :mod:`repro.circuit.gates` — a combinational gate network model with
+  transistor counts, delays and switching energy (used for the modified
+  pre-charge control logic of Section 4).
+"""
+
+from .technology import TechnologyParameters, PAPER_TECHNOLOGY, default_technology
+from .waveform import Waveform, align_waveforms
+from .mosfet import Mosfet, MosfetParameters, nmos, pmos, equivalent_on_resistance
+from .elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    Element,
+    PiecewiseLinearSource,
+    Resistor,
+    Switch,
+    always_off,
+    always_on,
+    step_control,
+)
+from .transient import Circuit, CircuitError, SourceEnergy, TransientResult
+from .gates import (
+    AND2,
+    BUFFER,
+    EvaluationResult,
+    GateInstance,
+    GateKind,
+    INVERTER,
+    LogicError,
+    LogicNetwork,
+    NAND2,
+    NOR2,
+    OR2,
+    TGATE_MUX2,
+    XOR2,
+)
+
+__all__ = [
+    "TechnologyParameters",
+    "PAPER_TECHNOLOGY",
+    "default_technology",
+    "Waveform",
+    "align_waveforms",
+    "Mosfet",
+    "MosfetParameters",
+    "nmos",
+    "pmos",
+    "equivalent_on_resistance",
+    "GROUND",
+    "Capacitor",
+    "CurrentSource",
+    "Element",
+    "PiecewiseLinearSource",
+    "Resistor",
+    "Switch",
+    "always_off",
+    "always_on",
+    "step_control",
+    "Circuit",
+    "CircuitError",
+    "SourceEnergy",
+    "TransientResult",
+    "GateKind",
+    "GateInstance",
+    "LogicNetwork",
+    "LogicError",
+    "EvaluationResult",
+    "INVERTER",
+    "BUFFER",
+    "NAND2",
+    "NOR2",
+    "AND2",
+    "OR2",
+    "XOR2",
+    "TGATE_MUX2",
+]

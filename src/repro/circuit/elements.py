@@ -1,0 +1,213 @@
+"""Passive and ideal circuit elements for the transient network solver.
+
+Together with :mod:`repro.circuit.mosfet` these elements are enough to
+describe the structures the paper simulates with Spice: bit lines (large
+capacitors), cell storage nodes (small capacitors), pre-charge PMOS
+devices, access transistors, and the ideal sources/switches used as test
+stimuli.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+#: Name of the ground node; its voltage is pinned to 0 V by the solver.
+GROUND = "gnd"
+
+
+class Element:
+    """Base class: anything that injects current into circuit nodes."""
+
+    name: str
+
+    def node_currents(self, voltages: Mapping[str, float], time: float) -> Dict[str, float]:
+        """Return current *into* each connected node at ``time``."""
+        raise NotImplementedError
+
+    def nodes(self) -> tuple:
+        """Names of the nodes this element connects to."""
+        raise NotImplementedError
+
+
+@dataclass
+class Resistor(Element):
+    """Linear resistor between two nodes."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance: float
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError("resistance must be positive")
+
+    def nodes(self) -> tuple:
+        return (self.node_a, self.node_b)
+
+    def node_currents(self, voltages: Mapping[str, float], time: float) -> Dict[str, float]:
+        va = voltages[self.node_a]
+        vb = voltages[self.node_b]
+        i_ab = (va - vb) / self.resistance
+        return {self.node_a: -i_ab, self.node_b: +i_ab}
+
+
+@dataclass
+class Switch(Element):
+    """A voltage-controlled ideal switch (finite on/off resistances).
+
+    ``control`` is a callable of time returning True when the switch is
+    closed.  Used to model pre-charge enable gating and word-line gating in
+    small test fixtures without instantiating the full gate netlist.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    control: Callable[[float], bool]
+    on_resistance: float = 1.0e3
+    off_resistance: float = 1.0e12
+
+    def __post_init__(self) -> None:
+        if self.on_resistance <= 0 or self.off_resistance <= 0:
+            raise ValueError("switch resistances must be positive")
+
+    def nodes(self) -> tuple:
+        return (self.node_a, self.node_b)
+
+    def node_currents(self, voltages: Mapping[str, float], time: float) -> Dict[str, float]:
+        resistance = self.on_resistance if self.control(time) else self.off_resistance
+        va = voltages[self.node_a]
+        vb = voltages[self.node_b]
+        i_ab = (va - vb) / resistance
+        return {self.node_a: -i_ab, self.node_b: +i_ab}
+
+
+@dataclass
+class CurrentSource(Element):
+    """Ideal current source pushing ``current(time)`` from ``node_neg`` to ``node_pos``."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    current: Callable[[float], float]
+
+    def nodes(self) -> tuple:
+        return (self.node_pos, self.node_neg)
+
+    def node_currents(self, voltages: Mapping[str, float], time: float) -> Dict[str, float]:
+        i = self.current(time)
+        return {self.node_pos: +i, self.node_neg: -i}
+
+
+@dataclass
+class Capacitor:
+    """Capacitor from ``node`` to ground (or between two nodes).
+
+    Capacitors are handled specially by the solver (they define the node
+    charge storage), so they are not :class:`Element` subclasses.
+    """
+
+    name: str
+    node: str
+    capacitance: float
+    other: str = GROUND
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0:
+            raise ValueError("capacitance must be positive")
+
+
+class PiecewiseLinearSource:
+    """Ideal voltage source defined by ``(time, value)`` breakpoints.
+
+    The solver pins the node voltage to :meth:`value_at` at every step, and
+    records the charge it had to supply so that source energy can be
+    reported.
+    """
+
+    def __init__(self, name: str, node: str, points: list[tuple[float, float]]):
+        if not points:
+            raise ValueError("a piecewise-linear source needs at least one point")
+        times = [t for t, _ in points]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("breakpoint times must be non-decreasing")
+        self.name = name
+        self.node = node
+        self.points = [(float(t), float(v)) for t, v in points]
+
+    @classmethod
+    def constant(cls, name: str, node: str, value: float) -> "PiecewiseLinearSource":
+        return cls(name, node, [(0.0, value)])
+
+    @classmethod
+    def pulse(cls, name: str, node: str, low: float, high: float,
+              t_rise_start: float, t_fall_start: float,
+              transition: float = 50e-12) -> "PiecewiseLinearSource":
+        """A single pulse: low until ``t_rise_start``, high until ``t_fall_start``."""
+        if t_fall_start < t_rise_start:
+            raise ValueError("pulse must rise before it falls")
+        return cls(name, node, [
+            (0.0, low),
+            (t_rise_start, low),
+            (t_rise_start + transition, high),
+            (t_fall_start, high),
+            (t_fall_start + transition, low),
+        ])
+
+    @classmethod
+    def clock(cls, name: str, node: str, period: float, cycles: int,
+              low: float, high: float, duty: float = 0.5,
+              transition: float = 50e-12) -> "PiecewiseLinearSource":
+        """A clock with ``cycles`` periods, high for ``duty`` of each period."""
+        if period <= 0 or cycles <= 0:
+            raise ValueError("period and cycles must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must lie strictly between 0 and 1")
+        pts: list[tuple[float, float]] = [(0.0, high)]
+        for k in range(cycles):
+            start = k * period
+            fall = start + duty * period
+            end = (k + 1) * period
+            pts.append((fall, high))
+            pts.append((fall + transition, low))
+            pts.append((end, low))
+            if k + 1 < cycles:
+                pts.append((end + transition, high))
+        return cls(name, node, pts)
+
+    def value_at(self, time: float) -> float:
+        pts = self.points
+        if time <= pts[0][0]:
+            return pts[0][1]
+        if time >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= time <= t1:
+                if t1 == t0:
+                    return v1
+                frac = (time - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        return pts[-1][1]
+
+
+def step_control(t_on: float, t_off: Optional[float] = None) -> Callable[[float], bool]:
+    """Return a switch-control callable: closed in ``[t_on, t_off)``."""
+    def control(time: float) -> bool:
+        if time < t_on:
+            return False
+        if t_off is not None and time >= t_off:
+            return False
+        return True
+    return control
+
+
+def always_on(_: float) -> bool:
+    """Switch control that is always closed."""
+    return True
+
+
+def always_off(_: float) -> bool:
+    """Switch control that is always open."""
+    return False

@@ -1,0 +1,184 @@
+"""Square-law MOSFET model used by the Spice-substitute transient solver.
+
+The paper's validation relies on transistor-level Spice simulations of the
+cell / bit-line / pre-charge interaction.  We do not have Spice (nor the
+authors' 0.13 µm model cards), so this module provides a first-order
+square-law MOSFET whose drain current is a function of its terminal
+voltages.  It is deliberately simple — the experiments only need the right
+orders of magnitude and the right qualitative behaviour (strong pre-charge
+PMOS, weak cell transistors, sub-threshold cut-off).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .technology import TechnologyParameters
+
+
+@dataclass(frozen=True)
+class MosfetParameters:
+    """Electrical parameters of a single MOSFET instance."""
+
+    polarity: str  # "nmos" or "pmos"
+    vth: float
+    kp: float
+    width_um: float
+    length_um: float
+    channel_length_modulation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.width_um <= 0 or self.length_um <= 0:
+            raise ValueError("width_um and length_um must be positive")
+        if self.kp <= 0:
+            raise ValueError("kp must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance ``kp * W / L`` in A/V²."""
+        return self.kp * self.width_um / self.length_um
+
+
+class Mosfet:
+    """A single MOSFET evaluated with the long-channel square law.
+
+    The device connects ``drain``, ``gate`` and ``source`` node names; the
+    bulk is tied to the appropriate rail implicitly.  :meth:`current`
+    returns the conventional drain current (positive flowing into the drain
+    for NMOS, out of the drain for PMOS), which the network solver converts
+    into node charge flows.
+    """
+
+    def __init__(self, name: str, params: MosfetParameters,
+                 drain: str, gate: str, source: str) -> None:
+        self.name = name
+        self.params = params
+        self.drain = drain
+        self.gate = gate
+        self.source = source
+
+    # ------------------------------------------------------------------
+    def drain_current(self, v_drain: float, v_gate: float, v_source: float) -> float:
+        """Drain-to-source current given absolute node voltages.
+
+        Positive return value means conventional current flows from drain to
+        source (discharging the drain node, charging the source node).
+        """
+        p = self.params
+        if p.polarity == "nmos":
+            return self._nmos_current(v_drain, v_gate, v_source)
+        # PMOS: evaluate the symmetric NMOS equations on negated voltages.
+        return -self._nmos_current_generic(
+            vgs=-(v_gate - v_source),
+            vds=-(v_drain - v_source),
+            vth=p.vth,
+            beta=p.beta,
+            lam=p.channel_length_modulation,
+        )
+
+    def _nmos_current(self, v_drain: float, v_gate: float, v_source: float) -> float:
+        p = self.params
+        # An NMOS conducts symmetrically: the terminal at the lower potential
+        # acts as the source.  Handle both orientations so that pass
+        # transistors (cell access devices) work in either direction.
+        if v_drain >= v_source:
+            current = self._nmos_current_generic(
+                vgs=v_gate - v_source,
+                vds=v_drain - v_source,
+                vth=p.vth,
+                beta=p.beta,
+                lam=p.channel_length_modulation,
+            )
+            return current
+        current = self._nmos_current_generic(
+            vgs=v_gate - v_drain,
+            vds=v_source - v_drain,
+            vth=p.vth,
+            beta=p.beta,
+            lam=p.channel_length_modulation,
+        )
+        return -current
+
+    @staticmethod
+    def _nmos_current_generic(vgs: float, vds: float, vth: float,
+                              beta: float, lam: float) -> float:
+        """Square-law drain current for a source-referenced NMOS."""
+        vov = vgs - vth
+        if vov <= 0.0:
+            return 0.0
+        if vds < 0.0:
+            vds = 0.0
+        if vds < vov:
+            ids = beta * (vov * vds - 0.5 * vds * vds)
+        else:
+            ids = 0.5 * beta * vov * vov * (1.0 + lam * vds)
+        return ids
+
+    # ------------------------------------------------------------------
+    def node_currents(self, voltages: dict) -> dict:
+        """Return the current *into* each connected node.
+
+        Used by the transient network solver: the drain current leaves the
+        drain node and enters the source node; the gate draws no DC current.
+        """
+        ids = self.drain_current(
+            voltages[self.drain], voltages[self.gate], voltages[self.source]
+        )
+        return {self.drain: -ids, self.source: +ids}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        p = self.params
+        return (
+            f"Mosfet({self.name!r}, {p.polarity}, W/L={p.width_um}/{p.length_um}, "
+            f"d={self.drain}, g={self.gate}, s={self.source})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Factory helpers tied to the technology description.
+# ----------------------------------------------------------------------
+def nmos(tech: TechnologyParameters, name: str, drain: str, gate: str, source: str,
+         width_um: float, length_um: float | None = None) -> Mosfet:
+    """Create an NMOS sized ``width_um`` at the technology's minimum length."""
+    params = MosfetParameters(
+        polarity="nmos",
+        vth=tech.vth_n,
+        kp=tech.kp_n,
+        width_um=width_um,
+        length_um=tech.min_length_um if length_um is None else length_um,
+        channel_length_modulation=tech.channel_length_modulation,
+    )
+    return Mosfet(name, params, drain, gate, source)
+
+
+def pmos(tech: TechnologyParameters, name: str, drain: str, gate: str, source: str,
+         width_um: float, length_um: float | None = None) -> Mosfet:
+    """Create a PMOS sized ``width_um`` at the technology's minimum length."""
+    params = MosfetParameters(
+        polarity="pmos",
+        vth=tech.vth_p,
+        kp=tech.kp_p,
+        width_um=width_um,
+        length_um=tech.min_length_um if length_um is None else length_um,
+        channel_length_modulation=tech.channel_length_modulation,
+    )
+    return Mosfet(name, params, drain, gate, source)
+
+
+def equivalent_on_resistance(mosfet: Mosfet, vdd: float) -> float:
+    """Crude effective on-resistance of a device at full gate drive.
+
+    Evaluated at Vds = VDD/2 with Vgs = VDD, which is good enough for the
+    RC-style timing estimates used in the behavioural model calibration.
+    """
+    half = vdd / 2.0
+    if mosfet.params.polarity == "nmos":
+        ids = abs(mosfet.drain_current(half, vdd, 0.0))
+    else:
+        ids = abs(mosfet.drain_current(vdd - half, 0.0, vdd))
+    if ids <= 0.0:
+        return math.inf
+    return half / ids

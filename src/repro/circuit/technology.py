@@ -1,0 +1,200 @@
+"""Technology parameters for the 0.13 µm process used throughout the paper.
+
+The original evaluation ("Minimizing Test Power in SRAM through Reduction of
+Pre-charge Activity", DATE 2006) is based on Spice simulations of a
+0.13 µm SRAM operated at 1.6 V with a 3 ns clock cycle.  This module carries
+the process/operating-point description that every other substrate
+(transient solver, SRAM behavioural model, power model) derives its numbers
+from, so that the whole repository is calibrated from a single place.
+
+The values are not foundry data; they are representative 0.13 µm-class
+parameters chosen so that the qualitative behaviour the paper relies on is
+reproduced:
+
+* the bit-line capacitance is two to three orders of magnitude larger than a
+  cell's internal node capacitance (this is what makes the faulty swap of
+  Figure 7 possible and what makes pre-charge the dominant power consumer);
+* a floating bit line driven only by an unselected cell discharges over
+  roughly nine clock cycles (Figure 6);
+* pre-charge related energy represents the large majority of the per-cycle
+  energy of a read or write operation (reference [8] of the paper quotes
+  70-80 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Process and operating-point description of the simulated SRAM.
+
+    All values are SI units (volts, seconds, farads, amperes, ohms) unless
+    the attribute name says otherwise.
+    """
+
+    name: str = "generic-0.13um"
+
+    # ------------------------------------------------------------------
+    # Operating point (paper: 1.6 V supply, 3 ns clock cycle).
+    # ------------------------------------------------------------------
+    vdd: float = 1.6
+    clock_period: float = 3.0e-9
+    temperature_c: float = 25.0
+
+    # ------------------------------------------------------------------
+    # MOSFET square-law parameters (representative 0.13 µm values).
+    # ``kp`` values are the process transconductance (µ Cox) in A/V².
+    # ------------------------------------------------------------------
+    vth_n: float = 0.35
+    vth_p: float = 0.38
+    kp_n: float = 300e-6
+    kp_p: float = 120e-6
+    channel_length_modulation: float = 0.05
+    min_length_um: float = 0.13
+
+    # ------------------------------------------------------------------
+    # Capacitances.
+    # ------------------------------------------------------------------
+    #: capacitance added to a bit line by one attached cell (drain junction
+    #: of the access transistor plus its share of the metal line).
+    bitline_cap_per_cell: float = 1.0e-15
+    #: fixed bit-line capacitance (sense amplifier, write driver, column
+    #: mux diffusion) independent of the number of rows.
+    bitline_cap_fixed: float = 20e-15
+    #: internal storage-node capacitance of a 6T cell.
+    cell_node_cap: float = 1.6e-15
+    #: capacitance a single cell's gates present to the word line.
+    wordline_cap_per_cell: float = 1.4e-15
+    #: gate capacitance presented by one pre-charge circuit to its control
+    #: signal (three PMOS gates).
+    precharge_gate_cap: float = 2.4e-15
+    #: input capacitance of one added control element (mux + NAND), §4/§5.
+    control_element_cap: float = 2.0e-15
+
+    # ------------------------------------------------------------------
+    # Transistor sizing (widths in µm) for the cells and periphery.
+    # ------------------------------------------------------------------
+    cell_access_width_um: float = 0.20
+    cell_pulldown_width_um: float = 0.30
+    cell_pullup_width_um: float = 0.16
+    precharge_pmos_width_um: float = 1.20
+    write_driver_width_um: float = 2.0
+
+    #: effective series resistance of the path through which an unselected
+    #: cell discharges a floating bit line (access transistor barely driven
+    #: plus pull-down).  Calibrated so that the discharge of a full-length
+    #: (512-row) bit line spans roughly nine 3 ns clock cycles, as measured
+    #: in the paper's Figure 6 (time constant ~4 cycles, logic '0' reached
+    #: within ~9).
+    floating_discharge_resistance: float = 22e3
+
+    #: effective resistance of an active pre-charge PMOS pulling a bit line
+    #: back to VDD (restoration is comfortably done in half a cycle).
+    precharge_resistance: float = 0.8e3
+
+    #: short-circuit/equalisation overhead factor applied to pre-charge
+    #: energy (models the equalisation transistor and overlap currents).
+    precharge_overhead_factor: float = 0.15
+
+    #: quasi-static current a pre-charge circuit supplies while sustaining a
+    #: read-equivalent stress on one unselected column (the cell pulls one
+    #: bit line down, the pre-charge replaces the charge).  After the initial
+    #: transient the fight settles to a small equilibrium current; the value
+    #: is calibrated so that the pre-charge activity of the unselected
+    #: columns represents roughly half of the functional-mode test power and
+    #: the overall pre-charge share lands in the 70-80 % band the paper
+    #: quotes from reference [8].
+    res_equilibrium_current: float = 3.0e-6
+
+    #: leakage current of one 6T cell (used only for completeness of the
+    #: power accounting; negligible at the paper's operating point).
+    cell_leakage_current: float = 30e-12
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    def bitline_capacitance(self, rows: int) -> float:
+        """Total capacitance of a single bit line spanning ``rows`` cells."""
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        return self.bitline_cap_fixed + rows * self.bitline_cap_per_cell
+
+    def wordline_capacitance(self, columns: int) -> float:
+        """Total capacitance of a word line spanning ``columns`` cells.
+
+        The LPtest control line of the proposed scheme has, per the paper,
+        the same equivalent capacitance as a word line (same length, same
+        number of driven gates), so this is reused for it.
+        """
+        if columns <= 0:
+            raise ValueError(f"columns must be positive, got {columns}")
+        return columns * self.wordline_cap_per_cell
+
+    def swing_energy(self, capacitance: float, swing: float | None = None) -> float:
+        """Energy drawn from the supply to charge ``capacitance`` by ``swing``.
+
+        E = C * V_swing * VDD, the standard expression for the energy drawn
+        from a supply at VDD while raising a node by ``swing`` volts.  When
+        ``swing`` is omitted a full rail-to-rail transition is assumed.
+        """
+        if capacitance < 0:
+            raise ValueError("capacitance must be non-negative")
+        v = self.vdd if swing is None else swing
+        if v < 0:
+            raise ValueError("voltage swing must be non-negative")
+        return capacitance * v * self.vdd
+
+    def clock_frequency(self) -> float:
+        """Clock frequency in hertz."""
+        return 1.0 / self.clock_period
+
+    def floating_discharge_tau(self, rows: int) -> float:
+        """RC time constant of a floating bit line discharged by one cell."""
+        return self.floating_discharge_resistance * self.bitline_capacitance(rows)
+
+    def precharge_tau(self, rows: int) -> float:
+        """RC time constant of an active pre-charge restoring a bit line."""
+        return self.precharge_resistance * self.bitline_capacitance(rows)
+
+    def scaled(self, **overrides: float) -> "TechnologyParameters":
+        """Return a copy with selected fields overridden.
+
+        Convenience for ablation sweeps (different supply voltage, different
+        bit-line loading, ...).
+        """
+        return replace(self, **overrides)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view used by reports and experiment logs."""
+        return {
+            "name": self.name,
+            "vdd": self.vdd,
+            "clock_period": self.clock_period,
+            "vth_n": self.vth_n,
+            "vth_p": self.vth_p,
+            "kp_n": self.kp_n,
+            "kp_p": self.kp_p,
+            "bitline_cap_per_cell": self.bitline_cap_per_cell,
+            "bitline_cap_fixed": self.bitline_cap_fixed,
+            "cell_node_cap": self.cell_node_cap,
+            "wordline_cap_per_cell": self.wordline_cap_per_cell,
+            "precharge_gate_cap": self.precharge_gate_cap,
+            "control_element_cap": self.control_element_cap,
+            "floating_discharge_resistance": self.floating_discharge_resistance,
+            "precharge_resistance": self.precharge_resistance,
+            "precharge_overhead_factor": self.precharge_overhead_factor,
+            "res_equilibrium_current": self.res_equilibrium_current,
+            "cell_leakage_current": self.cell_leakage_current,
+        }
+
+
+#: The operating point used throughout the paper's evaluation section.
+PAPER_TECHNOLOGY = TechnologyParameters(name="paper-0.13um-1.6V-3ns")
+
+
+def default_technology() -> TechnologyParameters:
+    """Return the paper's 0.13 µm / 1.6 V / 3 ns operating point."""
+    return PAPER_TECHNOLOGY

@@ -1,0 +1,246 @@
+"""Fixed-step transient solver — the repository's Spice substitute.
+
+The paper's Figures 2, 6 and 7 are Spice transient simulations of a handful
+of cells, bit lines and pre-charge devices.  This module provides the small
+nodal transient solver those reproductions run on:
+
+* every node carries an explicit capacitance to ground (bit lines, cell
+  storage nodes, gate loads);
+* elements (resistors, switches, MOSFETs, current sources) inject currents
+  that depend on the instantaneous node voltages;
+* ideal piecewise-linear sources pin node voltages (supply rails, word-line
+  drivers, pre-charge control signals) and the charge they deliver is
+  integrated so supply energy can be reported;
+* integration is explicit forward Euler with a conservative default step —
+  entirely adequate for RC-dominated behaviour spanning nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from .elements import GROUND, Capacitor, Element, PiecewiseLinearSource
+from .mosfet import Mosfet
+from .waveform import Waveform
+
+
+class CircuitError(Exception):
+    """Raised for malformed circuits (missing capacitance, unknown nodes...)."""
+
+
+@dataclass
+class SourceEnergy:
+    """Energy accounting for one ideal source over a transient run."""
+
+    name: str
+    delivered_charge: float = 0.0
+    delivered_energy: float = 0.0
+
+
+class Circuit:
+    """A flat netlist: node capacitances, current elements and ideal sources."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self.name = name
+        self._capacitances: Dict[str, float] = {}
+        self._elements: List[Element] = []
+        self._mosfets: List[Mosfet] = []
+        self._sources: Dict[str, PiecewiseLinearSource] = {}
+        self._initial_conditions: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def add_capacitor(self, cap: Capacitor) -> None:
+        """Add a capacitor; capacitances on the same node accumulate."""
+        if cap.other != GROUND:
+            # A floating capacitor is represented by its two grounded halves,
+            # which is accurate enough for the loosely coupled structures in
+            # the SRAM fixtures (the exact coupling is not load-bearing).
+            self._capacitances[cap.node] = self._capacitances.get(cap.node, 0.0) + cap.capacitance
+            self._capacitances[cap.other] = self._capacitances.get(cap.other, 0.0) + cap.capacitance
+            return
+        self._capacitances[cap.node] = self._capacitances.get(cap.node, 0.0) + cap.capacitance
+
+    def add_node_capacitance(self, node: str, capacitance: float) -> None:
+        """Convenience wrapper for a grounded capacitance on ``node``."""
+        self.add_capacitor(Capacitor(name=f"C_{node}", node=node, capacitance=capacitance))
+
+    def add_element(self, element: Element) -> None:
+        self._elements.append(element)
+
+    def add_mosfet(self, mosfet: Mosfet) -> None:
+        self._mosfets.append(mosfet)
+
+    def add_source(self, source: PiecewiseLinearSource) -> None:
+        if source.node in self._sources:
+            raise CircuitError(f"node {source.node!r} already driven by a source")
+        self._sources[source.node] = source
+
+    def set_initial_condition(self, node: str, voltage: float) -> None:
+        self._initial_conditions[node] = voltage
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes(self) -> List[str]:
+        """All node names referenced by the netlist (excluding ground)."""
+        names = set(self._capacitances)
+        for element in self._elements:
+            names.update(element.nodes())
+        for mosfet in self._mosfets:
+            names.update((mosfet.drain, mosfet.gate, mosfet.source))
+        names.update(self._sources)
+        names.update(self._initial_conditions)
+        names.discard(GROUND)
+        return sorted(names)
+
+    def free_nodes(self) -> List[str]:
+        """Nodes whose voltage is integrated (not pinned by a source)."""
+        return [n for n in self.nodes() if n not in self._sources]
+
+    def validate(self) -> None:
+        """Check that every free node has charge storage attached."""
+        for node in self.free_nodes():
+            if self._capacitances.get(node, 0.0) <= 0.0:
+                raise CircuitError(
+                    f"free node {node!r} has no capacitance; the explicit solver "
+                    "needs every undriven node to carry charge storage"
+                )
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        t_stop: float,
+        dt: float = 10e-12,
+        record: Optional[Iterable[str]] = None,
+        record_every: int = 1,
+    ) -> "TransientResult":
+        """Integrate the network from t=0 to ``t_stop``.
+
+        ``record`` restricts which node waveforms are stored (default: all
+        nodes).  ``record_every`` stores every N-th step to keep waveform
+        sizes reasonable in long runs.
+        """
+        if t_stop <= 0:
+            raise ValueError("t_stop must be positive")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if record_every < 1:
+            raise ValueError("record_every must be >= 1")
+        self.validate()
+
+        nodes = self.nodes()
+        recorded = list(record) if record is not None else list(nodes)
+        unknown = [n for n in recorded if n not in nodes and n != GROUND]
+        if unknown:
+            raise CircuitError(f"cannot record unknown nodes: {unknown}")
+
+        voltages: Dict[str, float] = {GROUND: 0.0}
+        for node in nodes:
+            if node in self._sources:
+                voltages[node] = self._sources[node].value_at(0.0)
+            else:
+                voltages[node] = self._initial_conditions.get(node, 0.0)
+
+        waveforms = {n: Waveform(name=n, unit="V") for n in recorded}
+        source_energy = {s.name: SourceEnergy(name=s.name) for s in self._sources.values()}
+
+        steps = int(round(t_stop / dt))
+        time = 0.0
+        for step in range(steps + 1):
+            if step % record_every == 0:
+                for node in recorded:
+                    waveforms[node].append(time, voltages.get(node, 0.0))
+            if step == steps:
+                break
+
+            currents = {n: 0.0 for n in nodes}
+            for element in self._elements:
+                for node, current in element.node_currents(voltages, time).items():
+                    if node != GROUND:
+                        currents[node] += current
+            for mosfet in self._mosfets:
+                for node, current in mosfet.node_currents(voltages).items():
+                    if node != GROUND:
+                        currents[node] += current
+
+            next_time = time + dt
+            new_voltages = dict(voltages)
+            for node in nodes:
+                source = self._sources.get(node)
+                if source is not None:
+                    new_voltages[node] = source.value_at(next_time)
+                    # Charge delivered by the source: whatever current the
+                    # rest of the circuit drew from this node, plus the
+                    # charge needed to move its own capacitance.
+                    drawn = -currents[node] * dt
+                    cap = self._capacitances.get(node, 0.0)
+                    drawn += cap * (new_voltages[node] - voltages[node])
+                    acct = source_energy[source.name]
+                    acct.delivered_charge += drawn
+                    acct.delivered_energy += drawn * voltages[node]
+                else:
+                    cap = self._capacitances[node]
+                    dv = currents[node] * dt / cap
+                    v = voltages[node] + dv
+                    if v != v or abs(v) > 1e3:  # NaN or runaway growth
+                        raise CircuitError(
+                            f"node {node!r} diverged at t={time:.3e}s; the explicit "
+                            "solver needs a smaller time step for this circuit "
+                            "(small capacitances driven by strong devices)"
+                        )
+                    new_voltages[node] = v
+            voltages = new_voltages
+            voltages[GROUND] = 0.0
+            time = next_time
+
+        return TransientResult(
+            circuit_name=self.name,
+            dt=dt,
+            t_stop=t_stop,
+            waveforms=waveforms,
+            final_voltages={n: voltages[n] for n in nodes},
+            source_energy=source_energy,
+        )
+
+
+@dataclass
+class TransientResult:
+    """Output of :meth:`Circuit.simulate`."""
+
+    circuit_name: str
+    dt: float
+    t_stop: float
+    waveforms: Dict[str, Waveform]
+    final_voltages: Dict[str, float]
+    source_energy: Dict[str, SourceEnergy] = field(default_factory=dict)
+
+    def waveform(self, node: str) -> Waveform:
+        try:
+            return self.waveforms[node]
+        except KeyError as exc:
+            raise KeyError(
+                f"node {node!r} was not recorded; recorded nodes: {sorted(self.waveforms)}"
+            ) from exc
+
+    def final_voltage(self, node: str) -> float:
+        try:
+            return self.final_voltages[node]
+        except KeyError as exc:
+            raise KeyError(f"unknown node {node!r}") from exc
+
+    def total_source_energy(self) -> float:
+        """Total energy delivered by all ideal sources during the run."""
+        return sum(acct.delivered_energy for acct in self.source_energy.values())
+
+    def source_energy_for(self, name: str) -> float:
+        try:
+            return self.source_energy[name].delivered_energy
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown source {name!r}; known: {sorted(self.source_energy)}"
+            ) from exc

@@ -1,0 +1,283 @@
+"""Waveform container used by the Spice-substitute transient simulator.
+
+The paper validates its proposal with Spice waveforms (Figures 2 and 6).
+Our transient solver produces :class:`Waveform` objects: uniformly or
+non-uniformly sampled time/value series with the handful of analysis
+operations the experiments need (value lookup, threshold crossings,
+settling detection, simple arithmetic, ASCII rendering for the benchmark
+output).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Waveform:
+    """A sampled signal: monotonically non-decreasing times and values."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    name: str = ""
+    unit: str = "V"
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.values):
+            raise ValueError(
+                f"times ({len(self.times)}) and values ({len(self.values)}) "
+                "must have the same length"
+            )
+        for earlier, later in zip(self.times, self.times[1:]):
+            if later < earlier:
+                raise ValueError("times must be monotonically non-decreasing")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[Tuple[float, float]],
+        name: str = "",
+        unit: str = "V",
+    ) -> "Waveform":
+        """Build a waveform from an iterable of ``(time, value)`` pairs."""
+        times: List[float] = []
+        values: List[float] = []
+        for t, v in samples:
+            times.append(float(t))
+            values.append(float(v))
+        return cls(times=times, values=values, name=name, unit=unit)
+
+    @classmethod
+    def constant(
+        cls, value: float, t_start: float, t_stop: float, name: str = "", unit: str = "V"
+    ) -> "Waveform":
+        """A two-point constant waveform covering ``[t_start, t_stop]``."""
+        if t_stop < t_start:
+            raise ValueError("t_stop must not precede t_start")
+        return cls(times=[t_start, t_stop], values=[value, value], name=name, unit=unit)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; ``time`` must not precede the last sample."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"cannot append sample at t={time!r} before last t={self.times[-1]!r}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    @property
+    def start_time(self) -> float:
+        self._require_samples()
+        return self.times[0]
+
+    @property
+    def end_time(self) -> float:
+        self._require_samples()
+        return self.times[-1]
+
+    def _require_samples(self) -> None:
+        if not self.times:
+            raise ValueError(f"waveform {self.name!r} has no samples")
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def value_at(self, time: float) -> float:
+        """Linearly interpolated value at ``time`` (clamped at the ends)."""
+        self._require_samples()
+        times, values = self.times, self.values
+        if time <= times[0]:
+            return values[0]
+        if time >= times[-1]:
+            return values[-1]
+        lo, hi = 0, len(times) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid
+        t0, t1 = times[lo], times[hi]
+        v0, v1 = values[lo], values[hi]
+        if t1 == t0:
+            return v1
+        frac = (time - t0) / (t1 - t0)
+        return v0 + frac * (v1 - v0)
+
+    def minimum(self) -> float:
+        self._require_samples()
+        return min(self.values)
+
+    def maximum(self) -> float:
+        self._require_samples()
+        return max(self.values)
+
+    def final_value(self) -> float:
+        self._require_samples()
+        return self.values[-1]
+
+    def first_crossing(
+        self, threshold: float, direction: str = "any", after: float = -math.inf
+    ) -> Optional[float]:
+        """Time of the first crossing of ``threshold``.
+
+        ``direction`` is ``"rising"``, ``"falling"`` or ``"any"``.  Returns
+        ``None`` when the waveform never crosses the threshold after
+        ``after``.
+        """
+        if direction not in ("rising", "falling", "any"):
+            raise ValueError(f"invalid direction {direction!r}")
+        self._require_samples()
+        for (t0, v0), (t1, v1) in zip(self, list(self)[1:]):
+            if t1 < after:
+                continue
+            crossed_up = v0 < threshold <= v1
+            crossed_down = v0 > threshold >= v1
+            if direction == "rising" and not crossed_up:
+                continue
+            if direction == "falling" and not crossed_down:
+                continue
+            if direction == "any" and not (crossed_up or crossed_down):
+                continue
+            if v1 == v0:
+                crossing = t1
+            else:
+                crossing = t0 + (threshold - v0) * (t1 - t0) / (v1 - v0)
+            if crossing >= after:
+                return crossing
+        return None
+
+    def settling_time(
+        self, target: float, tolerance: float, after: float = -math.inf
+    ) -> Optional[float]:
+        """Earliest time after which the waveform stays within ``tolerance`` of ``target``."""
+        self._require_samples()
+        settle: Optional[float] = None
+        for t, v in self:
+            if t < after:
+                continue
+            if abs(v - target) <= tolerance:
+                if settle is None:
+                    settle = t
+            else:
+                settle = None
+        return settle
+
+    def time_average(self) -> float:
+        """Time-weighted average value (trapezoidal)."""
+        self._require_samples()
+        if len(self.times) == 1:
+            return self.values[0]
+        total = 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.values[-1]
+        for (t0, v0), (t1, v1) in zip(self, list(self)[1:]):
+            total += 0.5 * (v0 + v1) * (t1 - t0)
+        return total / span
+
+    def integral(self) -> float:
+        """Trapezoidal integral of the waveform over its full time span."""
+        self._require_samples()
+        total = 0.0
+        for (t0, v0), (t1, v1) in zip(self, list(self)[1:]):
+            total += 0.5 * (v0 + v1) * (t1 - t0)
+        return total
+
+    def sample_every(self, period: float) -> "Waveform":
+        """Resample at a uniform ``period`` over the original span."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._require_samples()
+        t = self.start_time
+        out = Waveform(name=self.name, unit=self.unit)
+        while t <= self.end_time + 1e-18:
+            out.append(t, self.value_at(t))
+            t += period
+        return out
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[float], float], name: str | None = None) -> "Waveform":
+        """Apply ``fn`` to every value."""
+        return Waveform(
+            times=list(self.times),
+            values=[fn(v) for v in self.values],
+            name=self.name if name is None else name,
+            unit=self.unit,
+        )
+
+    def scaled(self, factor: float) -> "Waveform":
+        return self.map(lambda v: v * factor)
+
+    def shifted(self, offset: float) -> "Waveform":
+        """Shift the time axis by ``offset``."""
+        return Waveform(
+            times=[t + offset for t in self.times],
+            values=list(self.values),
+            name=self.name,
+            unit=self.unit,
+        )
+
+    def windowed(self, t_start: float, t_stop: float) -> "Waveform":
+        """Restrict to ``[t_start, t_stop]`` (end points interpolated)."""
+        if t_stop < t_start:
+            raise ValueError("t_stop must not precede t_start")
+        self._require_samples()
+        out = Waveform(name=self.name, unit=self.unit)
+        out.append(t_start, self.value_at(t_start))
+        for t, v in self:
+            if t_start < t < t_stop:
+                out.append(t, v)
+        if t_stop > t_start:
+            out.append(t_stop, self.value_at(t_stop))
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_ascii(self, width: int = 72, height: int = 12) -> str:
+        """Render a crude ASCII plot (used by benchmark reports)."""
+        self._require_samples()
+        if width < 8 or height < 3:
+            raise ValueError("width must be >= 8 and height >= 3")
+        lo, hi = self.minimum(), self.maximum()
+        if hi == lo:
+            hi = lo + 1.0
+        t0, t1 = self.start_time, self.end_time
+        span = (t1 - t0) or 1.0
+        grid = [[" "] * width for _ in range(height)]
+        for col in range(width):
+            t = t0 + span * col / (width - 1)
+            v = self.value_at(t)
+            row = int(round((hi - v) / (hi - lo) * (height - 1)))
+            row = min(max(row, 0), height - 1)
+            grid[row][col] = "*"
+        label = f"{self.name} [{self.unit}]  min={lo:.3g} max={hi:.3g}"
+        lines = [label]
+        for r, row in enumerate(grid):
+            left = hi - (hi - lo) * r / (height - 1)
+            lines.append(f"{left:9.3g} |" + "".join(row))
+        lines.append(" " * 11 + "-" * width)
+        lines.append(f"{'':9s}  t: {t0:.3g} .. {t1:.3g} s")
+        return "\n".join(lines)
+
+
+def align_waveforms(waveforms: Sequence[Waveform], period: float) -> List[Waveform]:
+    """Resample a set of waveforms on a common uniform grid."""
+    return [w.sample_every(period) for w in waveforms]

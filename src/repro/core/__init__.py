@@ -1,0 +1,47 @@
+"""The paper's contribution: the low-power test mode for SRAM pre-charge.
+
+* :mod:`repro.core.precharge_controller` — gate-level model of the modified
+  pre-charge control logic (Figure 8): one mux + one NAND per column, ten
+  transistors, driving the per-column pre-charge enables of Figure 4;
+* :mod:`repro.core.lowpower` — cycle-level pre-charge planners: functional
+  mode and the paper's low-power test mode (selected column + following
+  column only, one functional restoration cycle per row transition);
+* :mod:`repro.core.prr` — the analytical Section 5 power model (P_F, P_LPT,
+  PRR) evaluated from closed-form per-event energies;
+* :mod:`repro.core.session` — test sessions that run March algorithms on the
+  behavioural SRAM in either mode and measure the Power Reduction Ratio.
+"""
+
+from .precharge_controller import (
+    ControllerDecision,
+    ControllerError,
+    ModifiedPrechargeController,
+    TRANSISTORS_PER_COLUMN,
+)
+from .lowpower import (
+    FunctionalModePlanner,
+    LowPowerTestPlanner,
+    PlannerError,
+    PlannerStatistics,
+    PrechargePlanner,
+    WordOrientedLowPowerPlanner,
+)
+from .prr import AnalyticalPowerModel, AnalyticalPrediction, AnalyticalModelError
+from .session import (
+    ModeComparison,
+    ReadMismatch,
+    SessionError,
+    TestRunResult,
+    TestSession,
+    compare_modes,
+)
+
+__all__ = [
+    "ModifiedPrechargeController", "ControllerDecision", "ControllerError",
+    "TRANSISTORS_PER_COLUMN",
+    "PrechargePlanner", "FunctionalModePlanner", "LowPowerTestPlanner",
+    "WordOrientedLowPowerPlanner", "PlannerError", "PlannerStatistics",
+    "AnalyticalPowerModel", "AnalyticalPrediction", "AnalyticalModelError",
+    "TestSession", "TestRunResult", "ModeComparison", "ReadMismatch",
+    "SessionError", "compare_modes",
+]

@@ -1,0 +1,205 @@
+"""The modified pre-charge control logic of Section 4 (Figure 8).
+
+The paper adds, per column, one control element built from a two-transmission-
+gate multiplexer (plus its select inverter) and one NAND gate — ten
+transistors per column.  Its behaviour:
+
+* functional mode (``LPtest`` = 0): the normal pre-charge signal ``Pr_j``
+  drives the pre-charge circuit of column *j* unchanged;
+* low-power test mode (``LPtest`` = 1):
+  * if column *j* is currently selected for a read/write operation
+    (``CS_j`` = 1), the NAND gate forces the functional path, so the column
+    sees its normal ``Pr_j`` timing (pre-charge OFF during the operation
+    phase, ON during the restoration phase);
+  * otherwise the pre-charge input is the *previous* column's complemented
+    selection signal ``CS̄_{j-1}``: since the pre-charge is active-low, the
+    pre-charge of column *j* is ON exactly while column *j-1* is selected —
+    i.e. only the column that immediately follows the selected one is kept
+    pre-charged, which is the whole point of the scheme.
+* the last column's selection signal is not wrapped around to column 0 (the
+  row-transition restoration cycle makes that unnecessary).
+
+The controller below is a gate-level model built on
+:class:`repro.circuit.gates.LogicNetwork`: it reproduces the per-column
+enable pattern of Figure 4, counts transistors, reports the extra delay
+inserted on the ``Pr_j`` path, and accounts the (tiny) switching energy of
+the added gates.  A ``descending`` variant mirrors the neighbour connection
+(driving column *j-1* from ``CS̄_j``) so that ⇓ March elements can also be
+run in the low-power mode; this is an engineering extension the paper does
+not detail, and it is flagged as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..circuit.gates import INVERTER, NAND2, TGATE_MUX2, LogicNetwork
+from ..circuit.technology import TechnologyParameters, default_technology
+
+
+class ControllerError(Exception):
+    """Raised on invalid controller configuration or inputs."""
+
+
+#: Transistor cost of one added control element, as stated in the paper.
+TRANSISTORS_PER_COLUMN = 10
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """Pre-charge enables computed by the control logic for one evaluation."""
+
+    #: per-column pre-charge activation (True = pre-charge circuit ON).
+    precharge_on: Dict[int, bool]
+    #: switching energy of the control elements for this input change.
+    switching_energy: float
+    #: worst-case propagation delay from the inputs to any NPr output.
+    critical_path_delay: float
+
+    def active_columns(self) -> List[int]:
+        return sorted(c for c, on in self.precharge_on.items() if on)
+
+
+class ModifiedPrechargeController:
+    """Gate-level model of the per-column control elements of Figure 8."""
+
+    def __init__(self, columns: int,
+                 tech: TechnologyParameters | None = None,
+                 support_descending: bool = False) -> None:
+        if columns <= 0:
+            raise ControllerError(f"columns must be positive, got {columns}")
+        self.tech = tech or default_technology()
+        self.columns = columns
+        self.support_descending = support_descending
+        self.network = self._build_network()
+
+    # ------------------------------------------------------------------
+    # Network construction
+    # ------------------------------------------------------------------
+    def _build_network(self) -> LogicNetwork:
+        net = LogicNetwork(name="modified-precharge-control", tech=self.tech)
+        net.add_input("LPtest")
+        net.add_input("const_one")
+        if self.support_descending:
+            net.add_input("descending")
+        for j in range(self.columns):
+            net.add_input(f"Pr_{j}")        # former pre-charge signal (active low)
+            net.add_input(f"CSbar_{j}")     # complement of the column-select signal
+        for j in range(self.columns):
+            # NAND(LPtest, CSbar_j): low only when the low-power mode is on
+            # and the column is NOT selected; it is the mux select.
+            net.add_gate(NAND2, name=f"nand_{j}",
+                         inputs=("LPtest", f"CSbar_{j}"), output=f"sel_{j}")
+            neighbour = self._neighbour_net(net, j)
+            # Transmission-gate mux: select=1 -> Pr_j (functional path),
+            # select=0 -> neighbour CSbar (low-power path).
+            net.add_gate(TGATE_MUX2, name=f"mux_{j}",
+                         inputs=(f"sel_{j}", neighbour, f"Pr_{j}"),
+                         output=f"NPr_{j}")
+            # Each NPr net drives the pre-charge PMOS gates of its column.
+            net.add_net_load(f"NPr_{j}", self.tech.precharge_gate_cap)
+        return net
+
+    def _neighbour_net(self, net: LogicNetwork, j: int) -> str:
+        """Net feeding the low-power path of column ``j``'s mux."""
+        if not self.support_descending:
+            # Paper wiring: CSbar of the previous column; column 0 has no
+            # predecessor and its low-power input is tied inactive (high).
+            return f"CSbar_{j - 1}" if j > 0 else "const_one"
+        # Direction-aware extension: an extra mux per column picks the
+        # predecessor (ascending) or the successor (descending) selection.
+        ascending_src = f"CSbar_{j - 1}" if j > 0 else "const_one"
+        descending_src = f"CSbar_{j + 1}" if j < self.columns - 1 else "const_one"
+        net.add_gate(TGATE_MUX2, name=f"dirmux_{j}",
+                     inputs=("descending", ascending_src, descending_src),
+                     output=f"nbr_{j}")
+        return f"nbr_{j}"
+
+    # ------------------------------------------------------------------
+    # Static properties
+    # ------------------------------------------------------------------
+    def transistors_per_column(self) -> int:
+        """Transistor cost of one control element (10 in the paper's wiring)."""
+        per_column = NAND2.transistors + TGATE_MUX2.transistors
+        if self.support_descending:
+            per_column += TGATE_MUX2.transistors
+        return per_column
+
+    def total_transistors(self) -> int:
+        return self.transistors_per_column() * self.columns
+
+    def added_delay_on_pr_path(self) -> float:
+        """Extra delay the mux inserts on the functional ``Pr_j`` path.
+
+        Only the transmission-gate stage sits in series with ``Pr_j`` (the
+        NAND drives the select input, off the critical path), matching the
+        paper's argument that the impact on normal operation is negligible.
+        """
+        return TGATE_MUX2.delay
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, lptest: bool, selected_column: Optional[int],
+                 precharge_phase: bool = False,
+                 descending: bool = False) -> ControllerDecision:
+        """Evaluate the control logic for one timing point.
+
+        ``selected_column`` is the column currently addressed (``None`` for
+        an idle memory).  ``precharge_phase`` distinguishes the two halves
+        of the clock cycle: during the operation phase the selected column's
+        ``Pr_j`` is high (pre-charge off), during the restoration phase it is
+        low (pre-charge on).  Unselected columns' ``Pr_j`` is low (pre-charge
+        on) in functional mode — that is exactly the behaviour the low-power
+        mode suppresses.
+        """
+        if selected_column is not None and not 0 <= selected_column < self.columns:
+            raise ControllerError(
+                f"selected_column {selected_column} out of range [0, {self.columns})")
+        if descending and not self.support_descending:
+            raise ControllerError(
+                "descending traversal requested but the controller was built "
+                "with support_descending=False (the paper's wiring)")
+        inputs: Dict[str, bool] = {"LPtest": lptest, "const_one": True}
+        if self.support_descending:
+            inputs["descending"] = descending
+        for j in range(self.columns):
+            is_selected = selected_column == j
+            # Pr_j is active low: low = pre-charge commanded ON.
+            if is_selected:
+                inputs[f"Pr_{j}"] = not precharge_phase  # high during operation phase
+            else:
+                inputs[f"Pr_{j}"] = False                # functional: always pre-charging
+            inputs[f"CSbar_{j}"] = not is_selected
+        result = self.network.evaluate(inputs)
+        precharge_on = {
+            j: not result.value(f"NPr_{j}")  # active low
+            for j in range(self.columns)
+        }
+        return ControllerDecision(
+            precharge_on=precharge_on,
+            switching_energy=result.switching_energy,
+            critical_path_delay=result.critical_path_delay,
+        )
+
+    def activation_map(self, lptest: bool, precharge_phase: bool = False,
+                       descending: bool = False) -> List[List[bool]]:
+        """Per-selected-column activation matrix (rows = selected column).
+
+        ``activation_map(True)[j][k]`` tells whether column ``k``'s
+        pre-charge is ON while column ``j`` is selected — the data behind
+        Figure 4.
+        """
+        table: List[List[bool]] = []
+        self.network.reset_state()
+        for selected in range(self.columns):
+            decision = self.evaluate(lptest, selected,
+                                     precharge_phase=precharge_phase,
+                                     descending=descending)
+            table.append([decision.precharge_on[k] for k in range(self.columns)])
+        return table
+
+    def reset(self) -> None:
+        """Forget previous input state (next evaluation books no switching energy)."""
+        self.network.reset_state()

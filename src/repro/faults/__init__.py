@@ -1,0 +1,60 @@
+"""Functional fault models, fault injection, and coverage analysis.
+
+Used to verify — rather than assume — the paper's Section 3 premise: the
+fault detection capability of a March test does not depend on the address
+sequence chosen for ⇑ (Degree Of Freedom 1), which is what legitimises the
+word-line-after-word-line order of the low-power test mode.
+"""
+
+from .models import (
+    CellState,
+    CouplingFault,
+    DataRetentionFault,
+    DeceptiveReadDestructiveFault,
+    DisturbCouplingFault,
+    FaultFree,
+    FaultModel,
+    FaultModelError,
+    IdempotentCouplingFault,
+    IncorrectReadFault,
+    InversionCouplingFault,
+    ReadDestructiveFault,
+    StateCouplingFault,
+    StuckAtFault,
+    StuckOpenFault,
+    TransitionFault,
+    WriteDestructiveFault,
+    coupling_fault_models,
+    single_cell_fault_models,
+)
+from .simulator import (
+    DetectionResult,
+    FaultInjection,
+    FaultSimulationError,
+    FaultSimulator,
+    LogicalMemory,
+)
+from .coverage import (
+    CoverageReport,
+    InvarianceReport,
+    build_fault_list,
+    check_order_invariance,
+    default_fault_locations,
+    neighbour_of,
+    run_coverage,
+)
+
+__all__ = [
+    "CellState", "FaultModel", "FaultModelError", "FaultFree", "CouplingFault",
+    "StuckAtFault", "TransitionFault", "ReadDestructiveFault",
+    "DeceptiveReadDestructiveFault", "IncorrectReadFault", "WriteDestructiveFault",
+    "StuckOpenFault", "DataRetentionFault",
+    "StateCouplingFault", "IdempotentCouplingFault", "InversionCouplingFault",
+    "DisturbCouplingFault",
+    "single_cell_fault_models", "coupling_fault_models",
+    "DetectionResult", "FaultInjection", "FaultSimulationError", "FaultSimulator",
+    "LogicalMemory",
+    "CoverageReport", "InvarianceReport", "build_fault_list",
+    "check_order_invariance", "default_fault_locations", "neighbour_of",
+    "run_coverage",
+]

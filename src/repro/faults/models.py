@@ -1,0 +1,324 @@
+"""Functional fault models for SRAM cells and their couplings.
+
+March tests are fault-oriented: their purpose is to detect the classical
+functional fault models.  The paper leans on the property that the fault
+detection capability of a March test does not depend on the address
+sequence chosen for ⇑ (Degree Of Freedom 1), which is what allows the
+word-line-after-word-line order.  To *verify* that property rather than
+assume it, the repository ships a functional fault simulator; this module
+defines the fault models it injects.
+
+Single-cell (victim-only) faults
+    * stuck-at fault (SAF0 / SAF1)
+    * transition fault (TF↑ / TF↓)
+    * read destructive fault (RDF) and deceptive read destructive fault (DRDF)
+    * incorrect read fault (IRF)
+    * write destructive fault (WDF)
+    * stuck-open / no-access fault (the cell cannot be accessed; reads return
+      the previous value on the data bus)
+    * data retention fault (the cell leaks to a preferred value after enough
+      idle time)
+
+Two-cell coupling faults (aggressor → victim)
+    * state coupling fault (CFst)
+    * idempotent coupling fault (CFid)
+    * inversion coupling fault (CFin)
+    * disturb coupling fault (CFdst) — a read or write of the aggressor
+      disturbs the victim to a fixed value
+
+Every fault model implements small hooks called by the logical fault
+simulator; the fault-free behaviour is a plain stored bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class FaultModelError(Exception):
+    """Raised for ill-formed fault descriptions."""
+
+
+def _check_bit(value: int, what: str) -> int:
+    if value not in (0, 1):
+        raise FaultModelError(f"{what} must be 0 or 1, got {value!r}")
+    return value
+
+
+@dataclass
+class CellState:
+    """Logical state of one (possibly faulty) cell inside the fault simulator."""
+
+    value: Optional[int] = None
+
+
+class FaultModel:
+    """Base class of all fault models.
+
+    The simulator calls the hooks below.  The default implementations are
+    fault-free; concrete fault models override the ones they affect.  All
+    hooks receive and mutate :class:`CellState` so that the same machinery
+    expresses both combinational (read path) and state (storage) defects.
+    """
+
+    #: short mnemonic used in reports (e.g. "SAF0", "CFid<0,w1,/1>")
+    name = "fault"
+    #: True when the fault involves an aggressor cell.
+    is_coupling = False
+
+    # -- single-cell hooks -------------------------------------------------
+    def on_write(self, state: CellState, value: int) -> None:
+        """Apply a functional write of ``value`` to the victim."""
+        state.value = value
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        """Return the value observed by a read of the victim.
+
+        Returning ``None`` means "no cell drives the data bus" (stuck-open
+        access), which the simulator resolves to the previous bus value.
+        """
+        return state.value
+
+    def on_idle(self, state: CellState, idle_cycles: int) -> None:
+        """Model time-dependent effects (data retention) between accesses."""
+
+    # -- coupling hooks ----------------------------------------------------
+    def on_aggressor_write(self, victim: CellState, old_value: Optional[int],
+                           new_value: int) -> None:
+        """Called after every write to the aggressor cell."""
+
+    def on_aggressor_read(self, victim: CellState, aggressor_value: Optional[int]) -> None:
+        """Called after every read of the aggressor cell."""
+
+    def on_aggressor_state(self, victim: CellState, aggressor_value: Optional[int]) -> None:
+        """Called whenever the victim is read/written, given the aggressor state."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FaultFree(FaultModel):
+    """Explicit fault-free behaviour (used as the reference)."""
+
+    name = "fault-free"
+
+
+# ----------------------------------------------------------------------
+# Single-cell faults
+# ----------------------------------------------------------------------
+class StuckAtFault(FaultModel):
+    """SAF: the cell permanently holds ``stuck_value``."""
+
+    def __init__(self, stuck_value: int) -> None:
+        self.stuck_value = _check_bit(stuck_value, "stuck_value")
+        self.name = f"SAF{self.stuck_value}"
+
+    def on_write(self, state: CellState, value: int) -> None:
+        state.value = self.stuck_value
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        state.value = self.stuck_value
+        return self.stuck_value
+
+
+class TransitionFault(FaultModel):
+    """TF: the cell cannot make one of its transitions.
+
+    ``rising=True`` models TF↑ (0→1 fails); ``rising=False`` models TF↓.
+    """
+
+    def __init__(self, rising: bool) -> None:
+        self.rising = rising
+        self.name = "TF_rise" if rising else "TF_fall"
+
+    def on_write(self, state: CellState, value: int) -> None:
+        if self.rising and state.value == 0 and value == 1:
+            return  # the up-transition fails, cell keeps 0
+        if not self.rising and state.value == 1 and value == 0:
+            return  # the down-transition fails, cell keeps 1
+        state.value = value
+
+
+class ReadDestructiveFault(FaultModel):
+    """RDF: a read flips the cell and returns the *flipped* (wrong) value."""
+
+    name = "RDF"
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        if state.value is None:
+            return None
+        state.value = 1 - state.value
+        return state.value
+
+
+class DeceptiveReadDestructiveFault(FaultModel):
+    """DRDF: a read flips the cell but still returns the original value."""
+
+    name = "DRDF"
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        if state.value is None:
+            return None
+        original = state.value
+        state.value = 1 - state.value
+        return original
+
+
+class IncorrectReadFault(FaultModel):
+    """IRF: reads return the complement of the stored value; the cell keeps it."""
+
+    name = "IRF"
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        if state.value is None:
+            return None
+        return 1 - state.value
+
+
+class WriteDestructiveFault(FaultModel):
+    """WDF: a non-transition write (writing the already-stored value) flips the cell."""
+
+    name = "WDF"
+
+    def on_write(self, state: CellState, value: int) -> None:
+        if state.value is not None and state.value == value:
+            state.value = 1 - value
+        else:
+            state.value = value
+
+
+class StuckOpenFault(FaultModel):
+    """SOF: the cell cannot be accessed; reads return the previous bus value."""
+
+    name = "SOF"
+
+    def on_write(self, state: CellState, value: int) -> None:
+        pass  # the write never reaches the cell
+
+    def on_read(self, state: CellState) -> Optional[int]:
+        return None  # nothing drives the bus; simulator uses the previous value
+
+
+class DataRetentionFault(FaultModel):
+    """DRF: after ``retention_cycles`` without access the cell decays to ``leak_to``."""
+
+    def __init__(self, leak_to: int, retention_cycles: int = 1000) -> None:
+        self.leak_to = _check_bit(leak_to, "leak_to")
+        if retention_cycles <= 0:
+            raise FaultModelError("retention_cycles must be positive")
+        self.retention_cycles = retention_cycles
+        self.name = f"DRF->{self.leak_to}"
+
+    def on_idle(self, state: CellState, idle_cycles: int) -> None:
+        if idle_cycles >= self.retention_cycles:
+            state.value = self.leak_to
+
+
+# ----------------------------------------------------------------------
+# Two-cell coupling faults
+# ----------------------------------------------------------------------
+class CouplingFault(FaultModel):
+    """Base class of aggressor/victim coupling faults."""
+
+    is_coupling = True
+
+
+class StateCouplingFault(CouplingFault):
+    """CFst: while the aggressor holds ``aggressor_state`` the victim is forced to ``victim_value``."""
+
+    def __init__(self, aggressor_state: int, victim_value: int) -> None:
+        self.aggressor_state = _check_bit(aggressor_state, "aggressor_state")
+        self.victim_value = _check_bit(victim_value, "victim_value")
+        self.name = f"CFst<{self.aggressor_state};{self.victim_value}>"
+
+    def on_aggressor_state(self, victim: CellState, aggressor_value: Optional[int]) -> None:
+        if aggressor_value == self.aggressor_state:
+            victim.value = self.victim_value
+
+    def on_aggressor_write(self, victim: CellState, old_value: Optional[int],
+                           new_value: int) -> None:
+        if new_value == self.aggressor_state:
+            victim.value = self.victim_value
+
+
+class IdempotentCouplingFault(CouplingFault):
+    """CFid: a given aggressor transition forces the victim to a fixed value.
+
+    ``rising=True`` means the 0→1 aggressor transition is the sensitising
+    operation; the victim is then forced to ``victim_value``.
+    """
+
+    def __init__(self, rising: bool, victim_value: int) -> None:
+        self.rising = rising
+        self.victim_value = _check_bit(victim_value, "victim_value")
+        arrow = "up" if rising else "down"
+        self.name = f"CFid<{arrow};{self.victim_value}>"
+
+    def on_aggressor_write(self, victim: CellState, old_value: Optional[int],
+                           new_value: int) -> None:
+        if old_value is None:
+            return
+        if self.rising and old_value == 0 and new_value == 1:
+            victim.value = self.victim_value
+        if not self.rising and old_value == 1 and new_value == 0:
+            victim.value = self.victim_value
+
+
+class InversionCouplingFault(CouplingFault):
+    """CFin: a given aggressor transition inverts the victim."""
+
+    def __init__(self, rising: bool) -> None:
+        self.rising = rising
+        arrow = "up" if rising else "down"
+        self.name = f"CFin<{arrow}>"
+
+    def on_aggressor_write(self, victim: CellState, old_value: Optional[int],
+                           new_value: int) -> None:
+        if old_value is None or victim.value is None:
+            return
+        if self.rising and old_value == 0 and new_value == 1:
+            victim.value = 1 - victim.value
+        if not self.rising and old_value == 1 and new_value == 0:
+            victim.value = 1 - victim.value
+
+
+class DisturbCouplingFault(CouplingFault):
+    """CFdst: any read of the aggressor disturbs the victim to ``victim_value``."""
+
+    def __init__(self, victim_value: int) -> None:
+        self.victim_value = _check_bit(victim_value, "victim_value")
+        self.name = f"CFdst<r;{self.victim_value}>"
+
+    def on_aggressor_read(self, victim: CellState, aggressor_value: Optional[int]) -> None:
+        victim.value = self.victim_value
+
+
+# ----------------------------------------------------------------------
+# Standard fault lists
+# ----------------------------------------------------------------------
+def single_cell_fault_models() -> Tuple[FaultModel, ...]:
+    """The standard single-cell fault battery used by the coverage benches."""
+    return (
+        StuckAtFault(0),
+        StuckAtFault(1),
+        TransitionFault(rising=True),
+        TransitionFault(rising=False),
+        ReadDestructiveFault(),
+        DeceptiveReadDestructiveFault(),
+        IncorrectReadFault(),
+        WriteDestructiveFault(),
+        StuckOpenFault(),
+    )
+
+
+def coupling_fault_models() -> Tuple[CouplingFault, ...]:
+    """The standard two-cell coupling fault battery."""
+    return (
+        StateCouplingFault(0, 0), StateCouplingFault(0, 1),
+        StateCouplingFault(1, 0), StateCouplingFault(1, 1),
+        IdempotentCouplingFault(True, 0), IdempotentCouplingFault(True, 1),
+        IdempotentCouplingFault(False, 0), IdempotentCouplingFault(False, 1),
+        InversionCouplingFault(True), InversionCouplingFault(False),
+        DisturbCouplingFault(0), DisturbCouplingFault(1),
+    )

@@ -1,0 +1,213 @@
+"""Functional fault simulator for March tests.
+
+The simulator runs a March algorithm against a *logical* memory (values
+only, no electrical model — that keeps full-array fault campaigns fast) with
+one injected fault, and reports whether any read mismatched its expectation.
+It is the tool behind the DOF-1 experiments: the same fault list is
+simulated under different address orders and the detection results must
+agree, which is the property the paper relies on when it fixes the address
+order to "word line after word line".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..march.algorithm import MarchAlgorithm
+from ..march.element import AddressingDirection
+from ..march.execution import walk
+from ..march.ordering import AddressOrder
+from ..sram.geometry import ArrayGeometry
+from .models import CellState, CouplingFault, FaultFree, FaultModel
+
+
+class FaultSimulationError(Exception):
+    """Raised on inconsistent fault injection requests."""
+
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """A fault model placed at a victim cell (and, if coupling, an aggressor)."""
+
+    fault: FaultModel
+    victim: Coordinate
+    aggressor: Optional[Coordinate] = None
+
+    def __post_init__(self) -> None:
+        if self.fault.is_coupling and self.aggressor is None:
+            raise FaultSimulationError(
+                f"{self.fault.describe()} is a coupling fault and needs an aggressor")
+        if not self.fault.is_coupling and self.aggressor is not None:
+            raise FaultSimulationError(
+                f"{self.fault.describe()} is a single-cell fault and takes no aggressor")
+        if self.aggressor is not None and self.aggressor == self.victim:
+            raise FaultSimulationError("aggressor and victim must be different cells")
+
+    def describe(self) -> str:
+        if self.aggressor is None:
+            return f"{self.fault.describe()}@{self.victim}"
+        return f"{self.fault.describe()}@victim{self.victim}/aggressor{self.aggressor}"
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of simulating one injected fault under one March run."""
+
+    injection: FaultInjection
+    algorithm: str
+    order: str
+    detected: bool
+    first_detection_step: Optional[int] = None
+    mismatches: int = 0
+
+    def describe(self) -> str:
+        status = "DETECTED" if self.detected else "missed"
+        return f"{self.injection.describe()}: {status} by {self.algorithm} under {self.order}"
+
+
+class LogicalMemory:
+    """Value-only memory with one injected fault (bit-oriented)."""
+
+    def __init__(self, geometry: ArrayGeometry,
+                 injection: Optional[FaultInjection] = None) -> None:
+        if geometry.bits_per_word != 1:
+            raise FaultSimulationError(
+                "the logical fault simulator models bit-oriented arrays "
+                "(bits_per_word == 1), matching the paper's scope")
+        self.geometry = geometry
+        self.injection = injection
+        self._states: Dict[Coordinate, CellState] = {}
+        self._fault_free = FaultFree()
+        #: last value observed on the data bus (used by stuck-open faults).
+        self._bus_value = 0
+        #: per-cell cycle stamp of the last access (for retention faults).
+        self._last_access: Dict[Coordinate, int] = {}
+        self._cycle = 0
+        if injection is not None:
+            self.geometry.validate_coordinates(*injection.victim)
+            if injection.aggressor is not None:
+                self.geometry.validate_coordinates(*injection.aggressor)
+
+    # ------------------------------------------------------------------
+    def _state(self, coordinate: Coordinate) -> CellState:
+        state = self._states.get(coordinate)
+        if state is None:
+            state = CellState()
+            self._states[coordinate] = state
+        return state
+
+    def _model_for(self, coordinate: Coordinate) -> FaultModel:
+        if self.injection is not None and coordinate == self.injection.victim:
+            return self.injection.fault
+        return self._fault_free
+
+    def _touch(self, coordinate: Coordinate) -> None:
+        # Retention behaviour: how long since this cell was last accessed?
+        if self.injection is not None and coordinate == self.injection.victim:
+            idle = self._cycle - self._last_access.get(coordinate, 0)
+            self.injection.fault.on_idle(self._state(coordinate), idle)
+        self._last_access[coordinate] = self._cycle
+
+    def _apply_coupling_after_aggressor(self, wrote: bool,
+                                        old_value: Optional[int],
+                                        new_value: Optional[int]) -> None:
+        injection = self.injection
+        if injection is None or injection.aggressor is None:
+            return
+        victim_state = self._state(injection.victim)
+        if wrote:
+            assert new_value is not None
+            injection.fault.on_aggressor_write(victim_state, old_value, new_value)
+        else:
+            injection.fault.on_aggressor_read(victim_state, new_value)
+
+    def _apply_coupling_on_victim_access(self) -> None:
+        injection = self.injection
+        if injection is None or injection.aggressor is None:
+            return
+        aggressor_state = self._state(injection.aggressor)
+        injection.fault.on_aggressor_state(self._state(injection.victim),
+                                           aggressor_state.value)
+
+    # ------------------------------------------------------------------
+    def write(self, row: int, column: int, value: int) -> None:
+        coordinate = (row, column)
+        self._cycle += 1
+        self._touch(coordinate)
+        is_aggressor = (self.injection is not None
+                        and self.injection.aggressor == coordinate)
+        if coordinate == (self.injection.victim if self.injection else None):
+            self._apply_coupling_on_victim_access()
+        state = self._state(coordinate)
+        old_value = state.value
+        self._model_for(coordinate).on_write(state, value)
+        self._bus_value = value
+        if is_aggressor:
+            self._apply_coupling_after_aggressor(True, old_value, value)
+
+    def read(self, row: int, column: int) -> int:
+        coordinate = (row, column)
+        self._cycle += 1
+        self._touch(coordinate)
+        is_aggressor = (self.injection is not None
+                        and self.injection.aggressor == coordinate)
+        if self.injection is not None and coordinate == self.injection.victim:
+            self._apply_coupling_on_victim_access()
+        state = self._state(coordinate)
+        observed = self._model_for(coordinate).on_read(state)
+        if observed is None:
+            observed = self._bus_value
+        self._bus_value = observed
+        if is_aggressor:
+            self._apply_coupling_after_aggressor(False, None, state.value)
+        return observed
+
+    def peek(self, row: int, column: int) -> Optional[int]:
+        return self._state((row, column)).value
+
+
+class FaultSimulator:
+    """Run March algorithms against injected faults and report detection."""
+
+    def __init__(self, geometry: ArrayGeometry,
+                 any_direction: AddressingDirection = AddressingDirection.UP) -> None:
+        self.geometry = geometry
+        self.any_direction = any_direction
+
+    # ------------------------------------------------------------------
+    def simulate(self, algorithm: MarchAlgorithm, order: AddressOrder,
+                 injection: Optional[FaultInjection]) -> DetectionResult:
+        """Simulate one injected fault (or the fault-free memory) under one run."""
+        memory = LogicalMemory(self.geometry, injection)
+        mismatches = 0
+        first: Optional[int] = None
+        for step in walk(algorithm, order, self.any_direction):
+            if step.is_write:
+                memory.write(step.row, step.word, step.operation.value)
+                continue
+            observed = memory.read(step.row, step.word)
+            if observed != step.operation.value:
+                mismatches += 1
+                if first is None:
+                    first = step.index
+        return DetectionResult(
+            injection=injection if injection is not None else FaultInjection(
+                fault=FaultFree(), victim=(0, 0)),
+            algorithm=algorithm.name,
+            order=order.name,
+            detected=mismatches > 0,
+            first_detection_step=first,
+            mismatches=mismatches,
+        )
+
+    def simulate_many(self, algorithm: MarchAlgorithm, order: AddressOrder,
+                      injections: Iterable[FaultInjection]) -> List[DetectionResult]:
+        return [self.simulate(algorithm, order, injection) for injection in injections]
+
+    def fault_free_passes(self, algorithm: MarchAlgorithm, order: AddressOrder) -> bool:
+        """Sanity check: the fault-free memory must never flag a mismatch."""
+        return not self.simulate(algorithm, order, None).mismatches

@@ -1,0 +1,82 @@
+"""March test substrate: notation, algorithms, address orders, execution.
+
+The paper's contribution relies on a property of March tests (the first
+degree of freedom: the address sequence is free), so the repository ships a
+complete March toolkit: operation/element/algorithm types, a notation
+parser, the classical algorithm library including the five tests of the
+paper's Table 1, the address orders that exercise DOF 1, and the execution
+walker that expands a test into the primitive access stream consumed by the
+fault simulator and the power session.
+"""
+
+from .operations import MarchOperation, MarchSyntaxError, OperationKind, R0, R1, W0, W1
+from .element import AddressingDirection, MarchElement
+from .algorithm import MarchAlgorithm, MarchValidationError
+from .parser import ParseResult, parse_march, parse_march_detailed, round_trip
+from .library import (
+    ALGORITHM_LIBRARY,
+    MARCH_A,
+    MARCH_B,
+    MARCH_C,
+    MARCH_CM,
+    MARCH_G,
+    MARCH_LR,
+    MARCH_SR,
+    MARCH_SS,
+    MARCH_U,
+    MARCH_X,
+    MARCH_Y,
+    MATS,
+    MATS_PLUS,
+    MATS_PLUS_PLUS,
+    PAPER_TABLE1_ALGORITHMS,
+    PMOVI,
+    all_algorithms,
+    get_algorithm,
+)
+from .ordering import (
+    AddressComplementOrder,
+    AddressOrder,
+    ColumnMajorOrder,
+    ORDER_REGISTRY,
+    OrderingError,
+    PseudoRandomOrder,
+    RowMajorOrder,
+    RowMajorSnakeOrder,
+    make_order,
+    verify_is_permutation,
+)
+from .execution import (
+    AccessStep,
+    count_steps,
+    element_coordinates,
+    resolve_direction,
+    row_transition_count,
+    walk,
+)
+from .dof import (
+    AddressSequenceChoice,
+    DegreeOfFreedom,
+    all_degrees,
+    complement_data,
+    coverage_equivalence_orders,
+    paper_choice,
+)
+
+__all__ = [
+    "MarchOperation", "MarchSyntaxError", "OperationKind", "R0", "R1", "W0", "W1",
+    "AddressingDirection", "MarchElement",
+    "MarchAlgorithm", "MarchValidationError",
+    "ParseResult", "parse_march", "parse_march_detailed", "round_trip",
+    "ALGORITHM_LIBRARY", "PAPER_TABLE1_ALGORITHMS", "all_algorithms", "get_algorithm",
+    "MARCH_A", "MARCH_B", "MARCH_C", "MARCH_CM", "MARCH_G", "MARCH_LR", "MARCH_SR",
+    "MARCH_SS", "MARCH_U", "MARCH_X", "MARCH_Y", "MATS", "MATS_PLUS",
+    "MATS_PLUS_PLUS", "PMOVI",
+    "AddressOrder", "RowMajorOrder", "ColumnMajorOrder", "PseudoRandomOrder",
+    "AddressComplementOrder", "RowMajorSnakeOrder", "ORDER_REGISTRY", "OrderingError",
+    "make_order", "verify_is_permutation",
+    "AccessStep", "walk", "count_steps", "element_coordinates", "resolve_direction",
+    "row_transition_count",
+    "AddressSequenceChoice", "DegreeOfFreedom", "all_degrees", "complement_data",
+    "coverage_equivalence_orders", "paper_choice",
+]

@@ -1,0 +1,117 @@
+"""Degrees of freedom (DOF) of March tests.
+
+March tests are defined up to a number of free choices that do not affect
+their fault detection properties for the classical fault models.  The paper
+builds on the *first* degree of freedom, which it states as:
+
+    "any arbitrary address sequence can be defined as an ⇑ sequence, as long
+    as all addresses occur exactly once (⇓ is the reverse of ⇑)".
+
+This module names the degrees of freedom, provides transformation helpers
+that exercise them (used by the fault-coverage invariance experiments), and
+offers a convenience that applies the paper's specific choice — the
+word-line-after-word-line order — to any algorithm/geometry pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, List, Sequence, Tuple
+
+from ..sram.geometry import ArrayGeometry
+from .algorithm import MarchAlgorithm
+from .element import AddressingDirection
+from .ordering import (
+    AddressOrder,
+    ColumnMajorOrder,
+    PseudoRandomOrder,
+    RowMajorOrder,
+)
+
+
+class DegreeOfFreedom(Enum):
+    """The degrees of freedom of March tests (after van de Goor / Niggemeyer)."""
+
+    #: DOF 1 — the one the paper exploits: the ⇑ address sequence is an
+    #: arbitrary permutation of the address space; ⇓ is its exact reverse.
+    ADDRESS_SEQUENCE = 1
+    #: DOF 2 — elements marked ⇕ may be run in either direction.
+    ANY_DIRECTION_RESOLUTION = 2
+    #: DOF 3 — the data background may be complemented throughout
+    #: (0 ↔ 1 in every operation).
+    DATA_BACKGROUND = 3
+    #: DOF 4 — the mapping between logical and physical data (per-column
+    #: true/complement scrambling) is free.
+    DATA_SCRAMBLING = 4
+    #: DOF 5 — the mapping between logical and physical addresses (address
+    #: scrambling) is free.
+    ADDRESS_SCRAMBLING = 5
+    #: DOF 6 — the test may be applied to any sub-range / partition of the
+    #: address space independently (e.g. per bank), provided each partition
+    #: sees the complete element sequence.
+    PARTITIONING = 6
+
+    def summary(self) -> str:
+        return _DOF_SUMMARIES[self]
+
+
+_DOF_SUMMARIES = {
+    DegreeOfFreedom.ADDRESS_SEQUENCE:
+        "Any permutation of the addresses may serve as the ⇑ sequence; "
+        "⇓ is its exact reverse.  Fault coverage of classical March targets "
+        "is unchanged.  The paper picks 'word line after word line'.",
+    DegreeOfFreedom.ANY_DIRECTION_RESOLUTION:
+        "Elements marked ⇕ may be executed in ascending or descending order.",
+    DegreeOfFreedom.DATA_BACKGROUND:
+        "All data values may be complemented simultaneously (0 ↔ 1).",
+    DegreeOfFreedom.DATA_SCRAMBLING:
+        "Logical-to-physical data mapping (column true/complement) is free.",
+    DegreeOfFreedom.ADDRESS_SCRAMBLING:
+        "Logical-to-physical address mapping is free (topological scrambling).",
+    DegreeOfFreedom.PARTITIONING:
+        "The address space may be partitioned and tested per partition.",
+}
+
+
+@dataclass(frozen=True)
+class AddressSequenceChoice:
+    """A concrete exercise of DOF 1: an algorithm plus a chosen order."""
+
+    algorithm: MarchAlgorithm
+    order: AddressOrder
+    any_direction: AddressingDirection = AddressingDirection.UP
+
+    def describe(self) -> str:
+        return (f"{self.algorithm.name} with ⇑ := {self.order.name} "
+                f"(⇕ resolved {self.any_direction.value})")
+
+
+def paper_choice(algorithm: MarchAlgorithm,
+                 geometry: ArrayGeometry) -> AddressSequenceChoice:
+    """The paper's exercise of DOF 1: word-line-after-word-line ascending."""
+    return AddressSequenceChoice(algorithm=algorithm,
+                                 order=RowMajorOrder(geometry),
+                                 any_direction=AddressingDirection.UP)
+
+
+def coverage_equivalence_orders(geometry: ArrayGeometry,
+                                seeds: Sequence[int] = (2006,)) -> List[AddressOrder]:
+    """A representative set of DOF-1 choices for coverage-invariance checks.
+
+    Returns the word-line order (the paper's choice), the fast-row order and
+    one pseudo-random permutation per seed; the fault simulator verifies
+    that detection results agree across all of them.
+    """
+    orders: List[AddressOrder] = [RowMajorOrder(geometry), ColumnMajorOrder(geometry)]
+    orders.extend(PseudoRandomOrder(geometry, seed=seed) for seed in seeds)
+    return orders
+
+
+def complement_data(algorithm: MarchAlgorithm) -> MarchAlgorithm:
+    """Exercise DOF 3: complement every data value of the algorithm."""
+    return algorithm.with_inverted_data()
+
+
+def all_degrees() -> List[DegreeOfFreedom]:
+    return list(DegreeOfFreedom)

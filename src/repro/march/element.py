@@ -1,0 +1,107 @@
+"""March elements: an addressing direction plus a sequence of operations.
+
+A March element such as ``⇑(r0,w1)`` applies its operations, in order, to
+every address of the memory, visiting the addresses in the direction given
+by its arrow: ``⇑`` (ascending), ``⇓`` (descending — the exact reverse of
+``⇑``), or ``⇕`` (either direction is acceptable).  Which concrete sequence
+"ascending" means is a degree of freedom of March tests (DOF 1 in the
+paper's terminology) — that choice lives in
+:mod:`repro.march.ordering`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Tuple
+
+from .operations import MarchOperation, MarchSyntaxError
+
+
+class AddressingDirection(Enum):
+    """Direction arrow of a March element."""
+
+    UP = "up"        # ⇑ : the chosen ascending sequence
+    DOWN = "down"    # ⇓ : the exact reverse of the ascending sequence
+    ANY = "any"      # ⇕ : either direction may be used
+
+    @property
+    def arrow(self) -> str:
+        return {"up": "⇑", "down": "⇓", "any": "⇕"}[self.value]
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "AddressingDirection":
+        """Parse an arrow or its ASCII fallback (``u``/``d``/``b`` or ``^``/``v``/``*``)."""
+        token = symbol.strip().lower()
+        mapping = {
+            "⇑": cls.UP, "↑": cls.UP, "u": cls.UP, "^": cls.UP,
+            "⇓": cls.DOWN, "↓": cls.DOWN, "d": cls.DOWN, "v": cls.DOWN,
+            "⇕": cls.ANY, "↕": cls.ANY, "b": cls.ANY, "*": cls.ANY,
+        }
+        if token not in mapping:
+            raise MarchSyntaxError(f"unknown addressing direction symbol {symbol!r}")
+        return mapping[token]
+
+
+@dataclass(frozen=True)
+class MarchElement:
+    """One March element: a direction and a non-empty operation tuple."""
+
+    direction: AddressingDirection
+    operations: Tuple[MarchOperation, ...]
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise MarchSyntaxError("a March element needs at least one operation")
+
+    # ------------------------------------------------------------------
+    @property
+    def operation_count(self) -> int:
+        return len(self.operations)
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for op in self.operations if op.is_read)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for op in self.operations if op.is_write)
+
+    @property
+    def is_initialising(self) -> bool:
+        """True when the element only writes (a background-setting element)."""
+        return all(op.is_write for op in self.operations)
+
+    def final_written_value(self) -> int | None:
+        """Value left in every visited cell after this element, if any write occurs."""
+        for op in reversed(self.operations):
+            if op.is_write:
+                return op.value
+        return None
+
+    # ------------------------------------------------------------------
+    def inverted_data(self) -> "MarchElement":
+        """The same element with every data value complemented."""
+        return MarchElement(self.direction,
+                            tuple(op.inverted() for op in self.operations))
+
+    def with_direction(self, direction: AddressingDirection) -> "MarchElement":
+        """Copy of this element with a different direction arrow."""
+        return MarchElement(direction, self.operations)
+
+    # ------------------------------------------------------------------
+    def to_notation(self, ascii_only: bool = False) -> str:
+        arrow = {"up": "u", "down": "d", "any": "b"}[self.direction.value] if ascii_only \
+            else self.direction.arrow
+        ops = ",".join(op.to_notation() for op in self.operations)
+        return f"{arrow}({ops})"
+
+    @classmethod
+    def from_parts(cls, direction_symbol: str,
+                   operation_tokens: Iterable[str]) -> "MarchElement":
+        direction = AddressingDirection.from_symbol(direction_symbol)
+        operations = tuple(MarchOperation.from_notation(tok) for tok in operation_tokens)
+        return cls(direction, operations)
+
+    def __str__(self) -> str:
+        return self.to_notation()

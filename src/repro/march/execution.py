@@ -1,0 +1,152 @@
+"""Execution walker: expand a March algorithm over an address order.
+
+Both the fault simulator and the power/test session need the same thing: a
+stream of primitive accesses (element by element, address by address,
+operation by operation), each tagged with enough context for the low-power
+pre-charge controller to do its job — in particular which access is the last
+one on its row before the traversal moves to a different row (that is where
+the paper's one-cycle full restoration goes) and what the next address will
+be (that is the column whose pre-charge must be kept on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .algorithm import MarchAlgorithm
+from .element import AddressingDirection, MarchElement
+from .operations import MarchOperation
+from .ordering import AddressOrder
+
+
+@dataclass(frozen=True)
+class AccessStep:
+    """One primitive access of a March test run."""
+
+    #: global clock-cycle index of this access within the test.
+    index: int
+    element_index: int
+    operation_index: int
+    row: int
+    word: int
+    operation: MarchOperation
+    #: concrete traversal direction of the element this access belongs to
+    #: (``⇕`` elements are resolved to the walker's ``any_direction``).
+    direction: AddressingDirection
+    #: coordinates of the next access of the whole test (None for the last).
+    next_row: Optional[int]
+    next_word: Optional[int]
+    #: True when this is the last access performed on this row before the
+    #: traversal moves to a different row (or the test ends): the low-power
+    #: test mode restores all bit lines during this cycle.
+    last_access_on_row: bool
+    #: True for the very first access of an element (useful for logging).
+    first_of_element: bool
+    #: True for the very last access of the whole test.
+    last_of_test: bool
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation.is_write
+
+
+def resolve_direction(element: MarchElement,
+                      any_direction: AddressingDirection = AddressingDirection.UP
+                      ) -> AddressingDirection:
+    """Resolve a ``⇕`` element to a concrete traversal direction (DOF 2)."""
+    if element.direction is AddressingDirection.ANY:
+        if any_direction is AddressingDirection.ANY:
+            raise ValueError("any_direction must be a concrete direction")
+        return any_direction
+    return element.direction
+
+
+def element_coordinates(element: MarchElement, order: AddressOrder,
+                        any_direction: AddressingDirection = AddressingDirection.UP
+                        ) -> Iterator[Tuple[int, int]]:
+    """The (row, word) sequence an element visits under ``order``."""
+    direction = resolve_direction(element, any_direction)
+    if direction is AddressingDirection.UP:
+        return order.ascending()
+    return order.descending()
+
+
+def walk(algorithm: MarchAlgorithm, order: AddressOrder,
+         any_direction: AddressingDirection = AddressingDirection.UP
+         ) -> Iterator[AccessStep]:
+    """Yield every primitive access of ``algorithm`` under ``order``.
+
+    The walker materialises one element's coordinate list at a time (the
+    full address space), which keeps memory bounded to one list of
+    ``word_count`` tuples while still allowing one-step lookahead across
+    element boundaries.
+    """
+    index = 0
+    elements = list(algorithm.elements)
+    # Pre-compute, for lookahead across element boundaries, the first
+    # coordinate of each element.
+    first_coordinates: List[Optional[Tuple[int, int]]] = []
+    for element in elements:
+        coords = element_coordinates(element, order, any_direction)
+        first_coordinates.append(next(iter(coords), None))
+
+    for element_index, element in enumerate(elements):
+        coordinates = list(element_coordinates(element, order, any_direction))
+        operations = element.operations
+        direction = resolve_direction(element, any_direction)
+        for coord_index, (row, word) in enumerate(coordinates):
+            is_last_coord = coord_index == len(coordinates) - 1
+            if not is_last_coord:
+                following_coord: Optional[Tuple[int, int]] = coordinates[coord_index + 1]
+            elif element_index + 1 < len(elements):
+                following_coord = first_coordinates[element_index + 1]
+            else:
+                following_coord = None
+            for op_index, operation in enumerate(operations):
+                is_last_op_here = op_index == len(operations) - 1
+                if not is_last_op_here:
+                    next_row, next_word = row, word
+                elif following_coord is not None:
+                    next_row, next_word = following_coord
+                else:
+                    next_row, next_word = None, None
+                last_of_test = next_row is None
+                last_on_row = is_last_op_here and (next_row != row or last_of_test)
+                yield AccessStep(
+                    index=index,
+                    element_index=element_index,
+                    operation_index=op_index,
+                    row=row,
+                    word=word,
+                    operation=operation,
+                    direction=direction,
+                    next_row=next_row,
+                    next_word=next_word,
+                    last_access_on_row=last_on_row,
+                    first_of_element=(coord_index == 0 and op_index == 0),
+                    last_of_test=last_of_test,
+                )
+                index += 1
+
+
+def count_steps(algorithm: MarchAlgorithm, order: AddressOrder) -> int:
+    """Total number of primitive accesses of a run (no walking required)."""
+    return algorithm.operation_count * len(order)
+
+
+def row_transition_count(algorithm: MarchAlgorithm, order: AddressOrder,
+                         any_direction: AddressingDirection = AddressingDirection.UP
+                         ) -> int:
+    """How many accesses are flagged ``last_access_on_row`` over a full run.
+
+    For a word-line-sequential order this equals ``#elements * #rows`` (plus
+    nothing for the final access, which is also counted); it is the
+    frequency driver of the paper's P_B term.
+    """
+    return sum(1 for step in walk(algorithm, order, any_direction)
+               if step.last_access_on_row)

@@ -1,0 +1,84 @@
+"""Primitive March operations (r0, r1, w0, w1).
+
+March notation builds tests from per-address operations: write a value
+(``w0``/``w1``) or read and compare against an expected value
+(``r0``/``r1``).  This module provides the operation value type shared by
+the notation parser, the algorithm library, the fault simulator and the
+power/test session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class MarchSyntaxError(Exception):
+    """Raised when March notation cannot be parsed."""
+
+
+class OperationKind(Enum):
+    """Type of a primitive March operation."""
+
+    READ = "r"
+    WRITE = "w"
+
+
+@dataclass(frozen=True)
+class MarchOperation:
+    """One primitive operation applied to the currently addressed cell.
+
+    ``value`` is the written value for a write, and the *expected* read
+    value for a read (March reads always carry an expectation; a mismatch is
+    a fault detection).
+    """
+
+    kind: OperationKind
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise MarchSyntaxError(f"operation value must be 0 or 1, got {self.value!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        return self.kind is OperationKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is OperationKind.WRITE
+
+    def inverted(self) -> "MarchOperation":
+        """The same operation on the complemented data value."""
+        return MarchOperation(self.kind, 1 - self.value)
+
+    # ------------------------------------------------------------------
+    def to_notation(self) -> str:
+        return f"{self.kind.value}{self.value}"
+
+    @classmethod
+    def from_notation(cls, text: str) -> "MarchOperation":
+        """Parse ``'r0'``, ``'r1'``, ``'w0'`` or ``'w1'`` (case-insensitive)."""
+        token = text.strip().lower()
+        if len(token) != 2:
+            raise MarchSyntaxError(f"malformed operation token {text!r}")
+        kind_char, value_char = token[0], token[1]
+        if kind_char not in ("r", "w"):
+            raise MarchSyntaxError(
+                f"operation must start with 'r' or 'w', got {text!r}")
+        if value_char not in ("0", "1"):
+            raise MarchSyntaxError(
+                f"operation value must be 0 or 1, got {text!r}")
+        kind = OperationKind.READ if kind_char == "r" else OperationKind.WRITE
+        return cls(kind, int(value_char))
+
+    def __str__(self) -> str:
+        return self.to_notation()
+
+
+# Convenience singletons used heavily by the algorithm library.
+R0 = MarchOperation(OperationKind.READ, 0)
+R1 = MarchOperation(OperationKind.READ, 1)
+W0 = MarchOperation(OperationKind.WRITE, 0)
+W1 = MarchOperation(OperationKind.WRITE, 1)

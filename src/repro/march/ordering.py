@@ -1,0 +1,208 @@
+"""Address orders — the first degree of freedom of March tests.
+
+March notation only requires that the ``⇓`` sequence be the exact reverse of
+the ``⇑`` sequence; *which* permutation of the address space ``⇑`` denotes
+is free (the paper's Degree Of Freedom #1), and fault coverage does not
+depend on the choice for the classical fault models.  The paper exploits
+this freedom by picking the "word line after word line" order, which makes
+the next column to be accessed predictable and lets all other pre-charge
+circuits be switched off.
+
+An :class:`AddressOrder` maps a logical position ``0 .. N-1`` in the chosen
+sequence to an ``(row, word)`` coordinate of the array.  All orders are
+permutations of the full address space; descending traversal is always the
+exact reverse of ascending traversal, as DOF 1 requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from ..sram.geometry import ArrayGeometry
+
+
+class OrderingError(Exception):
+    """Raised for malformed address orders."""
+
+
+Coordinate = Tuple[int, int]
+
+
+class AddressOrder:
+    """Base class: a named permutation of the array's word addresses."""
+
+    name = "abstract"
+
+    def __init__(self, geometry: ArrayGeometry) -> None:
+        self.geometry = geometry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.geometry.word_count
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        """(row, word) visited at ``position`` of the ascending sequence."""
+        raise NotImplementedError
+
+    def ascending(self) -> Iterator[Coordinate]:
+        for position in range(len(self)):
+            yield self.coordinate_at(position)
+
+    def descending(self) -> Iterator[Coordinate]:
+        """Exact reverse of :meth:`ascending` (the DOF-1 requirement)."""
+        for position in reversed(range(len(self))):
+            yield self.coordinate_at(position)
+
+    def sequence(self, ascending: bool = True) -> List[Coordinate]:
+        return list(self.ascending() if ascending else self.descending())
+
+    # ------------------------------------------------------------------
+    def is_wordline_sequential(self) -> bool:
+        """True when consecutive positions stay on a row until it is exhausted.
+
+        This is the property the low-power test mode needs: the next access
+        is either the next word of the same row or the first word of an
+        adjacent traversal step, so only the selected column and its
+        successor require pre-charge.
+        """
+        previous_row: int | None = None
+        seen_rows: set[int] = set()
+        for row, _ in self.ascending():
+            if row != previous_row:
+                if row in seen_rows:
+                    return False
+                seen_rows.add(row)
+                previous_row = row
+        return True
+
+    def describe(self) -> str:
+        return f"{self.name} order on {self.geometry.describe()}"
+
+
+class RowMajorOrder(AddressOrder):
+    """'Word line after word line' — the order the paper's test mode requires.
+
+    Words are visited column by column within a row, rows in ascending
+    index order.
+    """
+
+    name = "row-major (word line after word line)"
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        if not 0 <= position < len(self):
+            raise OrderingError(f"position {position} out of range [0, {len(self)})")
+        return self.geometry.coordinates_of(position)
+
+
+class ColumnMajorOrder(AddressOrder):
+    """Fast-row order: all rows of a column before moving to the next column.
+
+    This is the typical functional-BIST "fast row" order; it maximises
+    pre-charge activity and serves as the contrast case in the DOF-1
+    coverage experiments.
+    """
+
+    name = "column-major (fast row)"
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        if not 0 <= position < len(self):
+            raise OrderingError(f"position {position} out of range [0, {len(self)})")
+        word, row = divmod(position, self.geometry.rows)
+        return (row, word)
+
+
+class PseudoRandomOrder(AddressOrder):
+    """A fixed pseudo-random permutation of the address space.
+
+    Used to demonstrate that fault coverage is independent of the address
+    sequence (DOF 1) even for an arbitrary permutation; it is of course the
+    worst case for pre-charge predictability.
+    """
+
+    name = "pseudo-random permutation"
+
+    def __init__(self, geometry: ArrayGeometry, seed: int = 2006) -> None:
+        super().__init__(geometry)
+        self.seed = seed
+        rng = random.Random(seed)
+        self._permutation = list(range(geometry.word_count))
+        rng.shuffle(self._permutation)
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        if not 0 <= position < len(self):
+            raise OrderingError(f"position {position} out of range [0, {len(self)})")
+        return self.geometry.coordinates_of(self._permutation[position])
+
+
+class AddressComplementOrder(AddressOrder):
+    """Address-complement order (2^i jumps), common in decoder-delay testing.
+
+    Each pair of consecutive accesses toggles all address bits, producing
+    maximal address-bus activity; useful as a high-stress contrast case in
+    the power ablations.
+    """
+
+    name = "address complement"
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        if not 0 <= position < len(self):
+            raise OrderingError(f"position {position} out of range [0, {len(self)})")
+        base = position // 2
+        count = len(self)
+        if position % 2 == 0:
+            address = base
+        else:
+            address = (count - 1) - base
+        return self.geometry.coordinates_of(address)
+
+
+class RowMajorSnakeOrder(AddressOrder):
+    """Row-major order with alternating column direction on each row.
+
+    Still word-line sequential (so still compatible with the low-power test
+    mode's 'only the neighbouring column needs pre-charge' argument, with
+    the neighbour alternating side), included as an extension/ablation.
+    """
+
+    name = "row-major snake"
+
+    def coordinate_at(self, position: int) -> Coordinate:
+        if not 0 <= position < len(self):
+            raise OrderingError(f"position {position} out of range [0, {len(self)})")
+        words_per_row = self.geometry.words_per_row
+        row, offset = divmod(position, words_per_row)
+        if row % 2 == 1:
+            offset = words_per_row - 1 - offset
+        return (row, offset)
+
+
+#: Registry of the named orders, for CLI-style lookups in benches/examples.
+ORDER_REGISTRY = {
+    "row-major": RowMajorOrder,
+    "wordline": RowMajorOrder,
+    "column-major": ColumnMajorOrder,
+    "fast-row": ColumnMajorOrder,
+    "pseudo-random": PseudoRandomOrder,
+    "address-complement": AddressComplementOrder,
+    "snake": RowMajorSnakeOrder,
+}
+
+
+def make_order(name: str, geometry: ArrayGeometry, **kwargs) -> AddressOrder:
+    """Instantiate a registered order by name."""
+    key = name.strip().lower()
+    if key not in ORDER_REGISTRY:
+        raise OrderingError(
+            f"unknown address order {name!r}; available: {sorted(ORDER_REGISTRY)}")
+    return ORDER_REGISTRY[key](geometry, **kwargs)
+
+
+def verify_is_permutation(order: AddressOrder) -> bool:
+    """Check that the order visits every (row, word) exactly once."""
+    seen = set()
+    for coordinate in order.ascending():
+        if coordinate in seen:
+            return False
+        seen.add(coordinate)
+    return len(seen) == order.geometry.word_count

@@ -1,0 +1,83 @@
+"""Parser for March notation strings.
+
+Accepts the usual textbook notation with Unicode arrows as well as an ASCII
+fallback::
+
+    {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}
+    {b(w0); u(r0,w1); u(r1,w0); d(r0,w1); d(r1,w0); b(r0)}
+
+Braces are optional; elements are separated by ``;``.  Delay/pause markers
+(``Del``) that some algorithms (e.g. March G) insert for data-retention
+testing are accepted and ignored with a warning flag, since they do not
+contribute operations, reads or writes to the paper's Table 1 statistics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .algorithm import MarchAlgorithm
+from .element import MarchElement
+from .operations import MarchSyntaxError
+
+_ELEMENT_RE = re.compile(
+    r"^(?P<dir>[⇑⇓⇕↑↓↕uvdb^*])\s*\(\s*(?P<ops>[^()]*)\s*\)$",
+    re.IGNORECASE,
+)
+_DELAY_RE = re.compile(r"^(del|delay|pause)$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class ParseResult:
+    """Outcome of parsing a March notation string."""
+
+    algorithm: MarchAlgorithm
+    ignored_delays: int
+
+
+def parse_march(notation: str, name: str = "custom",
+                description: str = "") -> MarchAlgorithm:
+    """Parse ``notation`` into a :class:`MarchAlgorithm` (delays dropped)."""
+    return parse_march_detailed(notation, name=name, description=description).algorithm
+
+
+def parse_march_detailed(notation: str, name: str = "custom",
+                         description: str = "") -> ParseResult:
+    """Parse ``notation`` and also report how many delay markers were dropped."""
+    text = notation.strip()
+    if not text:
+        raise MarchSyntaxError("empty March notation")
+    if text.startswith("{"):
+        if not text.endswith("}"):
+            raise MarchSyntaxError("unbalanced braces in March notation")
+        text = text[1:-1]
+    elements: List[MarchElement] = []
+    ignored = 0
+    for raw_chunk in text.split(";"):
+        chunk = raw_chunk.strip()
+        if not chunk:
+            continue
+        if _DELAY_RE.match(chunk):
+            ignored += 1
+            continue
+        match = _ELEMENT_RE.match(chunk)
+        if not match:
+            raise MarchSyntaxError(f"cannot parse March element {chunk!r}")
+        ops_text = match.group("ops").strip()
+        if not ops_text:
+            raise MarchSyntaxError(f"March element {chunk!r} has no operations")
+        tokens = [tok for tok in re.split(r"[,\s]+", ops_text) if tok]
+        elements.append(MarchElement.from_parts(match.group("dir"), tokens))
+    if not elements:
+        raise MarchSyntaxError("March notation contains no elements")
+    algorithm = MarchAlgorithm(name=name, elements=tuple(elements),
+                               description=description)
+    return ParseResult(algorithm=algorithm, ignored_delays=ignored)
+
+
+def round_trip(algorithm: MarchAlgorithm) -> MarchAlgorithm:
+    """Parse an algorithm's own notation back (used by property tests)."""
+    return parse_march(algorithm.to_notation(), name=algorithm.name,
+                       description=algorithm.description)

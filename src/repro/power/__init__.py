@@ -1,0 +1,26 @@
+"""Power modelling: per-event energies, sources, and cycle-accurate accounting.
+
+* :mod:`repro.power.sources` — the Section-5 power source categories;
+* :mod:`repro.power.accounting` — the energy ledger every simulation run
+  books its supply energy into;
+* :mod:`repro.power.model` — the closed-form per-event model (P_r, P_w,
+  P_A, P_B) that feeds the analytical PRR equations and cross-checks the
+  behavioural measurements.
+"""
+
+from .sources import OVERHEAD_SOURCES, PowerSource, SAVINGS_TARGET_SOURCES
+from .accounting import (
+    AccountingError,
+    EnergyEvent,
+    EnergyLedger,
+    LedgerSummary,
+    SourceBreakdown,
+)
+from .model import OperationEnergies, PowerModel
+
+__all__ = [
+    "PowerSource", "SAVINGS_TARGET_SOURCES", "OVERHEAD_SOURCES",
+    "AccountingError", "EnergyEvent", "EnergyLedger", "LedgerSummary",
+    "SourceBreakdown",
+    "OperationEnergies", "PowerModel",
+]

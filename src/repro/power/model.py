@@ -1,0 +1,178 @@
+"""Closed-form per-event power model (the paper's P_r, P_w, P_A, P_B).
+
+Section 5 of the paper expresses the functional-mode and low-power-test-mode
+average powers with four per-event quantities:
+
+* ``P_r`` — memory power of one read operation,
+* ``P_w`` — memory power of one write operation,
+* ``P_A`` — power of one pre-charge circuit sustaining a RES for one cycle,
+* ``P_B`` — power of restoring one column's bit lines at a row transition.
+
+The behavioural memory measures these implicitly; this module derives the
+same quantities in closed form from the technology description and the
+array geometry, so that the analytical PRR model of :mod:`repro.core.prr`
+can be evaluated for arbitrary array sizes (including the paper's full
+512 x 512 array) without running a multi-million-cycle simulation, and so
+the two paths can be cross-checked against each other in the test-suite.
+
+All quantities are reported as *energy per clock cycle* (joules); the
+corresponding average power is obtained by dividing by the clock period.
+The paper's equations are ratios, so the distinction does not affect PRR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..circuit.technology import TechnologyParameters, default_technology
+from ..sram.geometry import ArrayGeometry
+from ..sram.timing import ClockCycle
+
+
+@dataclass(frozen=True)
+class OperationEnergies:
+    """Per-event energies (joules per clock cycle / per event)."""
+
+    read: float                    # P_r  (energy of one read cycle, selected column side)
+    write: float                   # P_w  (energy of one write cycle, selected column side)
+    res_per_column: float          # P_A  (one unselected pre-charged column, one cycle)
+    restore_per_column: float      # P_B  (one column restored at a row transition, average)
+    lptest_line: float             # energy of one LPtest line transition
+    control_element: float         # energy of one added control element switching
+    cell_res: float                # cell-side energy of one full RES (three orders below P_A)
+    leakage_per_cycle: float       # whole-array leakage energy per cycle
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "P_r": self.read,
+            "P_w": self.write,
+            "P_A": self.res_per_column,
+            "P_B": self.restore_per_column,
+            "lptest_line": self.lptest_line,
+            "control_element": self.control_element,
+            "cell_res": self.cell_res,
+            "leakage_per_cycle": self.leakage_per_cycle,
+        }
+
+
+class PowerModel:
+    """Closed-form per-event energy model for a given geometry/technology."""
+
+    #: Fraction of VDD developed on a bit line during a read (matches
+    #: :meth:`repro.sram.bitline.BitLinePair.develop_read_differential`).
+    READ_SWING_FRACTION = 0.5
+    #: Sense amplifier internal capacitance (matches the periphery model).
+    SENSE_CAP = 12e-15
+    #: Write driver internal capacitance (matches the periphery model).
+    WRITE_DRIVER_CAP = 8e-15
+    #: Crowbar factor of the write driver (matches the periphery model).
+    WRITE_CROWBAR_FACTOR = 0.1
+    #: Decoder gate load per address bit (matches the periphery model).
+    DECODER_CAP_PER_BIT = 4 * 2.0e-15
+    #: Extra column-mux load per selected column (matches the periphery model).
+    COLUMN_MUX_CAP = 3.0e-15
+    #: Fraction of the array's bit lines that have been discharged by the
+    #: unselected cells when the row-transition restoration fires (the paper:
+    #: "about 50 % of all the bit lines in the array", since the cells on a
+    #: row discharge one line of each floating pair).
+    ROW_TRANSITION_DISCHARGED_FRACTION = 0.5
+    #: Ratio between cell-side and pre-charge-side RES energy (paper: three
+    #: orders of magnitude).
+    CELL_RES_RATIO = 1.0e-3
+
+    def __init__(self, geometry: ArrayGeometry,
+                 tech: TechnologyParameters | None = None) -> None:
+        self.geometry = geometry
+        self.tech = tech or default_technology()
+        self.clock = ClockCycle.from_technology(self.tech)
+
+    # ------------------------------------------------------------------
+    # Elementary quantities
+    # ------------------------------------------------------------------
+    def bitline_capacitance(self) -> float:
+        return self.tech.bitline_capacitance(self.geometry.rows)
+
+    def _address_bits(self, count: int) -> int:
+        bits = 0
+        while (1 << bits) < count:
+            bits += 1
+        return max(1, bits)
+
+    def decode_energy(self) -> float:
+        """Row + column decode energy of one access (word line amortised)."""
+        row_bits = self._address_bits(self.geometry.rows)
+        col_bits = self._address_bits(self.geometry.words_per_row)
+        cap = (row_bits + col_bits) * self.DECODER_CAP_PER_BIT
+        cap += self.geometry.bits_per_word * self.COLUMN_MUX_CAP
+        return self.tech.swing_energy(cap)
+
+    def read_energy(self) -> float:
+        """P_r: one read cycle (decode, sense, selected-column restoration)."""
+        c_bl = self.bitline_capacitance()
+        swing = self.READ_SWING_FRACTION * self.tech.vdd
+        per_column = (
+            self.tech.swing_energy(self.SENSE_CAP)
+            + self.tech.swing_energy(c_bl, swing) * (1.0 + self.tech.precharge_overhead_factor)
+        )
+        return self.decode_energy() + self.geometry.bits_per_word * per_column
+
+    def write_energy(self) -> float:
+        """P_w: one write cycle (decode, drivers, full bit-line restoration)."""
+        c_bl = self.bitline_capacitance()
+        full_swing = self.tech.vdd
+        per_column = (
+            self.tech.swing_energy(self.WRITE_DRIVER_CAP)
+            + self.WRITE_CROWBAR_FACTOR * c_bl * full_swing * self.tech.vdd
+            + self.tech.swing_energy(c_bl, full_swing) * (1.0 + self.tech.precharge_overhead_factor)
+        )
+        return self.decode_energy() + self.geometry.bits_per_word * per_column
+
+    def res_energy_per_column(self) -> float:
+        """P_A: pre-charge circuit sustaining one RES for one operation phase."""
+        return (self.tech.vdd * self.tech.res_equilibrium_current
+                * self.clock.operation_duration)
+
+    def restore_energy_per_column(self) -> float:
+        """P_B: average energy to restore one column at the row transition.
+
+        Half of the bit-line pairs' lines have been discharged to (or close
+        to) ground by the unselected cells; restoring a pair therefore costs
+        on average about one full-swing bit-line recharge.
+        """
+        c_bl = self.bitline_capacitance()
+        return (self.tech.swing_energy(c_bl, self.tech.vdd)
+                * (1.0 + self.tech.precharge_overhead_factor)
+                * 2.0 * self.ROW_TRANSITION_DISCHARGED_FRACTION)
+
+    def lptest_line_energy(self) -> float:
+        """Energy of one transition of the LPtest line (word-line-class load)."""
+        cap = self.tech.wordline_capacitance(self.geometry.columns)
+        return self.tech.swing_energy(cap)
+
+    def control_element_energy(self) -> float:
+        """Switching energy of one added per-column control element."""
+        return self.tech.swing_energy(self.tech.control_element_cap
+                                      + self.tech.precharge_gate_cap)
+
+    def cell_res_energy(self) -> float:
+        """Cell-side energy of one full RES."""
+        return self.res_energy_per_column() * self.CELL_RES_RATIO
+
+    def leakage_energy_per_cycle(self) -> float:
+        return (self.geometry.cell_count * self.tech.cell_leakage_current
+                * self.tech.vdd * self.clock.period)
+
+    # ------------------------------------------------------------------
+    def energies(self) -> OperationEnergies:
+        """All per-event energies bundled together."""
+        return OperationEnergies(
+            read=self.read_energy(),
+            write=self.write_energy(),
+            res_per_column=self.res_energy_per_column(),
+            restore_per_column=self.restore_energy_per_column(),
+            lptest_line=self.lptest_line_energy(),
+            control_element=self.control_element_energy(),
+            cell_res=self.cell_res_energy(),
+            leakage_per_cycle=self.leakage_energy_per_cycle(),
+        )

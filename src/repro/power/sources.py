@@ -1,0 +1,76 @@
+"""Enumeration of the power-dissipation sources tracked during test.
+
+Section 5 of the paper identifies five main sources of power dissipation
+during test; the cycle-accurate accounting uses a slightly finer-grained
+enumeration so that every one of the paper's categories can be reported,
+together with the secondary contributions (cell-side RES, leakage, decoders)
+that the paper argues are negligible and that we keep visible to back that
+claim with numbers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class PowerSource(Enum):
+    """Where a quantum of supply energy was spent."""
+
+    #: Read operation on the selected column(s): decoders, word line, read
+    #: differential development, sense amplifier and the restoration of the
+    #: selected column's bit lines (paper: P_r).
+    OPERATION_READ = "operation_read"
+    #: Write operation on the selected column(s) (paper: P_w).
+    OPERATION_WRITE = "operation_write"
+    #: Pre-charge circuits of unselected columns sustaining read-equivalent
+    #: stress and re-restoring their bit lines (paper source 1, P_A per
+    #: circuit per cycle).  This is the term the proposed test mode removes.
+    PRECHARGE_UNSELECTED = "precharge_unselected"
+    #: Cell-side energy of read-equivalent stress (paper source 4; three
+    #: orders of magnitude below the pre-charge term).
+    CELL_RES = "cell_res"
+    #: Full-array bit-line restoration during the one functional-mode cycle
+    #: at each row transition in low-power test mode (paper source 2, P_B).
+    ROW_TRANSITION_RESTORE = "row_transition_restore"
+    #: Driver of the LPtest mode-selection line (paper source 3).
+    LPTEST_DRIVER = "lptest_driver"
+    #: Switching of the added per-column control elements (paper source 5).
+    CONTROL_LOGIC = "control_logic"
+    #: Cell array leakage (kept for completeness; negligible at 0.13 µm for
+    #: the cycle counts of a March test).
+    LEAKAGE = "leakage"
+
+    @property
+    def is_operation(self) -> bool:
+        return self in (PowerSource.OPERATION_READ, PowerSource.OPERATION_WRITE)
+
+    @property
+    def paper_source_index(self) -> int | None:
+        """Index of the corresponding source in the paper's Section 5 list.
+
+        Returns ``None`` for the bookkeeping-only categories (leakage).
+        """
+        mapping = {
+            PowerSource.PRECHARGE_UNSELECTED: 1,
+            PowerSource.ROW_TRANSITION_RESTORE: 2,
+            PowerSource.LPTEST_DRIVER: 3,
+            PowerSource.CELL_RES: 4,
+            PowerSource.CONTROL_LOGIC: 5,
+            PowerSource.OPERATION_READ: 0,
+            PowerSource.OPERATION_WRITE: 0,
+        }
+        return mapping.get(self)
+
+
+#: Sources whose energy the proposed low-power test mode targets.
+SAVINGS_TARGET_SOURCES = frozenset({
+    PowerSource.PRECHARGE_UNSELECTED,
+    PowerSource.CELL_RES,
+})
+
+#: Sources introduced (or made relevant) by the proposed scheme itself.
+OVERHEAD_SOURCES = frozenset({
+    PowerSource.ROW_TRANSITION_RESTORE,
+    PowerSource.LPTEST_DRIVER,
+    PowerSource.CONTROL_LOGIC,
+})

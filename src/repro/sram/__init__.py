@@ -1,0 +1,55 @@
+"""SRAM substrate: cells, bit lines, pre-charge circuits, periphery, memory.
+
+The behavioural memory model in :mod:`repro.sram.memory` executes read and
+write operations cycle by cycle, tracking pre-charge activity, read
+equivalent stress, floating bit lines and the faulty-swap hazard, and books
+every quantum of supply energy into an :class:`repro.power.EnergyLedger`.
+It is the measurement instrument on which the paper's experiments run.
+"""
+
+from .geometry import ArrayGeometry, PAPER_GEOMETRY, SMALL_GEOMETRY
+from .cell import CellError, CellFactory, CellStressStatistics, SixTransistorCell
+from .bitline import BitLineError, BitLinePair, RestorationResult
+from .precharge import PrechargeActivity, PrechargeCircuit, PrechargeError
+from .timing import ClockCycle, CyclePhase, TestClock
+from .periphery import (
+    ColumnDecoder,
+    DecoderError,
+    RowDecoder,
+    SenseAmplifier,
+    WriteDriver,
+)
+from .column import Column, ColumnError, FloatingContext
+from .array import (
+    ArrayError,
+    BackgroundFunction,
+    CellArray,
+    checkerboard_background,
+    column_stripe_background,
+    row_stripe_background,
+    solid_background,
+)
+from .memory import (
+    AccessOutcome,
+    FUNCTIONAL_PLAN,
+    MemoryError_,
+    OperatingMode,
+    PrechargePlan,
+    SRAM,
+    StressCounters,
+)
+
+__all__ = [
+    "ArrayGeometry", "PAPER_GEOMETRY", "SMALL_GEOMETRY",
+    "CellError", "CellFactory", "CellStressStatistics", "SixTransistorCell",
+    "BitLineError", "BitLinePair", "RestorationResult",
+    "PrechargeActivity", "PrechargeCircuit", "PrechargeError",
+    "ClockCycle", "CyclePhase", "TestClock",
+    "ColumnDecoder", "DecoderError", "RowDecoder", "SenseAmplifier", "WriteDriver",
+    "Column", "ColumnError", "FloatingContext",
+    "ArrayError", "BackgroundFunction", "CellArray",
+    "checkerboard_background", "column_stripe_background",
+    "row_stripe_background", "solid_background",
+    "AccessOutcome", "FUNCTIONAL_PLAN", "MemoryError_", "OperatingMode",
+    "PrechargePlan", "SRAM", "StressCounters",
+]

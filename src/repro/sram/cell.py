@@ -1,0 +1,185 @@
+"""Behavioural model of the 6T SRAM cell.
+
+The behavioural cell carries the stored bit, its interaction with the bit
+lines (read, write, read-equivalent stress, and the floating-bit-line
+interaction central to the low-power test mode of the paper), and the
+stress statistics the power model consumes.
+
+Conventions follow the paper's Figure 5: a cell storing logic '1' has its
+internal node S at '0' and node SB at '1'; when such a cell is connected to
+floating bit lines it progressively discharges BL (the true bit line) while
+BLB remains at VDD.  A cell storing '0' discharges BLB instead.
+
+The cell also exposes the swap rule behind Figure 7: if the bit lines carry
+a strong differential that contradicts the stored value while the word line
+is active and the pre-charge is off, the bit-line capacitance (three orders
+of magnitude larger than the cell nodes) overwrites the cell — the "faulty
+swap" the one-cycle restoration at each row transition is designed to
+prevent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..circuit.technology import TechnologyParameters, default_technology
+
+
+class CellError(Exception):
+    """Raised on invalid cell operations (bad values, reading unknown state...)."""
+
+
+def _validate_bit(value: int) -> int:
+    if value not in (0, 1):
+        raise CellError(f"cell values must be 0 or 1, got {value!r}")
+    return int(value)
+
+
+@dataclass
+class CellStressStatistics:
+    """Stress events accumulated by one cell during a simulation."""
+
+    full_res_count: int = 0
+    partial_res_count: int = 0
+    reads: int = 0
+    writes: int = 0
+    faulty_swaps: int = 0
+
+    def reset(self) -> None:
+        self.full_res_count = 0
+        self.partial_res_count = 0
+        self.reads = 0
+        self.writes = 0
+        self.faulty_swaps = 0
+
+
+class SixTransistorCell:
+    """One 6T SRAM cell with behavioural read/write/disturb semantics."""
+
+    #: Fraction of VDD below which a bit line is considered a "strong low"
+    #: able to overwrite the cell when the opposite line is high
+    #: (Figure 7's faulty swap condition).
+    SWAP_LOW_THRESHOLD = 0.35
+    #: Fraction of VDD above which a bit line counts as a "strong high".
+    SWAP_HIGH_THRESHOLD = 0.75
+
+    def __init__(self, value: Optional[int] = None,
+                 tech: TechnologyParameters | None = None) -> None:
+        self.tech = tech or default_technology()
+        self._value: Optional[int] = None if value is None else _validate_bit(value)
+        self.stats = CellStressStatistics()
+
+    # ------------------------------------------------------------------
+    # Stored state
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Optional[int]:
+        """Currently stored bit, or ``None`` before the first write."""
+        return self._value
+
+    def is_initialised(self) -> bool:
+        return self._value is not None
+
+    def write(self, value: int) -> None:
+        """Functional write: the write drivers overpower the cell."""
+        self._value = _validate_bit(value)
+        self.stats.writes += 1
+
+    def read(self) -> int:
+        """Functional read: returns the stored bit.
+
+        Reading an uninitialised cell raises; March tests always start with
+        a write-background element, so this indicates a harness bug rather
+        than a legal memory state.
+        """
+        if self._value is None:
+            raise CellError("read of uninitialised cell")
+        self.stats.reads += 1
+        return self._value
+
+    def force(self, value: Optional[int]) -> None:
+        """Set the stored state without counting a functional write.
+
+        Used by fault injection and by the faulty-swap mechanism.
+        """
+        self._value = None if value is None else _validate_bit(value)
+
+    # ------------------------------------------------------------------
+    # Stress events
+    # ------------------------------------------------------------------
+    def apply_read_equivalent_stress(self, partial: bool = False) -> None:
+        """Record a read-equivalent stress (RES).
+
+        In functional mode every cell of the selected row whose column keeps
+        its pre-charge active undergoes a full RES each cycle.  In the
+        low-power test mode only the next-to-be-selected column sees a full
+        RES; a handful of columns whose bit lines have not fully discharged
+        yet see *partial* RES (the paper's α, with 2 < α < 10).
+        """
+        if partial:
+            self.stats.partial_res_count += 1
+        else:
+            self.stats.full_res_count += 1
+
+    # ------------------------------------------------------------------
+    # Floating bit-line interaction (low-power test mode)
+    # ------------------------------------------------------------------
+    def pulls_bl_low(self) -> bool:
+        """True when the stored value discharges BL (as opposed to BLB).
+
+        Paper convention (Figure 5/6): a stored '1' has node S at '0'
+        connected to BL, so BL is the line discharged.
+        """
+        if self._value is None:
+            raise CellError("uninitialised cell has no defined bit-line interaction")
+        return self._value == 1
+
+    def check_faulty_swap(self, v_bl: float, v_blb: float) -> bool:
+        """Apply Figure 7's swap rule for given floating bit-line voltages.
+
+        Returns ``True`` and flips the stored value when the bit lines carry
+        a strong differential opposite to the stored data (the bit lines win
+        because their capacitance dwarfs the cell's).  Voltages are absolute
+        volts.
+        """
+        if self._value is None:
+            return False
+        vdd = self.tech.vdd
+        low = self.SWAP_LOW_THRESHOLD * vdd
+        high = self.SWAP_HIGH_THRESHOLD * vdd
+        # A cell storing '1' keeps BL low / BLB high once it has driven the
+        # lines; it is overwritten if it instead finds BL strongly high and
+        # BLB strongly low (and vice versa for a stored '0').
+        if self._value == 1 and v_bl >= high and v_blb <= low:
+            self._flip()
+            return True
+        if self._value == 0 and v_blb >= high and v_bl <= low:
+            self._flip()
+            return True
+        return False
+
+    def _flip(self) -> None:
+        assert self._value is not None
+        self._value = 1 - self._value
+        self.stats.faulty_swaps += 1
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SixTransistorCell(value={self._value!r})"
+
+
+class CellFactory:
+    """Creates the cells of an array; the fault simulator substitutes its own.
+
+    Keeping construction behind a factory lets :mod:`repro.faults` inject
+    faulty cell variants at chosen coordinates without the array model
+    knowing anything about fault models.
+    """
+
+    def __init__(self, tech: TechnologyParameters | None = None) -> None:
+        self.tech = tech or default_technology()
+
+    def create(self, row: int, column: int) -> SixTransistorCell:
+        """Create the cell for physical position ``(row, column)``."""
+        return SixTransistorCell(tech=self.tech)

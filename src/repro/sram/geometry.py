@@ -1,0 +1,136 @@
+"""Array organisation of the simulated SRAM.
+
+The paper's evaluation uses an 8k x 32 SRAM organised as a 512-row by
+512-column cell array and treats it as bit-oriented (one cell accessed per
+operation).  The geometry abstraction also supports word-oriented
+organisations (several bits accessed per operation through a column mux),
+which the paper lists as future work and which this repository implements as
+an extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class ArrayGeometry:
+    """Physical organisation of the cell array.
+
+    ``rows``
+        number of word lines.
+    ``columns``
+        number of physical bit-line pairs.
+    ``bits_per_word``
+        how many columns are accessed simultaneously by one operation.  A
+        bit-oriented memory (the paper's case) uses 1; a word-oriented
+        memory uses the word width (the columns of one word are interleaved
+        across the array and selected together).
+    """
+
+    rows: int
+    columns: int
+    bits_per_word: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError(f"rows must be positive, got {self.rows}")
+        if self.columns <= 0:
+            raise ValueError(f"columns must be positive, got {self.columns}")
+        if self.bits_per_word <= 0:
+            raise ValueError(f"bits_per_word must be positive, got {self.bits_per_word}")
+        if self.columns % self.bits_per_word != 0:
+            raise ValueError(
+                f"columns ({self.columns}) must be a multiple of bits_per_word "
+                f"({self.bits_per_word})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def words_per_row(self) -> int:
+        """Number of addressable words on one word line."""
+        return self.columns // self.bits_per_word
+
+    @property
+    def word_count(self) -> int:
+        """Total number of addressable words in the array."""
+        return self.rows * self.words_per_row
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of cells in the array."""
+        return self.rows * self.columns
+
+    @property
+    def is_bit_oriented(self) -> bool:
+        return self.bits_per_word == 1
+
+    # ------------------------------------------------------------------
+    # Address <-> coordinate conversions.  The *logical address* numbers
+    # words row-major ("word line after word line"), which is exactly the
+    # access order the low-power test mode requires; other access orders are
+    # produced by the address-order generators in ``repro.march.ordering``.
+    # ------------------------------------------------------------------
+    def address_of(self, row: int, word: int) -> int:
+        """Logical address of word ``word`` on row ``row``."""
+        self.validate_coordinates(row, word)
+        return row * self.words_per_row + word
+
+    def coordinates_of(self, address: int) -> Tuple[int, int]:
+        """(row, word) coordinates of a logical address."""
+        if not 0 <= address < self.word_count:
+            raise ValueError(
+                f"address {address} out of range [0, {self.word_count})"
+            )
+        return divmod(address, self.words_per_row)
+
+    def columns_of_word(self, word: int) -> Tuple[int, ...]:
+        """Physical columns accessed when word ``word`` of a row is selected.
+
+        For a bit-oriented array this is a single column.  For a
+        word-oriented array the bits of one word are interleaved: bit ``b``
+        of word ``w`` sits in column ``b * words_per_row + w`` (standard
+        column-mux interleaving), so neighbouring words occupy neighbouring
+        columns within each bit group.
+        """
+        if not 0 <= word < self.words_per_row:
+            raise ValueError(f"word {word} out of range [0, {self.words_per_row})")
+        if self.is_bit_oriented:
+            return (word,)
+        return tuple(b * self.words_per_row + word for b in range(self.bits_per_word))
+
+    def word_of_column(self, column: int) -> int:
+        """Which word index a physical column belongs to."""
+        if not 0 <= column < self.columns:
+            raise ValueError(f"column {column} out of range [0, {self.columns})")
+        if self.is_bit_oriented:
+            return column
+        return column % self.words_per_row
+
+    def validate_coordinates(self, row: int, word: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+        if not 0 <= word < self.words_per_row:
+            raise ValueError(f"word {word} out of range [0, {self.words_per_row})")
+
+    def iter_addresses_row_major(self) -> Iterator[int]:
+        """Addresses in 'word line after word line' order (ascending)."""
+        return iter(range(self.word_count))
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports."""
+        if self.is_bit_oriented:
+            return f"{self.rows}x{self.columns} bit-oriented SRAM array"
+        return (
+            f"{self.rows}x{self.columns} array, word-oriented "
+            f"({self.bits_per_word}-bit words, {self.words_per_row} words/row)"
+        )
+
+
+#: The array organisation used for every experiment in the paper.
+PAPER_GEOMETRY = ArrayGeometry(rows=512, columns=512, bits_per_word=1)
+
+#: A small geometry used by unit tests and quick examples; same aspect
+#: ratio semantics, laptop-friendly runtimes.
+SMALL_GEOMETRY = ArrayGeometry(rows=16, columns=16, bits_per_word=1)

@@ -1,0 +1,79 @@
+"""Clock-cycle timing of the SRAM operations.
+
+The paper's Figure 2 splits every clock cycle of the selected column into an
+operation phase (pre-charge OFF, first half of the cycle) followed by a
+bit-line restoration phase (pre-charge ON, second half), while unselected
+columns in functional mode keep their pre-charge ON for the full cycle (RES
+during the first half, restoration during the second).  This module captures
+that cycle structure so that the behavioural memory, the power model and the
+transient fixtures all agree on interval durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..circuit.technology import TechnologyParameters, default_technology
+
+
+class CyclePhase(Enum):
+    """The two halves of an SRAM access cycle."""
+
+    OPERATION = "operation"
+    RESTORATION = "restoration"
+
+
+@dataclass(frozen=True)
+class ClockCycle:
+    """Durations of the phases of one access cycle."""
+
+    period: float
+    operation_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("clock period must be positive")
+        if not 0.0 < self.operation_fraction < 1.0:
+            raise ValueError("operation_fraction must lie strictly between 0 and 1")
+
+    @property
+    def operation_duration(self) -> float:
+        """Length of the operation / stress phase (pre-charge OFF on the selected column)."""
+        return self.period * self.operation_fraction
+
+    @property
+    def restoration_duration(self) -> float:
+        """Length of the restoration phase (pre-charge ON everywhere)."""
+        return self.period - self.operation_duration
+
+    def phase_duration(self, phase: CyclePhase) -> float:
+        if phase is CyclePhase.OPERATION:
+            return self.operation_duration
+        return self.restoration_duration
+
+    @classmethod
+    def from_technology(cls, tech: TechnologyParameters | None = None,
+                        operation_fraction: float = 0.5) -> "ClockCycle":
+        tech = tech or default_technology()
+        return cls(period=tech.clock_period, operation_fraction=operation_fraction)
+
+
+@dataclass
+class TestClock:
+    """A running cycle counter with absolute-time conversion."""
+
+    cycle: ClockCycle
+    elapsed_cycles: int = 0
+
+    def tick(self, cycles: int = 1) -> None:
+        if cycles < 0:
+            raise ValueError("cannot tick a negative number of cycles")
+        self.elapsed_cycles += cycles
+
+    @property
+    def elapsed_time(self) -> float:
+        return self.elapsed_cycles * self.cycle.period
+
+    def reset(self) -> None:
+        self.elapsed_cycles = 0

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import default_technology
+from repro.sram import ArrayGeometry
+
+
+@pytest.fixture
+def tech():
+    """The paper's 0.13 µm / 1.6 V / 3 ns operating point."""
+    return default_technology()
+
+
+@pytest.fixture
+def tiny_geometry():
+    """A tiny array for fast unit tests."""
+    return ArrayGeometry(rows=4, columns=4)
+
+
+@pytest.fixture
+def small_geometry():
+    """A small array for integration tests."""
+    return ArrayGeometry(rows=8, columns=8)
+
+
+@pytest.fixture
+def wide_geometry():
+    """A wider array where pre-charge savings dominate (integration tests)."""
+    return ArrayGeometry(rows=8, columns=64)

@@ -1,0 +1,135 @@
+"""Unit tests for the cell array, data backgrounds and the per-column bundle."""
+
+import pytest
+
+from repro.sram.array import (
+    ArrayError,
+    CellArray,
+    checkerboard_background,
+    column_stripe_background,
+    row_stripe_background,
+    solid_background,
+)
+from repro.sram.cell import SixTransistorCell
+from repro.sram.column import Column, ColumnError
+from repro.sram.geometry import ArrayGeometry
+from repro.sram.timing import ClockCycle
+
+
+class TestBackgrounds:
+    def test_solid_background(self, small_geometry):
+        array = CellArray(small_geometry)
+        array.apply_background(solid_background(1))
+        assert array.count_value(1) == small_geometry.cell_count
+        assert array.count_value(0) == 0
+
+    def test_checkerboard_background(self, small_geometry):
+        array = CellArray(small_geometry)
+        array.apply_background(checkerboard_background())
+        assert array.count_value(0) == small_geometry.cell_count // 2
+        assert array.cell(0, 0).value == 0
+        assert array.cell(0, 1).value == 1
+
+    def test_stripe_backgrounds(self, small_geometry):
+        array = CellArray(small_geometry)
+        array.apply_background(row_stripe_background())
+        assert array.cell(0, 3).value == 0
+        assert array.cell(1, 3).value == 1
+        array.apply_background(column_stripe_background(invert=True))
+        assert array.cell(3, 0).value == 1
+        assert array.cell(3, 1).value == 0
+
+    def test_invalid_solid_value(self):
+        with pytest.raises(ArrayError):
+            solid_background(3)
+
+
+class TestArrayAccess:
+    def test_out_of_range(self, small_geometry):
+        array = CellArray(small_geometry)
+        with pytest.raises(ArrayError):
+            array.cell(small_geometry.rows, 0)
+        with pytest.raises(ArrayError):
+            array.cell(0, small_geometry.columns)
+
+    def test_replace_cell_for_fault_injection(self, small_geometry):
+        array = CellArray(small_geometry)
+        replacement = SixTransistorCell(value=1)
+        old = array.replace_cell(2, 3, replacement)
+        assert array.cell(2, 3) is replacement
+        assert old is not replacement
+
+    def test_snapshot_roundtrip_and_differences(self, small_geometry):
+        array = CellArray(small_geometry)
+        array.apply_background(checkerboard_background())
+        snapshot = array.snapshot()
+        array.cell(1, 1).force(1 - array.cell(1, 1).value)
+        assert array.differences(snapshot) == [(1, 1)]
+        array.load_snapshot(snapshot)
+        assert array.differences(snapshot) == []
+
+    def test_load_snapshot_validates_shape(self, small_geometry):
+        array = CellArray(small_geometry)
+        with pytest.raises(ArrayError):
+            array.load_snapshot([[0]])
+
+    def test_statistics_aggregation(self, tiny_geometry):
+        array = CellArray(tiny_geometry)
+        array.apply_background(solid_background(0))
+        array.cell(0, 0).apply_read_equivalent_stress()
+        array.cell(0, 1).apply_read_equivalent_stress(partial=True)
+        assert array.total_full_res() == 1
+        assert array.total_partial_res() == 1
+        array.reset_statistics()
+        assert array.total_full_res() == 0
+
+    def test_clear(self, tiny_geometry):
+        array = CellArray(tiny_geometry)
+        array.apply_background(solid_background(1))
+        array.clear()
+        assert array.cell(0, 0).value is None
+
+
+class TestColumnBundle:
+    def make_column(self, tech, rows=16):
+        return Column(index=0, rows=rows, clock=ClockCycle.from_technology(tech), tech=tech)
+
+    def test_floating_lifecycle(self, tech):
+        column = self.make_column(tech, rows=512)
+        assert not column.is_floating
+        column.begin_floating(cycle=0, cell_pulls_bl_low=True)
+        assert column.is_floating
+        v_bl, v_blb = column.voltages_at(9)
+        assert v_bl < 0.3 * tech.vdd       # discharged within ~9 cycles
+        assert v_blb == pytest.approx(tech.vdd)
+        result = column.restore(cycle=10)
+        assert result.energy > 0
+        assert not column.is_floating
+
+    def test_catch_up_cannot_go_backwards(self, tech):
+        column = self.make_column(tech)
+        column.catch_up(5)
+        with pytest.raises(ColumnError):
+            column.catch_up(3)
+
+    def test_idle_float_without_cell_barely_decays(self, tech):
+        column = self.make_column(tech, rows=512)
+        column.begin_floating(cycle=0, cell_pulls_bl_low=None)
+        v_bl, v_blb = column.voltages_at(100)
+        assert v_bl > 0.99 * tech.vdd
+        assert v_blb > 0.99 * tech.vdd
+
+    def test_operation_sequence_restores_pair(self, tech):
+        column = self.make_column(tech)
+        column.prepare_operation(cycle=0)
+        column.pair.force_write_levels(1)
+        result = column.finish_operation(cycle=0)
+        assert result.energy > 0
+        assert column.pair.is_fully_precharged()
+
+    def test_reset_restores_powerup_state(self, tech):
+        column = self.make_column(tech)
+        column.begin_floating(0, True)
+        column.reset()
+        assert not column.is_floating
+        assert column.pair.is_fully_precharged()

@@ -1,0 +1,171 @@
+"""Unit tests for the 6T cell and bit-line pair behavioural models."""
+
+import math
+
+import pytest
+
+from repro.sram.bitline import BitLineError, BitLinePair
+from repro.sram.cell import CellError, CellFactory, SixTransistorCell
+
+
+class TestCellStorage:
+    def test_initial_state_unknown(self):
+        cell = SixTransistorCell()
+        assert cell.value is None
+        assert not cell.is_initialised()
+
+    def test_write_and_read(self):
+        cell = SixTransistorCell()
+        cell.write(1)
+        assert cell.read() == 1
+        assert cell.stats.writes == 1
+        assert cell.stats.reads == 1
+
+    def test_read_uninitialised_raises(self):
+        with pytest.raises(CellError):
+            SixTransistorCell().read()
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(CellError):
+            SixTransistorCell().write(2)
+        with pytest.raises(CellError):
+            SixTransistorCell(value=5)
+
+    def test_force_does_not_count_as_write(self):
+        cell = SixTransistorCell()
+        cell.force(0)
+        assert cell.value == 0
+        assert cell.stats.writes == 0
+
+    def test_pulls_bl_low_convention(self):
+        # Paper convention (Figure 5/6): a stored '1' discharges BL.
+        assert SixTransistorCell(value=1).pulls_bl_low() is True
+        assert SixTransistorCell(value=0).pulls_bl_low() is False
+        with pytest.raises(CellError):
+            SixTransistorCell().pulls_bl_low()
+
+
+class TestCellStress:
+    def test_res_counters(self):
+        cell = SixTransistorCell(value=0)
+        cell.apply_read_equivalent_stress()
+        cell.apply_read_equivalent_stress(partial=True)
+        assert cell.stats.full_res_count == 1
+        assert cell.stats.partial_res_count == 1
+        cell.stats.reset()
+        assert cell.stats.full_res_count == 0
+
+
+class TestFaultySwapRule:
+    def test_swap_when_bitlines_oppose_stored_one(self, tech):
+        cell = SixTransistorCell(value=1, tech=tech)
+        # A '1' keeps BL low; finding BL strongly high and BLB strongly low
+        # means the lines carry the opposite data and win the fight.
+        swapped = cell.check_faulty_swap(v_bl=tech.vdd, v_blb=0.0)
+        assert swapped
+        assert cell.value == 0
+        assert cell.stats.faulty_swaps == 1
+
+    def test_swap_when_bitlines_oppose_stored_zero(self, tech):
+        cell = SixTransistorCell(value=0, tech=tech)
+        assert cell.check_faulty_swap(v_bl=0.0, v_blb=tech.vdd)
+        assert cell.value == 1
+
+    def test_no_swap_when_lines_agree_with_cell(self, tech):
+        cell = SixTransistorCell(value=1, tech=tech)
+        assert not cell.check_faulty_swap(v_bl=0.0, v_blb=tech.vdd)
+        assert cell.value == 1
+
+    def test_no_swap_when_lines_precharged(self, tech):
+        cell = SixTransistorCell(value=1, tech=tech)
+        assert not cell.check_faulty_swap(v_bl=tech.vdd, v_blb=tech.vdd)
+
+    def test_no_swap_on_weak_differential(self, tech):
+        cell = SixTransistorCell(value=1, tech=tech)
+        assert not cell.check_faulty_swap(v_bl=tech.vdd, v_blb=0.9 * tech.vdd)
+
+    def test_uninitialised_cell_never_swaps(self, tech):
+        cell = SixTransistorCell(tech=tech)
+        assert not cell.check_faulty_swap(v_bl=tech.vdd, v_blb=0.0)
+
+
+class TestCellFactory:
+    def test_factory_produces_fresh_cells(self, tech):
+        factory = CellFactory(tech=tech)
+        a = factory.create(0, 0)
+        b = factory.create(0, 1)
+        assert a is not b
+        assert a.value is None
+
+
+class TestBitLinePair:
+    def test_starts_precharged(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        assert pair.is_fully_precharged()
+        assert pair.differential() == pytest.approx(0.0)
+
+    def test_capacitance_matches_technology(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        assert pair.capacitance == pytest.approx(tech.bitline_capacitance(512))
+
+    def test_invalid_rows_rejected(self, tech):
+        with pytest.raises(BitLineError):
+            BitLinePair(rows=0, tech=tech)
+
+    def test_read_differential_and_restore(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        swing = pair.develop_read_differential(cell_pulls_bl_low=True)
+        assert pair.v_bl < pair.v_blb
+        result = pair.restore()
+        assert result.swing_bl == pytest.approx(swing)
+        assert result.energy > 0.0
+        assert pair.is_fully_precharged()
+
+    def test_restore_of_precharged_pair_costs_nothing(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        assert pair.restore().energy == pytest.approx(0.0)
+
+    def test_write_levels_follow_convention(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        pair.force_write_levels(1)
+        assert pair.bl_is_logic_low()
+        assert pair.v_blb == pytest.approx(tech.vdd)
+        pair.force_write_levels(0)
+        assert pair.blb_is_logic_low()
+
+    def test_write_rejects_bad_value(self, tech):
+        with pytest.raises(BitLineError):
+            BitLinePair(rows=4, tech=tech).force_write_levels(2)
+
+    def test_floating_discharge_matches_exponential(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        duration = 9 * tech.clock_period
+        pair.float_with_cell(cell_pulls_bl_low=True, duration=duration)
+        tau = tech.floating_discharge_tau(512)
+        assert pair.v_bl == pytest.approx(tech.vdd * math.exp(-duration / tau), rel=1e-6)
+        assert pair.v_blb == pytest.approx(tech.vdd)
+
+    def test_discharge_reaches_logic_low_within_about_nine_cycles(self, tech):
+        # Figure 6: the floating line is at logic '0' after roughly nine cycles.
+        pair = BitLinePair(rows=512, tech=tech)
+        pair.float_with_cell(cell_pulls_bl_low=True, duration=9 * tech.clock_period)
+        assert pair.bl_is_logic_low()
+
+    def test_residual_stress_decreases_with_discharge(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        fresh = pair.residual_stress_fraction()
+        pair.float_with_cell(True, 5 * tech.clock_period)
+        assert pair.residual_stress_fraction() < fresh
+
+    def test_restore_after_write_charges_full_swing(self, tech):
+        pair = BitLinePair(rows=512, tech=tech)
+        pair.force_write_levels(1)
+        result = pair.restore()
+        expected = tech.swing_energy(pair.capacitance, tech.vdd) \
+            * (1.0 + tech.precharge_overhead_factor)
+        assert result.energy == pytest.approx(expected)
+
+    def test_negative_duration_rejected(self, tech):
+        pair = BitLinePair(rows=16, tech=tech)
+        with pytest.raises(BitLineError):
+            pair.float_with_cell(True, -1.0)

@@ -1,0 +1,175 @@
+"""Unit tests for MOSFET models, passive elements and the transient solver."""
+
+import math
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CircuitError,
+    GROUND,
+    PiecewiseLinearSource,
+    Resistor,
+    Switch,
+    equivalent_on_resistance,
+    nmos,
+    pmos,
+    step_control,
+)
+from repro.circuit.mosfet import MosfetParameters
+
+
+class TestMosfetModel:
+    def test_nmos_cutoff(self, tech):
+        device = nmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        assert device.drain_current(1.0, 0.0, 0.0) == 0.0
+
+    def test_nmos_saturation_positive_current(self, tech):
+        device = nmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        ids = device.drain_current(tech.vdd, tech.vdd, 0.0)
+        assert ids > 0.0
+
+    def test_nmos_current_increases_with_width(self, tech):
+        narrow = nmos(tech, "m1", "d", "g", "s", width_um=0.2)
+        wide = nmos(tech, "m2", "d", "g", "s", width_um=2.0)
+        assert wide.drain_current(1.0, 1.6, 0.0) > narrow.drain_current(1.0, 1.6, 0.0)
+
+    def test_nmos_is_bidirectional(self, tech):
+        device = nmos(tech, "m1", "a", "g", "b", width_um=1.0)
+        forward = device.drain_current(1.6, 1.6, 0.0)
+        reverse = device.drain_current(0.0, 1.6, 1.6)
+        assert forward > 0
+        assert reverse < 0
+        assert forward == pytest.approx(-reverse)
+
+    def test_pmos_conducts_with_low_gate(self, tech):
+        device = pmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        # Source at VDD, gate at 0, drain at VDD/2: current flows out of the drain.
+        ids = device.drain_current(0.8, 0.0, 1.6)
+        assert ids < 0.0
+
+    def test_pmos_off_with_high_gate(self, tech):
+        device = pmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        assert device.drain_current(0.8, 1.6, 1.6) == 0.0
+
+    def test_node_currents_conserve_charge(self, tech):
+        device = nmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        currents = device.node_currents({"d": 1.6, "g": 1.6, "s": 0.0})
+        assert currents["d"] == pytest.approx(-currents["s"])
+
+    def test_parameter_validation(self, tech):
+        with pytest.raises(ValueError):
+            MosfetParameters(polarity="zmos", vth=0.3, kp=1e-4, width_um=1, length_um=0.13)
+        with pytest.raises(ValueError):
+            MosfetParameters(polarity="nmos", vth=0.3, kp=1e-4, width_um=-1, length_um=0.13)
+
+    def test_equivalent_on_resistance_finite(self, tech):
+        device = nmos(tech, "m1", "d", "g", "s", width_um=1.0)
+        r = equivalent_on_resistance(device, tech.vdd)
+        assert 100.0 < r < 1e6
+
+
+class TestPassiveElements:
+    def test_resistor_current_direction(self):
+        r = Resistor("r1", "a", "b", 1000.0)
+        currents = r.node_currents({"a": 1.0, "b": 0.0}, time=0.0)
+        assert currents["a"] == pytest.approx(-1e-3)
+        assert currents["b"] == pytest.approx(+1e-3)
+
+    def test_resistor_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", 0.0)
+
+    def test_switch_open_and_closed(self):
+        s = Switch("s1", "a", "b", control=step_control(t_on=1.0), on_resistance=100.0)
+        open_current = s.node_currents({"a": 1.0, "b": 0.0}, time=0.0)["b"]
+        closed_current = s.node_currents({"a": 1.0, "b": 0.0}, time=2.0)["b"]
+        assert open_current < 1e-9
+        assert closed_current == pytest.approx(1.0 / 100.0)
+
+    def test_capacitor_validation(self):
+        with pytest.raises(ValueError):
+            Capacitor("c1", "a", capacitance=0.0)
+
+    def test_pwl_source_interpolation_and_clamping(self):
+        src = PiecewiseLinearSource("v1", "n", [(0.0, 0.0), (1.0, 1.0)])
+        assert src.value_at(-1.0) == 0.0
+        assert src.value_at(0.5) == pytest.approx(0.5)
+        assert src.value_at(2.0) == 1.0
+
+    def test_pwl_pulse_and_clock_shapes(self):
+        pulse = PiecewiseLinearSource.pulse("p", "n", low=0.0, high=1.0,
+                                            t_rise_start=1.0, t_fall_start=2.0)
+        assert pulse.value_at(0.5) == 0.0
+        assert pulse.value_at(1.5) == pytest.approx(1.0)
+        assert pulse.value_at(3.0) == 0.0
+        clock = PiecewiseLinearSource.clock("c", "n", period=2.0, cycles=2,
+                                            low=0.0, high=1.0)
+        assert clock.value_at(0.1) == pytest.approx(1.0)
+        assert clock.value_at(1.5) == pytest.approx(0.0)
+
+
+class TestTransientSolver:
+    def test_rc_discharge_matches_analytical(self, tech):
+        circuit = Circuit("rc")
+        circuit.add_node_capacitance("n", 1e-12)
+        circuit.set_initial_condition("n", 1.0)
+        circuit.add_element(Resistor("r", "n", GROUND, 1e3))
+        result = circuit.simulate(t_stop=3e-9, dt=1e-12, record=["n"])
+        tau = 1e3 * 1e-12
+        expected = math.exp(-3e-9 / tau)
+        assert result.final_voltage("n") == pytest.approx(expected, rel=0.02)
+
+    def test_rc_charge_through_switch_from_source(self):
+        circuit = Circuit("charge")
+        circuit.add_source(PiecewiseLinearSource.constant("vdd", "VDD", 1.6))
+        circuit.add_node_capacitance("VDD", 1e-13)
+        circuit.add_node_capacitance("n", 1e-12)
+        circuit.add_element(Switch("s", "VDD", "n", control=step_control(0.0),
+                                   on_resistance=1e3))
+        result = circuit.simulate(t_stop=10e-9, dt=2e-12, record=["n"])
+        assert result.final_voltage("n") == pytest.approx(1.6, rel=0.01)
+        # the source must have delivered roughly C*V of charge (plus losses)
+        assert result.total_source_energy() > 0.0
+
+    def test_free_node_without_capacitance_rejected(self):
+        circuit = Circuit("bad")
+        circuit.add_element(Resistor("r", "a", "b", 1e3))
+        with pytest.raises(CircuitError):
+            circuit.simulate(t_stop=1e-9)
+
+    def test_unknown_recorded_node_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_node_capacitance("n", 1e-12)
+        with pytest.raises(CircuitError):
+            circuit.simulate(t_stop=1e-9, record=["nope"])
+
+    def test_duplicate_source_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_source(PiecewiseLinearSource.constant("v1", "n", 1.0))
+        with pytest.raises(CircuitError):
+            circuit.add_source(PiecewiseLinearSource.constant("v2", "n", 2.0))
+
+    def test_divergence_detected(self, tech):
+        # A strong MOSFET on a tiny capacitance with a huge time step should
+        # be caught rather than silently producing NaNs.
+        circuit = Circuit("stiff")
+        circuit.add_node_capacitance("n", 1e-16)
+        circuit.set_initial_condition("n", 1.6)
+        circuit.add_source(PiecewiseLinearSource.constant("g", "gate", 1.6))
+        circuit.add_node_capacitance("gate", 1e-15)
+        circuit.add_mosfet(nmos(tech, "m", drain="n", gate="gate", source=GROUND,
+                                width_um=10.0))
+        with pytest.raises(CircuitError):
+            circuit.simulate(t_stop=1e-9, dt=1e-10)
+
+    def test_validation_of_parameters(self):
+        circuit = Circuit("c")
+        circuit.add_node_capacitance("n", 1e-12)
+        with pytest.raises(ValueError):
+            circuit.simulate(t_stop=0.0)
+        with pytest.raises(ValueError):
+            circuit.simulate(t_stop=1e-9, dt=0.0)
+        with pytest.raises(ValueError):
+            circuit.simulate(t_stop=1e-9, record_every=0)

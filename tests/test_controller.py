@@ -1,0 +1,125 @@
+"""Tests of the modified pre-charge control logic (Figure 8 / Figure 4)."""
+
+import pytest
+
+from repro.core.precharge_controller import (
+    ControllerError,
+    ModifiedPrechargeController,
+    TRANSISTORS_PER_COLUMN,
+)
+
+
+class TestStaticProperties:
+    def test_ten_transistors_per_column(self):
+        controller = ModifiedPrechargeController(columns=8)
+        assert controller.transistors_per_column() == TRANSISTORS_PER_COLUMN == 10
+        assert controller.total_transistors() == 8 * 10
+
+    def test_direction_aware_variant_costs_more(self):
+        basic = ModifiedPrechargeController(columns=8)
+        both = ModifiedPrechargeController(columns=8, support_descending=True)
+        assert both.transistors_per_column() > basic.transistors_per_column()
+
+    def test_added_delay_is_a_single_mux(self):
+        controller = ModifiedPrechargeController(columns=4)
+        # Negligible-impact claim: well under a tenth of the 3 ns cycle.
+        assert controller.added_delay_on_pr_path() < 0.1e-9
+
+    def test_invalid_column_count(self):
+        with pytest.raises(ControllerError):
+            ModifiedPrechargeController(columns=0)
+
+
+class TestFunctionalMode:
+    def test_functional_mode_mirrors_pr_signals(self):
+        controller = ModifiedPrechargeController(columns=6)
+        decision = controller.evaluate(lptest=False, selected_column=2)
+        # Operation phase: the selected column's pre-charge is OFF, every
+        # other column's is ON — exactly the unmodified behaviour.
+        assert decision.precharge_on[2] is False
+        assert all(decision.precharge_on[c] for c in range(6) if c != 2)
+
+    def test_functional_restoration_phase_turns_selected_back_on(self):
+        controller = ModifiedPrechargeController(columns=6)
+        decision = controller.evaluate(lptest=False, selected_column=2,
+                                       precharge_phase=True)
+        assert all(decision.precharge_on.values())
+
+    def test_idle_memory_precharges_everything(self):
+        controller = ModifiedPrechargeController(columns=4)
+        decision = controller.evaluate(lptest=False, selected_column=None)
+        assert all(decision.precharge_on.values())
+
+
+class TestLowPowerMode:
+    def test_only_next_column_precharged(self):
+        controller = ModifiedPrechargeController(columns=8)
+        decision = controller.evaluate(lptest=True, selected_column=3)
+        assert decision.active_columns() == [4]
+
+    def test_selected_column_follows_functional_timing(self):
+        controller = ModifiedPrechargeController(columns=8)
+        operation = controller.evaluate(lptest=True, selected_column=3)
+        restoration = controller.evaluate(lptest=True, selected_column=3,
+                                          precharge_phase=True)
+        assert operation.precharge_on[3] is False
+        assert restoration.precharge_on[3] is True
+
+    def test_last_column_has_no_successor(self):
+        controller = ModifiedPrechargeController(columns=8)
+        decision = controller.evaluate(lptest=True, selected_column=7)
+        # "The CS signal of the last column is not connected to the first
+        # column pre-charge control" — nothing else is pre-charged.
+        assert decision.active_columns() == []
+
+    def test_activation_map_is_the_figure4_diagonal(self):
+        columns = 6
+        controller = ModifiedPrechargeController(columns=columns)
+        table = controller.activation_map(lptest=True)
+        for selected in range(columns):
+            active = [k for k, on in enumerate(table[selected]) if on]
+            expected = [selected + 1] if selected + 1 < columns else []
+            assert active == expected
+
+    def test_functional_activation_map_is_dense(self):
+        columns = 5
+        controller = ModifiedPrechargeController(columns=columns)
+        table = controller.activation_map(lptest=False)
+        for selected in range(columns):
+            assert sum(table[selected]) == columns - 1
+
+    def test_out_of_range_selected_column(self):
+        controller = ModifiedPrechargeController(columns=4)
+        with pytest.raises(ControllerError):
+            controller.evaluate(lptest=True, selected_column=4)
+
+    def test_descending_requires_extended_controller(self):
+        basic = ModifiedPrechargeController(columns=4)
+        with pytest.raises(ControllerError):
+            basic.evaluate(lptest=True, selected_column=2, descending=True)
+
+    def test_descending_variant_precharges_previous_column(self):
+        controller = ModifiedPrechargeController(columns=8, support_descending=True)
+        ascending = controller.evaluate(lptest=True, selected_column=3)
+        controller.reset()
+        descending = controller.evaluate(lptest=True, selected_column=3, descending=True)
+        assert ascending.active_columns() == [4]
+        assert descending.active_columns() == [2]
+
+
+class TestControllerEnergy:
+    def test_column_change_switches_one_element(self):
+        controller = ModifiedPrechargeController(columns=16)
+        controller.evaluate(lptest=True, selected_column=3)
+        decision = controller.evaluate(lptest=True, selected_column=4)
+        assert decision.switching_energy > 0
+        # Only a handful of nets toggle: the energy must be far below one
+        # bit-line recharge (the negligible-overhead claim).
+        bitline_energy = 500e-15 * 1.6 * 1.6
+        assert decision.switching_energy < 0.05 * bitline_energy
+
+    def test_static_vector_costs_nothing(self):
+        controller = ModifiedPrechargeController(columns=8)
+        controller.evaluate(lptest=True, selected_column=3)
+        again = controller.evaluate(lptest=True, selected_column=3)
+        assert again.switching_energy == 0.0

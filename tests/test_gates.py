@@ -1,0 +1,153 @@
+"""Unit tests for the combinational gate network model."""
+
+import pytest
+
+from repro.circuit.gates import (
+    AND2,
+    INVERTER,
+    LogicError,
+    LogicNetwork,
+    NAND2,
+    NOR2,
+    OR2,
+    TGATE_MUX2,
+    XOR2,
+)
+
+
+def build_half_adder():
+    net = LogicNetwork("half-adder")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_gate(XOR2, "sum_gate", ("a", "b"), "sum")
+    net.add_gate(AND2, "carry_gate", ("a", "b"), "carry")
+    return net
+
+
+class TestGateFunctions:
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_nand_truth_table(self, a, b, expected):
+        net = LogicNetwork("n")
+        net.add_input("a"); net.add_input("b")
+        net.add_gate(NAND2, "g", ("a", "b"), "y")
+        assert net.evaluate({"a": bool(a), "b": bool(b)}).value("y") == bool(expected)
+
+    @pytest.mark.parametrize("sel,d0,d1,expected", [
+        (0, 0, 1, 0), (0, 1, 0, 1), (1, 0, 1, 1), (1, 1, 0, 0),
+    ])
+    def test_transmission_gate_mux(self, sel, d0, d1, expected):
+        net = LogicNetwork("m")
+        for name in ("sel", "d0", "d1"):
+            net.add_input(name)
+        net.add_gate(TGATE_MUX2, "mux", ("sel", "d0", "d1"), "y")
+        result = net.evaluate({"sel": bool(sel), "d0": bool(d0), "d1": bool(d1)})
+        assert result.value("y") == bool(expected)
+
+    def test_inverter_nor_or(self):
+        net = LogicNetwork("misc")
+        net.add_input("a"); net.add_input("b")
+        net.add_gate(INVERTER, "inv", ("a",), "na")
+        net.add_gate(NOR2, "nor", ("a", "b"), "nor_out")
+        net.add_gate(OR2, "or", ("a", "b"), "or_out")
+        res = net.evaluate({"a": True, "b": False})
+        assert res.value("na") is False
+        assert res.value("nor_out") is False
+        assert res.value("or_out") is True
+
+    def test_half_adder(self):
+        net = build_half_adder()
+        res = net.evaluate({"a": True, "b": True})
+        assert res.value("sum") is False
+        assert res.value("carry") is True
+
+
+class TestNetworkStructure:
+    def test_transistor_count(self):
+        net = build_half_adder()
+        assert net.transistor_count() == XOR2.transistors + AND2.transistors
+
+    def test_output_driven_twice_rejected(self):
+        net = LogicNetwork("n")
+        net.add_input("a"); net.add_input("b")
+        net.add_gate(NAND2, "g1", ("a", "b"), "y")
+        with pytest.raises(LogicError):
+            net.add_gate(NOR2, "g2", ("a", "b"), "y")
+
+    def test_driving_primary_input_rejected(self):
+        net = LogicNetwork("n")
+        net.add_input("a"); net.add_input("b")
+        with pytest.raises(LogicError):
+            net.add_gate(NAND2, "g1", ("a", "b"), "a")
+
+    def test_wrong_arity_rejected(self):
+        net = LogicNetwork("n")
+        net.add_input("a")
+        with pytest.raises(LogicError):
+            net.add_gate(NAND2, "g1", ("a",), "y")
+
+    def test_missing_input_value_rejected(self):
+        net = build_half_adder()
+        with pytest.raises(LogicError):
+            net.evaluate({"a": True})
+
+    def test_undriven_net_detected(self):
+        net = LogicNetwork("n")
+        net.add_input("a")
+        net.add_gate(NAND2, "g1", ("a", "ghost"), "y")
+        with pytest.raises(LogicError):
+            net.evaluate({"a": True})
+
+    def test_combinational_loop_detected(self):
+        net = LogicNetwork("loop")
+        net.add_input("a")
+        net.add_gate(NAND2, "g1", ("a", "y2"), "y1")
+        net.add_gate(NAND2, "g2", ("a", "y1"), "y2")
+        with pytest.raises(LogicError):
+            net.evaluate({"a": True})
+
+
+class TestEnergyAndDelay:
+    def test_first_evaluation_has_no_switching_energy(self):
+        net = build_half_adder()
+        res = net.evaluate({"a": False, "b": False})
+        assert res.switching_energy == 0.0
+
+    def test_toggling_inputs_costs_energy(self):
+        net = build_half_adder()
+        net.evaluate({"a": False, "b": False})
+        res = net.evaluate({"a": True, "b": False})
+        assert res.switching_energy > 0.0
+        assert "sum" in res.toggled_nets
+
+    def test_identical_vector_costs_nothing(self):
+        net = build_half_adder()
+        net.evaluate({"a": True, "b": False})
+        res = net.evaluate({"a": True, "b": False})
+        assert res.switching_energy == 0.0
+        assert res.toggled_nets == []
+
+    def test_net_load_increases_energy(self):
+        loaded = build_half_adder()
+        loaded.add_net_load("sum", 100e-15)
+        plain = build_half_adder()
+        for net in (loaded, plain):
+            net.evaluate({"a": False, "b": False})
+        e_loaded = loaded.evaluate({"a": True, "b": False}).switching_energy
+        e_plain = plain.evaluate({"a": True, "b": False}).switching_energy
+        assert e_loaded > e_plain
+
+    def test_path_delay_accumulates(self):
+        net = LogicNetwork("chain")
+        net.add_input("a")
+        net.add_gate(INVERTER, "i1", ("a",), "n1")
+        net.add_gate(INVERTER, "i2", ("n1",), "n2")
+        assert net.path_delay("n2") == pytest.approx(2 * INVERTER.delay)
+        with pytest.raises(LogicError):
+            net.path_delay("ghost")
+
+    def test_reset_state_forgets_history(self):
+        net = build_half_adder()
+        net.evaluate({"a": False, "b": False})
+        net.reset_state()
+        res = net.evaluate({"a": True, "b": True})
+        assert res.switching_energy == 0.0

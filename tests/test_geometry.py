@@ -1,0 +1,83 @@
+"""Unit tests for the array geometry / addressing conversions."""
+
+import pytest
+
+from repro.sram.geometry import ArrayGeometry, PAPER_GEOMETRY, SMALL_GEOMETRY
+
+
+class TestValidation:
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(rows=0, columns=8)
+        with pytest.raises(ValueError):
+            ArrayGeometry(rows=8, columns=0)
+        with pytest.raises(ValueError):
+            ArrayGeometry(rows=8, columns=8, bits_per_word=0)
+
+    def test_rejects_non_divisible_word_width(self):
+        with pytest.raises(ValueError):
+            ArrayGeometry(rows=8, columns=10, bits_per_word=4)
+
+    def test_paper_geometry_is_512_by_512_bit_oriented(self):
+        assert PAPER_GEOMETRY.rows == 512
+        assert PAPER_GEOMETRY.columns == 512
+        assert PAPER_GEOMETRY.is_bit_oriented
+        assert PAPER_GEOMETRY.word_count == 512 * 512
+
+    def test_small_geometry_is_bit_oriented(self):
+        assert SMALL_GEOMETRY.is_bit_oriented
+
+
+class TestBitOrientedAddressing:
+    def test_address_roundtrip(self, small_geometry):
+        for address in range(small_geometry.word_count):
+            row, word = small_geometry.coordinates_of(address)
+            assert small_geometry.address_of(row, word) == address
+
+    def test_row_major_is_wordline_after_wordline(self, small_geometry):
+        addresses = list(small_geometry.iter_addresses_row_major())
+        coords = [small_geometry.coordinates_of(a) for a in addresses]
+        # all words of row 0 first, then row 1, ...
+        assert coords[: small_geometry.words_per_row] == [
+            (0, w) for w in range(small_geometry.words_per_row)]
+        assert coords[small_geometry.words_per_row] == (1, 0)
+
+    def test_out_of_range_rejected(self, small_geometry):
+        with pytest.raises(ValueError):
+            small_geometry.coordinates_of(small_geometry.word_count)
+        with pytest.raises(ValueError):
+            small_geometry.address_of(small_geometry.rows, 0)
+        with pytest.raises(ValueError):
+            small_geometry.columns_of_word(small_geometry.words_per_row)
+
+    def test_columns_of_word_bit_oriented(self, small_geometry):
+        assert small_geometry.columns_of_word(3) == (3,)
+        assert small_geometry.word_of_column(3) == 3
+
+
+class TestWordOrientedAddressing:
+    def test_word_oriented_counts(self):
+        geometry = ArrayGeometry(rows=16, columns=64, bits_per_word=8)
+        assert geometry.words_per_row == 8
+        assert geometry.word_count == 16 * 8
+        assert not geometry.is_bit_oriented
+
+    def test_columns_of_word_interleaved(self):
+        geometry = ArrayGeometry(rows=4, columns=16, bits_per_word=4)
+        columns = geometry.columns_of_word(1)
+        # bit b of word w sits at b * words_per_row + w
+        assert columns == (1, 5, 9, 13)
+        for column in columns:
+            assert geometry.word_of_column(column) == 1
+
+    def test_all_columns_covered_exactly_once(self):
+        geometry = ArrayGeometry(rows=4, columns=16, bits_per_word=4)
+        seen = []
+        for word in range(geometry.words_per_row):
+            seen.extend(geometry.columns_of_word(word))
+        assert sorted(seen) == list(range(16))
+
+    def test_describe_mentions_organisation(self):
+        geometry = ArrayGeometry(rows=4, columns=16, bits_per_word=4)
+        assert "word-oriented" in geometry.describe()
+        assert "bit-oriented" in PAPER_GEOMETRY.describe()

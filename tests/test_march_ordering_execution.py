@@ -1,0 +1,179 @@
+"""Unit tests for address orders (DOF 1) and the execution walker."""
+
+import pytest
+
+from repro.march import (
+    AddressComplementOrder,
+    AddressingDirection,
+    ColumnMajorOrder,
+    MARCH_CM,
+    MATS_PLUS,
+    OrderingError,
+    PseudoRandomOrder,
+    RowMajorOrder,
+    RowMajorSnakeOrder,
+    count_steps,
+    make_order,
+    parse_march,
+    row_transition_count,
+    verify_is_permutation,
+    walk,
+)
+from repro.march.dof import (
+    DegreeOfFreedom,
+    all_degrees,
+    complement_data,
+    coverage_equivalence_orders,
+    paper_choice,
+)
+from repro.sram.geometry import ArrayGeometry
+
+
+class TestAddressOrders:
+    @pytest.mark.parametrize("order_cls", [
+        RowMajorOrder, ColumnMajorOrder, PseudoRandomOrder,
+        AddressComplementOrder, RowMajorSnakeOrder,
+    ])
+    def test_every_order_is_a_permutation(self, small_geometry, order_cls):
+        order = order_cls(small_geometry)
+        assert verify_is_permutation(order)
+        assert len(order) == small_geometry.word_count
+
+    def test_descending_is_exact_reverse(self, small_geometry):
+        # The DOF-1 requirement: ⇓ is the reverse of ⇑.
+        for order_cls in (RowMajorOrder, ColumnMajorOrder, PseudoRandomOrder):
+            order = order_cls(small_geometry)
+            assert list(order.descending()) == list(reversed(list(order.ascending())))
+
+    def test_row_major_visits_wordline_after_wordline(self, small_geometry):
+        order = RowMajorOrder(small_geometry)
+        coords = order.sequence()
+        assert coords[0] == (0, 0)
+        assert coords[small_geometry.words_per_row - 1] == (0, small_geometry.words_per_row - 1)
+        assert coords[small_geometry.words_per_row] == (1, 0)
+        assert order.is_wordline_sequential()
+
+    def test_column_major_is_not_wordline_sequential(self, small_geometry):
+        assert not ColumnMajorOrder(small_geometry).is_wordline_sequential()
+
+    def test_snake_order_is_wordline_sequential(self, small_geometry):
+        order = RowMajorSnakeOrder(small_geometry)
+        assert order.is_wordline_sequential()
+        assert verify_is_permutation(order)
+        # second row is traversed backwards
+        assert order.coordinate_at(small_geometry.words_per_row) == (
+            1, small_geometry.words_per_row - 1)
+
+    def test_pseudo_random_is_deterministic_per_seed(self, small_geometry):
+        a = PseudoRandomOrder(small_geometry, seed=7).sequence()
+        b = PseudoRandomOrder(small_geometry, seed=7).sequence()
+        c = PseudoRandomOrder(small_geometry, seed=8).sequence()
+        assert a == b
+        assert a != c
+
+    def test_out_of_range_position(self, small_geometry):
+        with pytest.raises(OrderingError):
+            RowMajorOrder(small_geometry).coordinate_at(small_geometry.word_count)
+
+    def test_make_order_registry(self, small_geometry):
+        assert isinstance(make_order("wordline", small_geometry), RowMajorOrder)
+        assert isinstance(make_order("fast-row", small_geometry), ColumnMajorOrder)
+        with pytest.raises(OrderingError):
+            make_order("bogus", small_geometry)
+
+
+class TestWalker:
+    def test_step_count_matches_formula(self, small_geometry):
+        order = RowMajorOrder(small_geometry)
+        steps = list(walk(MARCH_CM, order))
+        assert len(steps) == count_steps(MARCH_CM, order)
+        assert len(steps) == MARCH_CM.operation_count * small_geometry.word_count
+
+    def test_indices_are_sequential(self, tiny_geometry):
+        steps = list(walk(MATS_PLUS, RowMajorOrder(tiny_geometry)))
+        assert [s.index for s in steps] == list(range(len(steps)))
+
+    def test_operations_applied_per_address_in_order(self, tiny_geometry):
+        algorithm = parse_march("{⇑(r0,w1)}", name="pair")
+        steps = list(walk(algorithm, RowMajorOrder(tiny_geometry)))
+        assert steps[0].operation.to_notation() == "r0"
+        assert steps[1].operation.to_notation() == "w1"
+        assert (steps[0].row, steps[0].word) == (steps[1].row, steps[1].word)
+
+    def test_descending_element_reverses_addresses(self, tiny_geometry):
+        algorithm = parse_march("{⇓(w0)}", name="down")
+        steps = list(walk(algorithm, RowMajorOrder(tiny_geometry)))
+        assert (steps[0].row, steps[0].word) == (tiny_geometry.rows - 1,
+                                                 tiny_geometry.words_per_row - 1)
+        assert steps[0].direction is AddressingDirection.DOWN
+
+    def test_any_direction_resolution(self, tiny_geometry):
+        algorithm = parse_march("{⇕(w0)}", name="any")
+        up = list(walk(algorithm, RowMajorOrder(tiny_geometry),
+                       AddressingDirection.UP))
+        down = list(walk(algorithm, RowMajorOrder(tiny_geometry),
+                         AddressingDirection.DOWN))
+        assert (up[0].row, up[0].word) == (0, 0)
+        assert (down[0].row, down[0].word) == (tiny_geometry.rows - 1,
+                                               tiny_geometry.words_per_row - 1)
+
+    def test_lookahead_next_address(self, tiny_geometry):
+        steps = list(walk(MATS_PLUS, RowMajorOrder(tiny_geometry)))
+        for current, following in zip(steps, steps[1:]):
+            assert current.next_row == following.row
+            assert current.next_word == following.word
+        assert steps[-1].next_row is None
+        assert steps[-1].last_of_test
+
+    def test_last_access_on_row_flags(self, tiny_geometry):
+        order = RowMajorOrder(tiny_geometry)
+        steps = list(walk(MATS_PLUS, order))
+        flagged = [s for s in steps if s.last_access_on_row]
+        # At most one per row per element for a word-line-sequential order;
+        # an element boundary where the next element starts on the same row
+        # (e.g. ⇑ followed by ⇓) does not need a restoration cycle.
+        upper = MATS_PLUS.element_count * tiny_geometry.rows
+        lower = upper - (MATS_PLUS.element_count - 1)
+        assert lower <= len(flagged) <= upper
+        for step in flagged:
+            assert step.operation_index == len(
+                MATS_PLUS.elements[step.element_index].operations) - 1
+        assert row_transition_count(MATS_PLUS, order) == len(flagged)
+        # every actual row change is preceded by a flagged access
+        for current, following in zip(steps, steps[1:]):
+            if following.row != current.row:
+                assert current.last_access_on_row
+
+    def test_first_of_element_flag(self, tiny_geometry):
+        steps = list(walk(MATS_PLUS, RowMajorOrder(tiny_geometry)))
+        firsts = [s for s in steps if s.first_of_element]
+        assert len(firsts) == MATS_PLUS.element_count
+
+
+class TestDegreesOfFreedom:
+    def test_six_degrees_enumerated(self):
+        assert len(all_degrees()) == 6
+        for degree in all_degrees():
+            assert degree.summary()
+
+    def test_paper_choice_is_row_major_ascending(self, small_geometry):
+        choice = paper_choice(MARCH_CM, small_geometry)
+        assert isinstance(choice.order, RowMajorOrder)
+        assert choice.any_direction is AddressingDirection.UP
+        assert "word line" in choice.describe() or "row-major" in choice.describe()
+
+    def test_coverage_equivalence_orders(self, small_geometry):
+        orders = coverage_equivalence_orders(small_geometry, seeds=(1, 2))
+        assert len(orders) == 4
+        for order in orders:
+            assert verify_is_permutation(order)
+
+    def test_complement_data_transform(self):
+        complemented = complement_data(MARCH_CM)
+        complemented.validate()
+        assert complemented.operation_count == MARCH_CM.operation_count
+        assert complemented.elements[0].operations[0].value == 1
+
+    def test_dof1_is_the_address_sequence(self):
+        assert DegreeOfFreedom.ADDRESS_SEQUENCE.value == 1
+        assert "word line" in DegreeOfFreedom.ADDRESS_SEQUENCE.summary()

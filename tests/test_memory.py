@@ -1,0 +1,222 @@
+"""Integration-level tests of the behavioural SRAM memory model."""
+
+import pytest
+
+from repro.power.sources import PowerSource
+from repro.sram import (
+    ArrayGeometry,
+    MemoryError_,
+    OperatingMode,
+    PrechargePlan,
+    SRAM,
+    checkerboard_background,
+    solid_background,
+)
+
+
+def make_memory(geometry, mode=OperatingMode.FUNCTIONAL, background=0, **kwargs):
+    memory = SRAM(geometry, mode=mode, **kwargs)
+    memory.apply_background(solid_background(background))
+    return memory
+
+
+class TestFunctionalAccess:
+    def test_write_then_read_roundtrip(self, small_geometry):
+        memory = make_memory(small_geometry)
+        memory.write(2, 3, 1)
+        outcome = memory.read(2, 3)
+        assert outcome.value == 1
+        assert outcome.read_correct
+        assert not outcome.read_hazard
+
+    def test_background_then_read_all(self, tiny_geometry):
+        memory = make_memory(tiny_geometry, background=1)
+        for row in range(tiny_geometry.rows):
+            for word in range(tiny_geometry.words_per_row):
+                assert memory.read(row, word).value == 1
+
+    def test_peek_poke_do_not_consume_cycles_or_energy(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        memory.poke(1, 1, 1)
+        assert memory.peek(1, 1) == 1
+        assert memory.cycle == 0
+        assert memory.ledger.total_energy() == 0.0
+
+    def test_cycle_counter_and_energy_accumulate(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        memory.write(0, 0, 1)
+        memory.read(0, 0)
+        assert memory.cycle == 2
+        assert memory.ledger.total_energy() > 0.0
+        assert memory.average_power() > 0.0
+
+    def test_out_of_range_access(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        with pytest.raises(ValueError):
+            memory.read(tiny_geometry.rows, 0)
+
+    def test_invalid_write_value(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        with pytest.raises(MemoryError_):
+            memory.write(0, 0, 2)
+
+    def test_restricted_plan_rejected_in_functional_mode(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        with pytest.raises(MemoryError_):
+            memory.read(0, 0, plan=PrechargePlan(enabled_columns=frozenset({1})))
+
+    def test_reset_clears_state(self, tiny_geometry):
+        memory = make_memory(tiny_geometry)
+        memory.write(0, 0, 1)
+        memory.reset()
+        assert memory.cycle == 0
+        assert memory.ledger.total_energy() == 0.0
+
+
+class TestFunctionalPowerBehaviour:
+    def test_every_cycle_stresses_all_unselected_columns(self, small_geometry):
+        memory = make_memory(small_geometry)
+        memory.read(0, 0)
+        assert memory.counters.full_res_column_cycles == small_geometry.columns - 1
+        breakdown = memory.energy_breakdown()
+        assert breakdown[PowerSource.PRECHARGE_UNSELECTED] > 0
+        assert breakdown[PowerSource.CELL_RES] > 0
+
+    def test_cell_res_three_orders_below_precharge_res(self, small_geometry):
+        memory = make_memory(small_geometry)
+        memory.read(0, 0)
+        breakdown = memory.energy_breakdown()
+        ratio = breakdown[PowerSource.PRECHARGE_UNSELECTED] / breakdown[PowerSource.CELL_RES]
+        assert ratio == pytest.approx(1000.0, rel=0.01)
+
+    def test_write_costs_more_than_read(self, small_geometry):
+        memory = make_memory(small_geometry)
+        read_energy = memory.read(0, 0).energy
+        write_energy = memory.write(0, 1, 1).energy
+        assert write_energy > read_energy
+
+    def test_wider_array_spends_more_on_unselected_precharge(self):
+        narrow = make_memory(ArrayGeometry(rows=8, columns=8))
+        wide = make_memory(ArrayGeometry(rows=8, columns=64))
+        narrow.read(0, 0)
+        wide.read(0, 0)
+        assert (wide.energy_breakdown()[PowerSource.PRECHARGE_UNSELECTED]
+                > narrow.energy_breakdown()[PowerSource.PRECHARGE_UNSELECTED])
+
+    def test_pa_property_matches_technology(self, small_geometry, tech):
+        memory = make_memory(small_geometry)
+        expected = tech.vdd * tech.res_equilibrium_current * memory.clock.operation_duration
+        assert memory.res_energy_per_column_cycle == pytest.approx(expected)
+
+
+class TestLowPowerMode:
+    def lpt_plan(self, enabled=(), full_restore=False):
+        return PrechargePlan(enabled_columns=frozenset(enabled),
+                             full_restore=full_restore)
+
+    def test_only_enabled_columns_sustain_res(self, small_geometry):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        memory.read(0, 0, plan=self.lpt_plan(enabled={1}))
+        assert memory.counters.full_res_column_cycles == 1
+        assert memory.counters.floating_column_cycles == small_geometry.columns - 2
+
+    def test_lpt_cycle_cheaper_than_functional_cycle(self, wide_geometry):
+        functional = make_memory(wide_geometry)
+        low_power = make_memory(wide_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        functional_energy = functional.read(0, 0).energy
+        low_power_energy = low_power.read(0, 0, plan=self.lpt_plan(enabled={1})).energy
+        assert low_power_energy < functional_energy
+
+    def test_floating_columns_discharge_over_time(self, small_geometry, tech):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        # walk along row 0 so column 7 floats for a while
+        for word in range(4):
+            memory.read(0, word, plan=self.lpt_plan(enabled={word + 1}))
+        # column 7 has been floating since cycle 0 with a '0' cell attached
+        v_bl, v_blb = memory.columns[7].voltages_at(memory.cycle)
+        assert min(v_bl, v_blb) < tech.vdd
+        assert max(v_bl, v_blb) == pytest.approx(tech.vdd)
+
+    def test_full_restore_recharges_everything(self, small_geometry, tech):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        for word in range(small_geometry.words_per_row - 1):
+            memory.read(0, word, plan=self.lpt_plan(enabled={word + 1}))
+        last = small_geometry.words_per_row - 1
+        memory.read(0, last, plan=self.lpt_plan(enabled=set(), full_restore=True))
+        assert memory.counters.full_restores == 1
+        breakdown = memory.energy_breakdown()
+        assert breakdown[PowerSource.ROW_TRANSITION_RESTORE] > 0
+        for column in memory.columns:
+            v_bl, v_blb = column.voltages_at(memory.cycle)
+            assert v_bl == pytest.approx(tech.vdd)
+            assert v_blb == pytest.approx(tech.vdd)
+
+    def test_row_transition_without_restore_causes_faulty_swaps(self, small_geometry):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        memory.apply_background(checkerboard_background())
+        # Traverse row 0 but "forget" the restoration cycle at the end.
+        for word in range(small_geometry.words_per_row):
+            nxt = {word + 1} if word + 1 < small_geometry.words_per_row else set()
+            memory.write(0, word, 0, plan=self.lpt_plan(enabled=nxt))
+        outcome = memory.read(1, 0, plan=self.lpt_plan(enabled={1}))
+        assert outcome.faulty_swaps, "skipping the restoration cycle must corrupt row 1"
+
+    def test_row_transition_with_restore_is_safe(self, small_geometry):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        memory.apply_background(checkerboard_background())
+        last = small_geometry.words_per_row - 1
+        for word in range(small_geometry.words_per_row):
+            nxt = {word + 1} if word < last else set()
+            memory.write(0, word, 0,
+                         plan=self.lpt_plan(enabled=nxt, full_restore=(word == last)))
+        outcome = memory.read(1, 0, plan=self.lpt_plan(enabled={1}))
+        assert not outcome.faulty_swaps
+        assert outcome.value == checkerboard_background()(1, 0)
+
+    def test_control_and_lptest_energy_booked(self, small_geometry):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        plan = PrechargePlan(enabled_columns=frozenset({1}), control_energy=1e-15,
+                             lptest_toggles=1)
+        memory.read(0, 0, plan=plan)
+        breakdown = memory.energy_breakdown()
+        assert breakdown[PowerSource.CONTROL_LOGIC] == pytest.approx(1e-15)
+        assert breakdown[PowerSource.LPTEST_DRIVER] > 0
+
+    def test_unknown_column_in_plan_rejected(self, tiny_geometry):
+        memory = make_memory(tiny_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        with pytest.raises(MemoryError_):
+            memory.read(0, 0, plan=self.lpt_plan(enabled={99}))
+
+    def test_switching_back_to_functional_recharges_floating_columns(self, small_geometry, tech):
+        memory = make_memory(small_geometry, mode=OperatingMode.LOW_POWER_TEST)
+        memory.read(0, 0, plan=self.lpt_plan(enabled={1}))
+        memory.set_mode(OperatingMode.FUNCTIONAL)
+        memory.read(0, 1)
+        for column in memory.columns:
+            v_bl, v_blb = column.voltages_at(memory.cycle)
+            assert v_bl == pytest.approx(tech.vdd, abs=1e-6)
+            assert v_blb == pytest.approx(tech.vdd, abs=1e-6)
+
+
+class TestWordOrientedExtension:
+    def test_word_oriented_access(self):
+        geometry = ArrayGeometry(rows=8, columns=16, bits_per_word=4)
+        memory = SRAM(geometry)
+        memory.apply_background(solid_background(0))
+        memory.write(2, 1, 0b1010)
+        assert memory.read(2, 1).value == 0b1010
+        assert memory.peek(2, 1) == 0b1010
+
+    def test_word_oriented_res_counts_exclude_selected_word(self):
+        geometry = ArrayGeometry(rows=8, columns=16, bits_per_word=4)
+        memory = SRAM(geometry)
+        memory.apply_background(solid_background(0))
+        memory.read(0, 0)
+        assert memory.counters.full_res_column_cycles == geometry.columns - 4
+
+    def test_word_value_range_checked(self):
+        geometry = ArrayGeometry(rows=4, columns=8, bits_per_word=4)
+        memory = SRAM(geometry)
+        memory.apply_background(solid_background(0))
+        with pytest.raises(MemoryError_):
+            memory.write(0, 0, 16)

@@ -1,0 +1,156 @@
+"""Tests of the low-power planner and the analytical Section 5 power model."""
+
+import pytest
+
+from repro.core.lowpower import FunctionalModePlanner, LowPowerTestPlanner
+from repro.core.prr import AnalyticalModelError, AnalyticalPowerModel
+from repro.march import (
+    AddressingDirection,
+    MARCH_CM,
+    MARCH_SS,
+    MATS_PLUS,
+    PAPER_TABLE1_ALGORITHMS,
+    RowMajorOrder,
+    walk,
+)
+from repro.sram import FUNCTIONAL_PLAN
+from repro.sram.geometry import ArrayGeometry, PAPER_GEOMETRY
+
+
+class TestFunctionalPlanner:
+    def test_always_returns_functional_plan(self, small_geometry):
+        planner = FunctionalModePlanner()
+        for step in walk(MATS_PLUS, RowMajorOrder(small_geometry)):
+            assert planner.plan(step) is FUNCTIONAL_PLAN
+        assert planner.requires_low_power_mode is False
+
+
+class TestLowPowerPlanner:
+    def plans_for(self, algorithm, geometry):
+        planner = LowPowerTestPlanner(geometry)
+        order = RowMajorOrder(geometry)
+        return list(zip(walk(algorithm, order), (planner.plan(s) for s in walk(algorithm, order))))
+
+    def test_enables_only_the_following_column(self, small_geometry):
+        planner = LowPowerTestPlanner(small_geometry)
+        steps = list(walk(MATS_PLUS, RowMajorOrder(small_geometry)))
+        for step in steps:
+            plan = planner.plan(step)
+            if step.direction is AddressingDirection.UP:
+                expected = {step.word + 1} if step.word + 1 < small_geometry.words_per_row else set()
+            else:
+                expected = {step.word - 1} if step.word - 1 >= 0 else set()
+            assert set(plan.enabled_columns) == expected
+
+    def test_full_restore_exactly_on_last_access_of_each_row(self, small_geometry):
+        planner = LowPowerTestPlanner(small_geometry)
+        steps = list(walk(MARCH_CM, RowMajorOrder(small_geometry)))
+        restores = [s for s in steps if planner.plan(s).full_restore]
+        planner.reset()
+        upper = MARCH_CM.element_count * small_geometry.rows
+        assert upper - (MARCH_CM.element_count - 1) <= len(restores) <= upper
+        assert all(s.last_access_on_row for s in restores)
+        # every actual row change is covered by a restoration cycle
+        for current, following in zip(steps, steps[1:]):
+            if following.row != current.row:
+                assert current.last_access_on_row
+
+    def test_lptest_toggles_only_on_restore_cycles(self, small_geometry):
+        planner = LowPowerTestPlanner(small_geometry)
+        for step in walk(MATS_PLUS, RowMajorOrder(small_geometry)):
+            plan = planner.plan(step)
+            assert (plan.lptest_toggles > 0) == step.last_access_on_row
+
+    def test_control_energy_booked_on_column_changes(self, small_geometry):
+        planner = LowPowerTestPlanner(small_geometry)
+        steps = list(walk(MARCH_CM, RowMajorOrder(small_geometry)))
+        plans = [planner.plan(step) for step in steps]
+        # March C- applies up to 2 operations per address: the second access
+        # of a pair stays on the same column and must not pay control energy.
+        charged = [p.control_energy > 0 for p in plans]
+        assert charged[0] is True
+        same_column_steps = [i for i, s in enumerate(steps[1:], start=1)
+                             if s.word == steps[i - 1].word and s.row == steps[i - 1].row]
+        assert same_column_steps, "March C- should revisit addresses"
+        assert all(not charged[i] for i in same_column_steps)
+
+    def test_statistics_accumulate(self, tiny_geometry):
+        planner = LowPowerTestPlanner(tiny_geometry)
+        for step in walk(MATS_PLUS, RowMajorOrder(tiny_geometry)):
+            planner.plan(step)
+        stats = planner.statistics
+        assert stats.cycles == MATS_PLUS.operation_count * tiny_geometry.word_count
+        upper = MATS_PLUS.element_count * tiny_geometry.rows
+        assert upper - (MATS_PLUS.element_count - 1) <= stats.restore_cycles <= upper
+        planner.reset()
+        assert planner.statistics.cycles == 0
+
+    def test_word_oriented_geometry_enables_whole_word_group(self):
+        geometry = ArrayGeometry(rows=4, columns=16, bits_per_word=4)
+        planner = LowPowerTestPlanner(geometry)
+        step = next(iter(walk(MATS_PLUS, RowMajorOrder(geometry))))
+        plan = planner.plan(step)
+        assert set(plan.enabled_columns) == set(geometry.columns_of_word(1))
+
+
+class TestAnalyticalModel:
+    def test_prr_close_to_paper_band(self):
+        """Paper Table 1: PRR between 47.3 % and 50.5 % on the 512x512 array.
+
+        Our per-event energies are not the authors' (unpublished) Spice
+        values, so we accept a wider band around ~50 %, but every algorithm
+        must show a large reduction of the same order as the paper's.
+        """
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        for algorithm in PAPER_TABLE1_ALGORITHMS:
+            prr = model.prr(algorithm)
+            assert 0.40 < prr < 0.70, algorithm.name
+
+    def test_low_power_always_cheaper(self):
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        for algorithm in PAPER_TABLE1_ALGORITHMS:
+            assert model.low_power_test_power(algorithm) < model.functional_power(algorithm)
+
+    def test_secondary_overheads_are_negligible(self):
+        # Paper sources 3 and 5: LPtest driver and control logic barely move PRR.
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        for algorithm in PAPER_TABLE1_ALGORITHMS:
+            delta = model.prr(algorithm) - model.prr(algorithm, include_secondary=True)
+            assert delta < 0.01
+
+    def test_next_column_recharge_lowers_prr(self):
+        # The term the paper's equation omits (see EXPERIMENTS.md) reduces
+        # the predicted PRR, most strongly for few-operations-per-element tests.
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        for algorithm in PAPER_TABLE1_ALGORITHMS:
+            assert model.prr(algorithm, include_next_column_recharge=True) \
+                < model.prr(algorithm)
+
+    def test_prr_grows_with_column_count(self):
+        narrow = AnalyticalPowerModel(ArrayGeometry(rows=512, columns=64))
+        wide = AnalyticalPowerModel(ArrayGeometry(rows=512, columns=512))
+        assert wide.prr(MARCH_CM) > narrow.prr(MARCH_CM)
+
+    def test_savings_term_matches_formula(self, tech):
+        model = AnalyticalPowerModel(PAPER_GEOMETRY, tech=tech)
+        expected = (PAPER_GEOMETRY.columns - 2) * (
+            model.energies.res_per_column + model.energies.cell_res)
+        assert model.res_savings_per_cycle() == pytest.approx(expected)
+
+    def test_row_transition_term_matches_formula(self):
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        expected = (MARCH_CM.element_count / MARCH_CM.operation_count) \
+            * model.energies.restore_per_column
+        assert model.row_transition_overhead_per_cycle(MARCH_CM) == pytest.approx(expected)
+
+    def test_prediction_bundle_consistency(self):
+        model = AnalyticalPowerModel(PAPER_GEOMETRY)
+        prediction = model.predict(MARCH_SS)
+        assert prediction.prr == pytest.approx(
+            1.0 - prediction.low_power_per_cycle / prediction.functional_per_cycle)
+        row = prediction.as_row()
+        assert row["algorithm"] == "March SS"
+
+    def test_degenerate_geometry_rejected(self):
+        with pytest.raises(AnalyticalModelError):
+            AnalyticalPowerModel(ArrayGeometry(rows=4, columns=2))

@@ -1,0 +1,148 @@
+"""Unit tests for the energy ledger and the closed-form power model."""
+
+import pytest
+
+from repro.power.accounting import AccountingError, EnergyEvent, EnergyLedger
+from repro.power.model import PowerModel
+from repro.power.sources import OVERHEAD_SOURCES, PowerSource, SAVINGS_TARGET_SOURCES
+from repro.sram.geometry import ArrayGeometry, PAPER_GEOMETRY
+
+
+class TestEnergyEvent:
+    def test_validation(self):
+        with pytest.raises(AccountingError):
+            EnergyEvent(cycle=-1, source=PowerSource.OPERATION_READ, energy=1.0)
+        with pytest.raises(AccountingError):
+            EnergyEvent(cycle=0, source=PowerSource.OPERATION_READ, energy=-1.0)
+
+
+class TestEnergyLedger:
+    def make(self, **kwargs):
+        return EnergyLedger(clock_period=3e-9, label="test", **kwargs)
+
+    def test_totals_and_average_power(self):
+        ledger = self.make()
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 1e-12)
+        ledger.record_energy(1, PowerSource.OPERATION_WRITE, 2e-12)
+        ledger.record_energy(1, PowerSource.PRECHARGE_UNSELECTED, 3e-12)
+        assert ledger.total_energy() == pytest.approx(6e-12)
+        assert ledger.cycle_count == 2
+        assert ledger.average_power() == pytest.approx(6e-12 / (2 * 3e-9))
+        assert ledger.average_energy_per_cycle() == pytest.approx(3e-12)
+
+    def test_source_filtering_and_fractions(self):
+        ledger = self.make()
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 1e-12)
+        ledger.record_energy(0, PowerSource.PRECHARGE_UNSELECTED, 3e-12)
+        assert ledger.total_energy([PowerSource.PRECHARGE_UNSELECTED]) == pytest.approx(3e-12)
+        assert ledger.source_fraction(PowerSource.PRECHARGE_UNSELECTED) == pytest.approx(0.75)
+        assert ledger.source_fraction(PowerSource.LEAKAGE) == 0.0
+
+    def test_zero_energy_bookings_dropped(self):
+        ledger = self.make()
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 0.0)
+        assert ledger.total_energy() == 0.0
+        assert ledger.events == []
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(AccountingError):
+            self.make().record_energy(0, PowerSource.OPERATION_READ, -1.0)
+
+    def test_per_cycle_series(self):
+        ledger = self.make()
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 1e-12)
+        ledger.record_energy(2, PowerSource.OPERATION_READ, 2e-12)
+        assert ledger.per_cycle_energy() == pytest.approx([1e-12, 0.0, 2e-12])
+        assert ledger.peak_cycle_energy() == pytest.approx(2e-12)
+        assert len(ledger.per_cycle_power()) == 3
+
+    def test_lightweight_ledger_drops_events_but_keeps_totals(self):
+        ledger = self.make(keep_events=False, track_per_cycle=False)
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 1e-12)
+        assert ledger.total_energy() == pytest.approx(1e-12)
+        assert ledger.events == []
+        with pytest.raises(AccountingError):
+            ledger.per_cycle_energy()
+
+    def test_energy_by_column(self):
+        ledger = self.make()
+        ledger.record_energy(0, PowerSource.OPERATION_READ, 1e-12, column=3)
+        ledger.record_energy(1, PowerSource.PRECHARGE_UNSELECTED, 2e-12, column=3)
+        ledger.record_energy(1, PowerSource.PRECHARGE_UNSELECTED, 5e-12, column=4)
+        per_column = ledger.energy_by_column()
+        assert per_column[3] == pytest.approx(3e-12)
+        only_res = ledger.energy_by_column(PowerSource.PRECHARGE_UNSELECTED)
+        assert only_res[3] == pytest.approx(2e-12)
+
+    def test_summary_and_merge(self):
+        first = self.make()
+        first.record_energy(0, PowerSource.OPERATION_READ, 1e-12)
+        second = self.make()
+        second.record_energy(0, PowerSource.OPERATION_WRITE, 2e-12)
+        merged = first.merged_with(second)
+        assert merged.total_energy() == pytest.approx(3e-12)
+        assert merged.cycle_count == 2
+        summary = merged.summary()
+        assert summary.cycles == 2
+        assert summary.total_energy == pytest.approx(3e-12)
+
+    def test_merge_requires_event_retention(self):
+        a = self.make(keep_events=False)
+        b = self.make()
+        with pytest.raises(AccountingError):
+            a.merged_with(b)
+
+    def test_invalid_clock_period(self):
+        with pytest.raises(AccountingError):
+            EnergyLedger(clock_period=0.0)
+
+
+class TestPowerSourceEnum:
+    def test_paper_source_indices(self):
+        assert PowerSource.PRECHARGE_UNSELECTED.paper_source_index == 1
+        assert PowerSource.ROW_TRANSITION_RESTORE.paper_source_index == 2
+        assert PowerSource.LPTEST_DRIVER.paper_source_index == 3
+        assert PowerSource.CELL_RES.paper_source_index == 4
+        assert PowerSource.CONTROL_LOGIC.paper_source_index == 5
+        assert PowerSource.LEAKAGE.paper_source_index is None
+
+    def test_savings_and_overhead_sets_disjoint(self):
+        assert not (SAVINGS_TARGET_SOURCES & OVERHEAD_SOURCES)
+
+    def test_operation_flag(self):
+        assert PowerSource.OPERATION_READ.is_operation
+        assert not PowerSource.CELL_RES.is_operation
+
+
+class TestPowerModel:
+    def test_write_costs_more_than_read(self):
+        energies = PowerModel(PAPER_GEOMETRY).energies()
+        assert energies.write > energies.read > 0
+
+    def test_res_energy_three_orders_above_cell_res(self):
+        # Paper Section 5, source 4: cell RES power is three orders of
+        # magnitude below the pre-charge RES power.
+        energies = PowerModel(PAPER_GEOMETRY).energies()
+        assert energies.res_per_column / energies.cell_res == pytest.approx(1000.0)
+
+    def test_per_event_energies_are_positive(self):
+        energies = PowerModel(PAPER_GEOMETRY).energies()
+        for name, value in energies.as_dict().items():
+            assert value > 0, name
+
+    def test_pa_matches_behavioural_definition(self, tech):
+        model = PowerModel(PAPER_GEOMETRY, tech=tech)
+        expected = tech.vdd * tech.res_equilibrium_current * (tech.clock_period / 2)
+        assert model.res_energy_per_column() == pytest.approx(expected)
+
+    def test_bitline_capacitance_drives_write_energy(self, tech):
+        tall = PowerModel(ArrayGeometry(rows=512, columns=32), tech=tech).energies()
+        short = PowerModel(ArrayGeometry(rows=32, columns=32), tech=tech).energies()
+        assert tall.write > short.write
+        assert tall.restore_per_column > short.restore_per_column
+
+    def test_word_oriented_scales_per_bit(self, tech):
+        bitwise = PowerModel(ArrayGeometry(rows=64, columns=64), tech=tech).energies()
+        wordwise = PowerModel(ArrayGeometry(rows=64, columns=64, bits_per_word=8),
+                              tech=tech).energies()
+        assert wordwise.write > bitwise.write

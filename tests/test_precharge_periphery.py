@@ -1,0 +1,138 @@
+"""Unit tests for the pre-charge circuit, timing, decoders and periphery."""
+
+import pytest
+
+from repro.sram.bitline import BitLinePair
+from repro.sram.geometry import ArrayGeometry
+from repro.sram.periphery import (
+    ColumnDecoder,
+    DecoderError,
+    RowDecoder,
+    SenseAmplifier,
+    WriteDriver,
+)
+from repro.sram.precharge import PrechargeCircuit, PrechargeError
+from repro.sram.timing import ClockCycle, CyclePhase, TestClock
+
+
+class TestClockCycle:
+    def test_from_technology_matches_paper(self, tech):
+        cycle = ClockCycle.from_technology(tech)
+        assert cycle.period == pytest.approx(3e-9)
+        assert cycle.operation_duration == pytest.approx(1.5e-9)
+        assert cycle.restoration_duration == pytest.approx(1.5e-9)
+
+    def test_phase_durations_sum_to_period(self):
+        cycle = ClockCycle(period=3e-9, operation_fraction=0.4)
+        assert (cycle.phase_duration(CyclePhase.OPERATION)
+                + cycle.phase_duration(CyclePhase.RESTORATION)) == pytest.approx(3e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClockCycle(period=0.0)
+        with pytest.raises(ValueError):
+            ClockCycle(period=1e-9, operation_fraction=1.0)
+
+    def test_test_clock_accumulates(self, tech):
+        clock = TestClock(ClockCycle.from_technology(tech))
+        clock.tick(10)
+        assert clock.elapsed_cycles == 10
+        assert clock.elapsed_time == pytest.approx(30e-9)
+        with pytest.raises(ValueError):
+            clock.tick(-1)
+        clock.reset()
+        assert clock.elapsed_cycles == 0
+
+
+class TestPrechargeCircuit:
+    def test_res_energy_is_pa(self, tech):
+        circuit = PrechargeCircuit(column_index=0, rows=512, tech=tech)
+        duration = 1.5e-9
+        energy = circuit.sustain_res(duration)
+        assert energy == pytest.approx(tech.vdd * tech.res_equilibrium_current * duration)
+
+    def test_res_partial_stress_scales(self, tech):
+        circuit = PrechargeCircuit(column_index=0, rows=512, tech=tech)
+        full = circuit.sustain_res(1.5e-9, stress_fraction=1.0)
+        half = circuit.sustain_res(1.5e-9, stress_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_disabled_circuit_refuses_work(self, tech):
+        circuit = PrechargeCircuit(column_index=0, rows=16, tech=tech)
+        circuit.set_enabled(False)
+        with pytest.raises(PrechargeError):
+            circuit.sustain_res(1e-9)
+        with pytest.raises(PrechargeError):
+            circuit.restore_pair(BitLinePair(rows=16, tech=tech))
+
+    def test_restore_pair_accumulates_energy(self, tech):
+        circuit = PrechargeCircuit(column_index=0, rows=16, tech=tech)
+        pair = BitLinePair(rows=16, tech=tech)
+        pair.force_write_levels(1)
+        result = circuit.restore_pair(pair)
+        assert result.energy > 0
+        assert circuit.activity.restorations == 1
+        assert circuit.activity.energy == pytest.approx(result.energy)
+
+    def test_invalid_arguments(self, tech):
+        circuit = PrechargeCircuit(column_index=0, rows=16, tech=tech)
+        with pytest.raises(PrechargeError):
+            circuit.sustain_res(-1.0)
+        with pytest.raises(PrechargeError):
+            circuit.sustain_res(1e-9, stress_fraction=2.0)
+        with pytest.raises(PrechargeError):
+            PrechargeCircuit(column_index=-1, rows=16, tech=tech)
+
+
+class TestRowDecoder:
+    def test_wordline_energy_only_on_row_change(self, tech):
+        geometry = ArrayGeometry(rows=16, columns=16)
+        decoder = RowDecoder(geometry, tech=tech)
+        _, first = decoder.select(3)
+        _, again = decoder.select(3)
+        _, other = decoder.select(4)
+        assert first > again            # word line already asserted
+        assert other > again
+        assert decoder.activations == 3
+
+    def test_deselect_forces_recharge(self, tech):
+        geometry = ArrayGeometry(rows=16, columns=16)
+        decoder = RowDecoder(geometry, tech=tech)
+        _, first = decoder.select(3)
+        decoder.deselect()
+        _, second = decoder.select(3)
+        assert second == pytest.approx(first)
+
+    def test_out_of_range_row(self, tech):
+        decoder = RowDecoder(ArrayGeometry(rows=4, columns=4), tech=tech)
+        with pytest.raises(DecoderError):
+            decoder.select(4)
+
+
+class TestColumnDecoderSenseWrite:
+    def test_column_decoder_returns_word_columns(self, tech):
+        geometry = ArrayGeometry(rows=4, columns=16, bits_per_word=4)
+        decoder = ColumnDecoder(geometry, tech=tech)
+        columns, energy = decoder.select(2)
+        assert columns == geometry.columns_of_word(2)
+        assert energy > 0
+        with pytest.raises(DecoderError):
+            decoder.select(99)
+
+    def test_sense_amplifier_polarity(self, tech):
+        sense = SenseAmplifier(tech=tech)
+        # Cell storing '1' discharges BL -> negative differential -> read '1'.
+        value, energy = sense.sense(-0.4)
+        assert value == 1 and energy > 0
+        value, _ = sense.sense(+0.4)
+        assert value == 0
+        with pytest.raises(ValueError):
+            sense.sense(0.0)
+
+    def test_write_driver_energy_scales_with_swing(self, tech):
+        driver = WriteDriver(tech=tech)
+        small = driver.drive_energy(0.0, 500e-15)
+        large = driver.drive_energy(1.6, 500e-15)
+        assert large > small
+        with pytest.raises(ValueError):
+            driver.drive_energy(-1.0, 500e-15)

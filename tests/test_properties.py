@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.march import (
+    AddressingDirection,
+    MarchAlgorithm,
+    MarchElement,
+    MarchOperation,
+    OperationKind,
+    parse_march,
+    walk,
+)
+from repro.march.ordering import (
+    ColumnMajorOrder,
+    PseudoRandomOrder,
+    RowMajorOrder,
+    RowMajorSnakeOrder,
+    verify_is_permutation,
+)
+from repro.power.accounting import EnergyLedger
+from repro.power.sources import PowerSource
+from repro.sram.bitline import BitLinePair
+from repro.sram.geometry import ArrayGeometry
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+operations = st.builds(
+    MarchOperation,
+    kind=st.sampled_from([OperationKind.READ, OperationKind.WRITE]),
+    value=st.integers(min_value=0, max_value=1),
+)
+
+elements = st.builds(
+    MarchElement,
+    direction=st.sampled_from(list(AddressingDirection)),
+    operations=st.lists(operations, min_size=1, max_size=6).map(tuple),
+)
+
+algorithms = st.builds(
+    MarchAlgorithm,
+    name=st.just("generated"),
+    elements=st.lists(elements, min_size=1, max_size=5).map(tuple),
+)
+
+geometries = st.builds(
+    ArrayGeometry,
+    rows=st.integers(min_value=1, max_value=8),
+    columns=st.integers(min_value=1, max_value=8),
+)
+
+
+# ----------------------------------------------------------------------
+# March notation properties
+# ----------------------------------------------------------------------
+class TestNotationProperties:
+    @given(algorithms)
+    def test_notation_round_trips(self, algorithm):
+        reparsed = parse_march(algorithm.to_notation(), name=algorithm.name)
+        assert reparsed.to_notation() == algorithm.to_notation()
+        assert reparsed.operation_count == algorithm.operation_count
+        assert reparsed.read_count == algorithm.read_count
+        assert reparsed.write_count == algorithm.write_count
+
+    @given(algorithms)
+    def test_ascii_notation_equivalent(self, algorithm):
+        reparsed = parse_march(algorithm.to_notation(ascii_only=True))
+        assert reparsed.to_notation() == algorithm.to_notation()
+
+    @given(algorithms)
+    def test_counts_are_consistent(self, algorithm):
+        assert algorithm.read_count + algorithm.write_count == algorithm.operation_count
+        assert algorithm.element_count == len(algorithm.elements)
+
+    @given(algorithms)
+    def test_data_inversion_is_involution(self, algorithm):
+        twice = algorithm.with_inverted_data().with_inverted_data()
+        assert twice.to_notation() == algorithm.to_notation()
+
+
+# ----------------------------------------------------------------------
+# Address order properties (DOF 1)
+# ----------------------------------------------------------------------
+class TestOrderingProperties:
+    @given(geometries, st.sampled_from([RowMajorOrder, ColumnMajorOrder,
+                                        RowMajorSnakeOrder]))
+    def test_orders_are_permutations(self, geometry, order_cls):
+        assert verify_is_permutation(order_cls(geometry))
+
+    @given(geometries, st.integers(min_value=0, max_value=10_000))
+    def test_pseudo_random_orders_are_permutations(self, geometry, seed):
+        assert verify_is_permutation(PseudoRandomOrder(geometry, seed=seed))
+
+    @given(geometries, st.integers(min_value=0, max_value=10_000))
+    def test_descending_is_reverse_of_ascending(self, geometry, seed):
+        order = PseudoRandomOrder(geometry, seed=seed)
+        assert list(order.descending()) == list(reversed(list(order.ascending())))
+
+    @given(geometries, algorithms)
+    @settings(max_examples=30, deadline=None)
+    def test_walk_visits_every_address_once_per_element(self, geometry, algorithm):
+        order = RowMajorOrder(geometry)
+        steps = list(walk(algorithm, order))
+        assert len(steps) == algorithm.operation_count * geometry.word_count
+        # every element visits every address exactly once
+        for element_index, element in enumerate(algorithm.elements):
+            visited = [(s.row, s.word) for s in steps
+                       if s.element_index == element_index and s.operation_index == 0]
+            assert sorted(set(visited)) == sorted(visited)
+            assert len(visited) == geometry.word_count
+        # row-transition flags: at most #elements * #rows for a word-line
+        # order (element boundaries that stay on the same row need none),
+        # and every actual row change must be flagged.
+        flagged = sum(1 for s in steps if s.last_access_on_row)
+        upper = algorithm.element_count * geometry.rows
+        assert upper - (algorithm.element_count - 1) <= flagged <= upper
+        for current, following in zip(steps, steps[1:]):
+            if following.row != current.row:
+                assert current.last_access_on_row
+
+
+# ----------------------------------------------------------------------
+# Energy / electrical invariants
+# ----------------------------------------------------------------------
+class TestEnergyProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=500),
+                              st.sampled_from(list(PowerSource)),
+                              st.floats(min_value=0.0, max_value=1e-9,
+                                        allow_nan=False)),
+                    max_size=60))
+    def test_ledger_totals_are_additive_and_non_negative(self, bookings):
+        ledger = EnergyLedger(clock_period=3e-9)
+        expected_total = 0.0
+        for cycle, source, energy in bookings:
+            ledger.record_energy(cycle, source, energy)
+            expected_total += energy
+        assert ledger.total_energy() == pytest.approx(expected_total)
+        assert ledger.total_energy() >= 0.0
+        assert sum(ledger.energy_by_source().values()) == pytest.approx(expected_total)
+        if ledger.cycle_count:
+            assert sum(ledger.per_cycle_energy()) == pytest.approx(expected_total)
+
+    @given(st.integers(min_value=1, max_value=1024),
+           st.floats(min_value=0.0, max_value=100e-9, allow_nan=False),
+           st.booleans())
+    def test_bitline_voltage_stays_in_rails(self, rows, duration, pulls_bl):
+        pair = BitLinePair(rows=rows)
+        pair.float_with_cell(pulls_bl, duration)
+        assert 0.0 <= pair.v_bl <= pair.vdd + 1e-12
+        assert 0.0 <= pair.v_blb <= pair.vdd + 1e-12
+        result = pair.restore()
+        assert result.energy >= 0.0
+        assert pair.is_fully_precharged()
+
+    @given(st.integers(min_value=1, max_value=1024),
+           st.integers(min_value=0, max_value=1))
+    def test_write_then_restore_energy_positive(self, rows, value):
+        pair = BitLinePair(rows=rows)
+        pair.force_write_levels(value)
+        assert pair.restore().energy > 0.0
+
+
+# ----------------------------------------------------------------------
+# Geometry properties
+# ----------------------------------------------------------------------
+class TestGeometryProperties:
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+    def test_address_roundtrip(self, rows, columns):
+        geometry = ArrayGeometry(rows=rows, columns=columns)
+        for address in range(0, geometry.word_count, max(1, geometry.word_count // 17)):
+            row, word = geometry.coordinates_of(address)
+            assert geometry.address_of(row, word) == address
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    def test_word_columns_partition_the_array(self, rows, words_per_row, bits_per_word):
+        columns = words_per_row * bits_per_word
+        geometry = ArrayGeometry(rows=rows, columns=columns, bits_per_word=bits_per_word)
+        seen = set()
+        for word in range(geometry.words_per_row):
+            word_columns = geometry.columns_of_word(word)
+            assert len(word_columns) == bits_per_word
+            assert not (seen & set(word_columns))
+            seen.update(word_columns)
+        assert seen == set(range(columns))

@@ -1,0 +1,79 @@
+"""Unit tests for the technology description."""
+
+import pytest
+
+from repro.circuit.technology import PAPER_TECHNOLOGY, TechnologyParameters, default_technology
+
+
+class TestOperatingPoint:
+    def test_paper_operating_point(self):
+        tech = default_technology()
+        assert tech.vdd == pytest.approx(1.6)
+        assert tech.clock_period == pytest.approx(3.0e-9)
+        assert tech is PAPER_TECHNOLOGY
+
+    def test_clock_frequency(self, tech):
+        assert tech.clock_frequency() == pytest.approx(1.0 / 3.0e-9)
+
+
+class TestCapacitances:
+    def test_bitline_capacitance_scales_with_rows(self, tech):
+        c_small = tech.bitline_capacitance(64)
+        c_large = tech.bitline_capacitance(512)
+        assert c_large > c_small
+        assert c_large == pytest.approx(tech.bitline_cap_fixed + 512 * tech.bitline_cap_per_cell)
+
+    def test_bitline_dwarfs_cell_node(self, tech):
+        # The premise behind the faulty swap: bit-line capacitance is orders
+        # of magnitude above the cell node capacitance.
+        assert tech.bitline_capacitance(512) / tech.cell_node_cap > 100
+
+    def test_wordline_capacitance(self, tech):
+        assert tech.wordline_capacitance(512) == pytest.approx(512 * tech.wordline_cap_per_cell)
+
+    def test_invalid_row_and_column_counts(self, tech):
+        with pytest.raises(ValueError):
+            tech.bitline_capacitance(0)
+        with pytest.raises(ValueError):
+            tech.wordline_capacitance(-1)
+
+
+class TestEnergyHelpers:
+    def test_swing_energy_full_rail(self, tech):
+        cap = 100e-15
+        assert tech.swing_energy(cap) == pytest.approx(cap * tech.vdd * tech.vdd)
+
+    def test_swing_energy_partial(self, tech):
+        cap = 100e-15
+        assert tech.swing_energy(cap, 0.8) == pytest.approx(cap * 0.8 * tech.vdd)
+
+    def test_swing_energy_rejects_negative(self, tech):
+        with pytest.raises(ValueError):
+            tech.swing_energy(-1e-15)
+        with pytest.raises(ValueError):
+            tech.swing_energy(1e-15, -0.1)
+
+
+class TestTimeConstants:
+    def test_floating_discharge_spans_several_cycles(self, tech):
+        # Figure 6: the discharge of a full-length bit line takes multiple
+        # clock cycles (roughly nine to reach logic '0').
+        tau_cycles = tech.floating_discharge_tau(512) / tech.clock_period
+        assert 2.0 < tau_cycles < 8.0
+
+    def test_precharge_much_faster_than_discharge(self, tech):
+        assert tech.precharge_tau(512) < tech.floating_discharge_tau(512) / 5
+
+
+class TestScaling:
+    def test_scaled_overrides_field(self, tech):
+        scaled = tech.scaled(vdd=1.2)
+        assert scaled.vdd == pytest.approx(1.2)
+        assert scaled.clock_period == tech.clock_period
+        assert tech.vdd == pytest.approx(1.6)  # original untouched
+
+    def test_as_dict_contains_calibration_values(self, tech):
+        d = tech.as_dict()
+        assert d["vdd"] == pytest.approx(1.6)
+        assert "res_equilibrium_current" in d
+        assert "floating_discharge_resistance" in d

@@ -1,0 +1,126 @@
+"""Unit tests for the waveform container."""
+
+import math
+
+import pytest
+
+from repro.circuit.waveform import Waveform, align_waveforms
+
+
+def ramp(n=11, dt=1.0, slope=1.0):
+    return Waveform(times=[i * dt for i in range(n)],
+                    values=[i * dt * slope for i in range(n)], name="ramp")
+
+
+class TestConstruction:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(times=[0.0, 1.0], values=[0.0])
+
+    def test_non_monotonic_times_rejected(self):
+        with pytest.raises(ValueError):
+            Waveform(times=[0.0, 2.0, 1.0], values=[0.0, 1.0, 2.0])
+
+    def test_from_samples_and_len(self):
+        wf = Waveform.from_samples([(0, 1), (1, 2), (2, 3)])
+        assert len(wf) == 3
+        assert wf.final_value() == 3
+
+    def test_append_enforces_order(self):
+        wf = Waveform()
+        wf.append(0.0, 1.0)
+        wf.append(1.0, 2.0)
+        with pytest.raises(ValueError):
+            wf.append(0.5, 0.0)
+
+    def test_constant(self):
+        wf = Waveform.constant(1.6, 0.0, 5.0)
+        assert wf.value_at(2.5) == pytest.approx(1.6)
+
+
+class TestAnalysis:
+    def test_value_at_interpolates(self):
+        wf = ramp()
+        assert wf.value_at(2.5) == pytest.approx(2.5)
+
+    def test_value_at_clamps_outside_range(self):
+        wf = ramp()
+        assert wf.value_at(-5) == pytest.approx(0.0)
+        assert wf.value_at(50) == pytest.approx(10.0)
+
+    def test_first_crossing_rising(self):
+        wf = ramp()
+        assert wf.first_crossing(4.2, "rising") == pytest.approx(4.2)
+
+    def test_first_crossing_absent(self):
+        wf = ramp()
+        assert wf.first_crossing(100.0, "rising") is None
+        assert wf.first_crossing(5.0, "falling") is None
+
+    def test_first_crossing_direction_validation(self):
+        with pytest.raises(ValueError):
+            ramp().first_crossing(1.0, "sideways")
+
+    def test_exponential_decay_crossing(self):
+        tau = 2.0
+        wf = Waveform.from_samples([(t * 0.1, math.exp(-t * 0.1 / tau)) for t in range(200)])
+        t_half = wf.first_crossing(0.5, "falling")
+        assert t_half == pytest.approx(tau * math.log(2.0), rel=0.02)
+
+    def test_settling_time(self):
+        wf = Waveform.from_samples([(0, 0), (1, 0.5), (2, 0.95), (3, 0.99), (4, 1.0)])
+        assert wf.settling_time(1.0, tolerance=0.06) == pytest.approx(2)
+
+    def test_time_average_of_ramp(self):
+        assert ramp().time_average() == pytest.approx(5.0)
+
+    def test_integral_of_constant(self):
+        wf = Waveform.constant(2.0, 0.0, 3.0)
+        assert wf.integral() == pytest.approx(6.0)
+
+    def test_min_max(self):
+        wf = ramp()
+        assert wf.minimum() == 0.0
+        assert wf.maximum() == 10.0
+
+    def test_empty_waveform_raises(self):
+        with pytest.raises(ValueError):
+            Waveform().final_value()
+
+
+class TestTransformations:
+    def test_scaled_and_map(self):
+        wf = ramp().scaled(2.0)
+        assert wf.value_at(3.0) == pytest.approx(6.0)
+
+    def test_shifted(self):
+        wf = ramp().shifted(10.0)
+        assert wf.start_time == pytest.approx(10.0)
+
+    def test_windowed(self):
+        wf = ramp().windowed(2.0, 4.0)
+        assert wf.start_time == pytest.approx(2.0)
+        assert wf.end_time == pytest.approx(4.0)
+        assert wf.value_at(3.0) == pytest.approx(3.0)
+
+    def test_sample_every(self):
+        wf = ramp().sample_every(0.5)
+        assert len(wf) == 21
+        assert wf.value_at(0.5) == pytest.approx(0.5)
+
+    def test_align_waveforms(self):
+        a, b = ramp(), ramp(slope=2.0)
+        aligned = align_waveforms([a, b], period=1.0)
+        assert len(aligned[0]) == len(aligned[1])
+
+
+class TestRendering:
+    def test_render_ascii_contains_name_and_grid(self):
+        text = ramp(name="ramp").render_ascii(width=20, height=5) if False else \
+            Waveform(times=[0, 1], values=[0, 1], name="sig").render_ascii(width=20, height=5)
+        assert "sig" in text
+        assert "*" in text
+
+    def test_render_ascii_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ramp().render_ascii(width=2, height=2)
