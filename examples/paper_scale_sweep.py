@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Paper-scale sweep: the measured Table 1 on the full 512 x 512 array.
+
+The seed reproduction measured Table 1 on a reduced-row stand-in because the
+cycle-accurate reference engine needs minutes per algorithm at the paper's
+real geometry.  The vectorized backend (:mod:`repro.engine`) removes that
+limit: this example batch-executes the functional vs. low-power-test-mode
+comparison for all five Table 1 algorithms on the actual 512 x 512 array —
+2.6 to 6 million clock cycles per mode per algorithm — in a few seconds,
+then prints the measured PRR next to the paper's reported values and the
+Section 5 analytical model.
+
+Equivalent CLI:  python -m repro.sweep --paper
+
+Run with:  python examples/paper_scale_sweep.py
+"""
+
+from repro.analysis import render_table
+from repro.sweep import SweepRunner, paper_table1_cases
+
+#: PRR values reported in the paper's Table 1 (percent).
+PAPER_PRR = {
+    "March C-": 47.3,
+    "March SS": 50.0,
+    "MATS+": 48.1,
+    "March SR": 49.5,
+    "March G": 50.5,
+}
+
+
+def main() -> None:
+    cases = paper_table1_cases(backend="vectorized")
+    result = SweepRunner(cases).run(progress=True)
+
+    rows = []
+    for record in result:
+        rows.append({
+            "Algorithm": record.algorithm,
+            "PRR paper": f"{PAPER_PRR[record.algorithm]:.1f} %",
+            "PRR analytical (paper eq.)": f"{100 * record.analytical_prr:.1f} %",
+            "PRR analytical (+recharge)":
+                f"{100 * record.analytical_prr_recharge:.1f} %",
+            "PRR measured (512x512)": f"{100 * record.measured_prr:.1f} %",
+            "Cycles/mode": record.cycles_per_mode,
+            "Runtime (s)": f"{record.elapsed_s:.2f}",
+        })
+    print()
+    print(render_table(
+        rows,
+        title="Table 1 at paper scale — measured on the full 512x512 array "
+              "(vectorized backend)"))
+    print()
+    print("The '+recharge' analytical variant includes the next-column "
+          "recharge cost the paper's\nequation omits; the measurement "
+          "tracks it within a fraction of a percentage point.")
+
+
+if __name__ == "__main__":
+    main()

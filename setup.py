@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+wheels cannot be built) can still do a legacy editable install via
+``python setup.py develop`` or older pip versions.
+"""
+
+from setuptools import setup
+
+setup()

@@ -12,6 +12,8 @@ The package is organised as one subpackage per subsystem:
   low-power test mode planning, analytical PRR model, test sessions
 * :mod:`repro.bist`     — a BIST engine that deploys the low-power test mode
 * :mod:`repro.analysis` — experiment methodology helpers (scaling, fixtures, tables)
+* :mod:`repro.engine`   — NumPy-vectorized batch execution backend (paper-scale runs)
+* :mod:`repro.sweep`    — scenario-grid sweep runner and the ``python -m repro.sweep`` CLI
 
 Quickstart::
 
@@ -21,6 +23,14 @@ Quickstart::
     session = TestSession(geometry)
     comparison = session.compare_modes(MARCH_CM)
     print(f"PRR = {comparison.prr:.1%}")
+
+The same measurement at the paper's full 512 x 512 scale runs in seconds on
+the vectorized backend::
+
+    from repro import PAPER_GEOMETRY, TestSession, MARCH_CM
+
+    session = TestSession(PAPER_GEOMETRY, backend="vectorized")
+    print(f"PRR = {session.compare_modes(MARCH_CM).prr:.1%}")
 """
 
 from .circuit import PAPER_TECHNOLOGY, TechnologyParameters, default_technology
@@ -57,8 +67,14 @@ from .core import (
 )
 from .bist import BistController, BistOrder
 from .faults import FaultInjection, FaultSimulator, StuckAtFault
+from .engine import (
+    EngineError,
+    UnsupportedConfiguration,
+    VectorizedEngine,
+)
+from .sweep import SweepCase, SweepResult, SweepRunner, sweep_grid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 #: The paper this repository reproduces.
 PAPER_REFERENCE = (
@@ -80,4 +96,6 @@ __all__ = [
     "TestSession", "ModeComparison", "compare_modes",
     "BistController", "BistOrder",
     "FaultInjection", "FaultSimulator", "StuckAtFault",
+    "VectorizedEngine", "EngineError", "UnsupportedConfiguration",
+    "SweepRunner", "SweepCase", "SweepResult", "sweep_grid",
 ]

@@ -70,4 +70,5 @@ def format_power(watts: float) -> str:
 
 
 def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a 0-1 fraction as a percentage string (e.g. ``0.473`` → ``47.3 %``)."""
     return f"{100.0 * fraction:.{digits}f} %"

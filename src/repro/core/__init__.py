@@ -25,6 +25,7 @@ from .lowpower import (
     PlannerStatistics,
     PrechargePlanner,
     WordOrientedLowPowerPlanner,
+    traversal_neighbour_delta,
 )
 from .prr import AnalyticalPowerModel, AnalyticalPrediction, AnalyticalModelError
 from .session import (
@@ -41,6 +42,7 @@ __all__ = [
     "TRANSISTORS_PER_COLUMN",
     "PrechargePlanner", "FunctionalModePlanner", "LowPowerTestPlanner",
     "WordOrientedLowPowerPlanner", "PlannerError", "PlannerStatistics",
+    "traversal_neighbour_delta",
     "AnalyticalPowerModel", "AnalyticalPrediction", "AnalyticalModelError",
     "TestSession", "TestRunResult", "ModeComparison", "ReadMismatch",
     "SessionError", "compare_modes",

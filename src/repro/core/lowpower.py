@@ -36,6 +36,20 @@ class PlannerError(Exception):
     """Raised on inconsistent planner usage."""
 
 
+def traversal_neighbour_delta(direction: AddressingDirection) -> int:
+    """Word-index offset of the column the control logic keeps pre-charged.
+
+    ``+1`` for ascending traversal (the paper's CS̄_j → NPr_{j+1} wiring of
+    Figure 8) and ``-1`` for descending traversal (the mirrored wiring of
+    the direction-aware controller extension).  This is the single
+    definition of the policy: :class:`LowPowerTestPlanner` applies it one
+    access at a time, and the vectorized backend
+    (:mod:`repro.engine.vectorized`) applies it to whole coordinate arrays —
+    sharing it keeps the two execution paths provably identical.
+    """
+    return -1 if direction is AddressingDirection.DOWN else 1
+
+
 class PrechargePlanner:
     """Interface: produce the pre-charge plan for one access step."""
 
@@ -99,14 +113,12 @@ class LowPowerTestPlanner(PrechargePlanner):
 
         In the ascending word-line order this is ``word + 1`` (the paper's
         CS̄_j → NPr_{j+1} wiring); in the descending order it is ``word - 1``
-        (the mirrored wiring of the direction-aware controller extension).
-        At the edge of the row there is no neighbour — the row-transition
-        restoration takes care of preparing the next row's first column.
+        (the mirrored wiring of the direction-aware controller extension) —
+        see :func:`traversal_neighbour_delta`.  At the edge of the row there
+        is no neighbour — the row-transition restoration takes care of
+        preparing the next row's first column.
         """
-        if direction is AddressingDirection.DOWN:
-            candidate = word - 1
-        else:
-            candidate = word + 1
+        candidate = word + traversal_neighbour_delta(direction)
         if 0 <= candidate < self.geometry.words_per_row:
             return candidate
         return None

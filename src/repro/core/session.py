@@ -6,11 +6,18 @@ A :class:`TestSession` wires together the pieces the experiments need:
 * a March algorithm and an address order (DOF 1 choice),
 * a pre-charge planner (functional mode or the paper's low-power test mode),
 
-executes the whole test cycle by cycle and returns a :class:`TestRunResult`
-with the energy ledger, average power, stress counters, read mismatches
-(fault detections) and any faulty swaps.  :func:`compare_modes` runs the
-same algorithm in both modes on identical memories and reports the measured
+executes the whole test and returns a :class:`TestRunResult` with the
+energy ledger, average power, stress counters, read mismatches (fault
+detections) and any faulty swaps.  :func:`compare_modes` runs the same
+algorithm in both modes on identical memories and reports the measured
 Power Reduction Ratio — the quantity of the paper's Table 1.
+
+Execution is pluggable: the default ``backend="reference"`` walks the
+behavioural memory cycle by cycle, while ``backend="vectorized"`` hands the
+run to the NumPy batch engine of :mod:`repro.engine`, which computes the
+same measurements as whole-array reductions (required for paper-scale
+geometries).  ``backend="auto"`` picks the vectorized engine whenever the
+run qualifies.
 """
 
 from __future__ import annotations
@@ -110,21 +117,51 @@ class ModeComparison:
         }
 
 
+#: Valid values of the ``backend`` switch of :class:`TestSession`.
+BACKENDS = ("reference", "vectorized", "auto")
+
+
 class TestSession:
-    """Run March algorithms on one memory configuration."""
+    """Run March algorithms on one memory configuration.
+
+    ``backend`` selects the execution engine:
+
+    * ``"reference"`` (default) — the cycle-accurate behavioural memory
+      (:class:`repro.sram.SRAM`), one access at a time.  Supports every
+      configuration, including injected faults and custom planners.
+    * ``"vectorized"`` — the NumPy batch engine
+      (:class:`repro.engine.VectorizedEngine`), which measures the same
+      quantities as whole-array reductions and makes paper-scale geometries
+      (the full 512 x 512 array) tractable.  Raises
+      :class:`repro.engine.UnsupportedConfiguration` for runs it cannot
+      replay exactly (custom memories/planners, address orders that do not
+      keep the pre-charged traversal neighbour).
+    * ``"auto"`` — vectorized when the run qualifies, silently falling back
+      to the reference engine otherwise.
+
+    Both engines produce equivalent :class:`TestRunResult` measurements
+    (energy totals and per-source breakdowns, stress counters, fault
+    detections); the test-suite asserts this on every Table 1 algorithm.
+    """
 
     def __init__(self, geometry: ArrayGeometry,
                  tech: TechnologyParameters | None = None,
                  order: Optional[AddressOrder] = None,
                  background: Optional[BackgroundFunction] = None,
                  any_direction: AddressingDirection = AddressingDirection.UP,
-                 detailed: Optional[bool] = None) -> None:
+                 detailed: Optional[bool] = None,
+                 backend: str = "reference") -> None:
+        if backend not in BACKENDS:
+            raise SessionError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.order = order or RowMajorOrder(geometry)
         self.background = background if background is not None else solid_background(0)
         self.any_direction = any_direction
         self.detailed = detailed
+        self.backend = backend
+        self._engine = None
 
     # ------------------------------------------------------------------
     def _build_memory(self, mode: OperatingMode, label: str) -> SRAM:
@@ -140,16 +177,49 @@ class TestSession:
             return LowPowerTestPlanner(self.geometry, tech=self.tech)
         return FunctionalModePlanner()
 
+    def _vectorized_engine(self):
+        """The cached :class:`repro.engine.VectorizedEngine` for this session."""
+        if self._engine is None:
+            from ..engine import VectorizedEngine  # deferred: numpy optional
+
+            self._engine = VectorizedEngine(
+                self.geometry, tech=self.tech, order=self.order,
+                any_direction=self.any_direction, detailed=self.detailed)
+        return self._engine
+
     # ------------------------------------------------------------------
     def run(self, algorithm: MarchAlgorithm, mode: OperatingMode,
             memory: Optional[SRAM] = None,
-            planner: Optional[PrechargePlanner] = None) -> TestRunResult:
+            planner: Optional[PrechargePlanner] = None,
+            backend: Optional[str] = None) -> TestRunResult:
         """Run ``algorithm`` once in ``mode`` and return the measurements.
 
         A pre-built ``memory`` (e.g. one with injected faults) and/or a
         custom ``planner`` can be supplied; otherwise fresh fault-free ones
-        are created.
+        are created.  ``backend`` overrides the session's execution engine
+        for this run (see the class docstring); a custom memory or planner
+        always runs on the reference engine.
         """
+        chosen = backend if backend is not None else self.backend
+        if chosen not in BACKENDS:
+            raise SessionError(
+                f"unknown backend {chosen!r}; expected one of {BACKENDS}")
+        if chosen != "reference":
+            if memory is None and planner is None:
+                from ..engine import EngineError
+
+                try:
+                    return self._vectorized_engine().run(algorithm, mode)
+                except EngineError:
+                    # Unsupported run (or numpy unavailable): "auto" falls
+                    # back to the reference engine, "vectorized" surfaces it.
+                    if chosen == "vectorized":
+                        raise
+                    self._engine = None  # a failed engine must not be cached
+            elif chosen == "vectorized":
+                raise SessionError(
+                    "the vectorized backend cannot run with a custom memory "
+                    "or planner; use backend='reference' (or 'auto')")
         algorithm.validate()
         if memory is None:
             memory = self._build_memory(mode, label=f"{algorithm.name} [{mode.value}]")
@@ -204,10 +274,15 @@ class TestSession:
         )
 
     # ------------------------------------------------------------------
-    def compare_modes(self, algorithm: MarchAlgorithm) -> ModeComparison:
-        """Run ``algorithm`` in both modes on fresh fault-free memories."""
-        functional = self.run(algorithm, OperatingMode.FUNCTIONAL)
-        low_power = self.run(algorithm, OperatingMode.LOW_POWER_TEST)
+    def compare_modes(self, algorithm: MarchAlgorithm,
+                      backend: Optional[str] = None) -> ModeComparison:
+        """Run ``algorithm`` in both modes on fresh fault-free memories.
+
+        ``backend`` overrides the session's execution engine for this
+        comparison (see the class docstring).
+        """
+        functional = self.run(algorithm, OperatingMode.FUNCTIONAL, backend=backend)
+        low_power = self.run(algorithm, OperatingMode.LOW_POWER_TEST, backend=backend)
         return ModeComparison(algorithm=algorithm.name,
                               functional=functional, low_power=low_power)
 

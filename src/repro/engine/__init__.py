@@ -1,0 +1,26 @@
+"""Vectorized batch execution backend for March test power measurement.
+
+* :mod:`repro.engine.vectorized` — the NumPy execution engine: simulates an
+  entire March element over the whole array as array operations (background
+  state, pre-charge activity masks, RES stress counters and per-event energy
+  accumulation as vector reductions) instead of per-cell Python loops.
+
+The engine plugs into the existing session API through the ``backend``
+switch of :class:`repro.core.session.TestSession` (``"reference"``,
+``"vectorized"`` or ``"auto"``) and is what makes the paper-scale 512 x 512
+measured experiments and the :mod:`repro.sweep` scenario grids tractable.
+"""
+
+from .vectorized import (
+    CellStressTotals,
+    EngineError,
+    UnsupportedConfiguration,
+    VectorizedEngine,
+)
+
+__all__ = [
+    "VectorizedEngine",
+    "CellStressTotals",
+    "EngineError",
+    "UnsupportedConfiguration",
+]

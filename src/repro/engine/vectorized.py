@@ -1,0 +1,511 @@
+"""NumPy-vectorized execution backend for March test power measurement.
+
+The reference path (:class:`repro.core.session.TestSession` driving
+:class:`repro.sram.SRAM`) executes a March test one access cycle at a time
+through Python objects.  That is the right tool for fault simulation and for
+inspecting individual events, but it caps measured experiments at toy
+geometries: the paper's full 512 x 512 array needs millions of cycles per
+mode and minutes of wall clock per algorithm.
+
+This module re-derives the *same measurements* as whole-array operations:
+
+* **functional mode** collapses to closed-form vector reductions — every
+  access spends constant operation/decode/RES/leakage energy, and the only
+  sequence-dependent quantity (word-line recharges at row transitions) is a
+  count over the coordinate arrays of the address order;
+* **low-power test mode** is processed one *row segment* at a time (a
+  maximal run of accesses on one word line).  Within a segment the paper's
+  pre-charge policy is strictly structured — the selected column and its
+  traversal neighbour are held, every other column floats and decays
+  exponentially, and the one functional-mode restoration cycle closes the
+  row — so background state, pre-charge activity masks, RES stress counts
+  and the decay-dependent restoration energies are all computed as NumPy
+  array expressions over the segment instead of per-cell Python loops.
+
+Equivalence with the reference backend is exact by construction (the same
+per-event formulas evaluated in bulk, see ``tests/test_engine_equivalence.py``);
+configurations the bulk replay cannot represent — injected faults, custom
+planners, address orders whose next access is not the traversal neighbour —
+raise :class:`UnsupportedConfiguration` so callers can fall back to the
+reference backend instead of silently measuring something else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..circuit.technology import TechnologyParameters, default_technology
+from ..core.lowpower import traversal_neighbour_delta
+from ..march.algorithm import MarchAlgorithm
+from ..march.element import AddressingDirection, MarchElement
+from ..march.execution import resolve_direction
+from ..march.ordering import AddressOrder, RowMajorOrder
+from ..power.accounting import EnergyLedger
+from ..power.model import PowerModel
+from ..power.sources import PowerSource
+from ..sram.geometry import ArrayGeometry
+from ..sram.memory import CELL_RES_RATIO, OperatingMode, SRAM
+from ..sram.timing import ClockCycle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.session import ModeComparison, TestRunResult
+
+try:  # numpy is required for this backend only; the scalar path runs without it
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None  # type: ignore[assignment]
+
+
+class EngineError(Exception):
+    """Raised on invalid engine usage (missing numpy, bad arguments)."""
+
+
+class UnsupportedConfiguration(EngineError):
+    """The exact bulk replay cannot represent this run.
+
+    Raised when the run depends on state the vectorized formulas do not
+    model (an address order whose next access is not the pre-charged
+    traversal neighbour, a selected column whose bit lines are floating at
+    selection time, ...).  The reference backend handles every such case;
+    ``backend="auto"`` falls back to it automatically.
+    """
+
+
+def _require_numpy() -> None:
+    if np is None:  # pragma: no cover - exercised only without numpy
+        raise EngineError(
+            "the vectorized backend requires numpy; install numpy or use "
+            "backend='reference'"
+        )
+
+
+@dataclass(frozen=True)
+class _EnergyConstants:
+    """Per-event energies shared by every access (mirrors the scalar models)."""
+
+    row_decode: float          # RowDecoder internal switching per access
+    col_decode: float          # ColumnDecoder switching per access
+    wordline: float            # charging the selected word line (on row change)
+    read_col: float            # sense + read-swing restoration, per column
+    write_col: float           # drivers + full-swing restoration, per column
+    res_per_column: float      # P_A: one pre-charged unselected column, one cycle
+    restore_coeff: float       # C_bl * VDD^2 * (1 + overhead), per column
+    control_element: float     # one added control element switching
+    lptest_line: float         # one LPtest mode-selection line transition
+    leakage: float             # whole-array leakage per cycle
+
+
+@dataclass
+class CellStressTotals:
+    """Aggregate per-cell stress computed by the vectorized backend.
+
+    Arrays are indexed ``[row, word]``.  For word-oriented geometries every
+    physical column of a word carries identical stress, so one entry stands
+    for each of the word's ``bits_per_word`` cells.  ``reads_per_cell`` and
+    ``writes_per_cell`` are uniform across the array (every March element
+    applies its operations to every address) and therefore plain integers.
+    """
+
+    full_res: "np.ndarray"
+    partial_res: "np.ndarray"
+    reads_per_cell: int
+    writes_per_cell: int
+
+
+class VectorizedEngine:
+    """Batch execution backend measuring March test power as array reductions.
+
+    Construction mirrors :class:`repro.core.session.TestSession`: a geometry,
+    a technology, an address order (row-major by default), and the concrete
+    direction ``⇕`` elements resolve to.  ``detailed`` carries the session's
+    book-keeping switch: when true (the default for arrays up to
+    ``SRAM.DETAILED_CELL_LIMIT`` cells) the engine also accumulates the
+    per-cell stress statistics the reference memory would have collected,
+    exposed as :attr:`last_stress` after each run.
+    """
+
+    def __init__(self, geometry: ArrayGeometry,
+                 tech: TechnologyParameters | None = None,
+                 order: Optional[AddressOrder] = None,
+                 any_direction: AddressingDirection = AddressingDirection.UP,
+                 detailed: Optional[bool] = None) -> None:
+        _require_numpy()
+        self.geometry = geometry
+        self.tech = tech or default_technology()
+        self.order = order or RowMajorOrder(geometry)
+        self.any_direction = any_direction
+        self.clock = ClockCycle.from_technology(self.tech)
+        detailed_default = geometry.cell_count <= SRAM.DETAILED_CELL_LIMIT
+        self.track_cell_stress = detailed_default if detailed is None else detailed
+        self._tau = self.tech.floating_discharge_tau(geometry.rows)
+        self._k = self._derive_constants()
+        #: Per-cell stress totals of the most recent :meth:`run` (``None``
+        #: when stress tracking is off).
+        self.last_stress: Optional[CellStressTotals] = None
+        #: Raw counters of the most recent :meth:`run`, including the
+        #: ``partial_res_column_cycles`` count that
+        #: :class:`~repro.core.session.TestRunResult` does not surface.
+        self.last_counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Constant derivation — every value comes from the shared power model /
+    # technology description (the same definitions the scalar periphery and
+    # column models use), so tuning a constant there cannot silently break
+    # the bit-exact equivalence of the two backends.
+    # ------------------------------------------------------------------
+    def _derive_constants(self) -> _EnergyConstants:
+        tech, geo = self.tech, self.geometry
+        c_bl = tech.bitline_capacitance(geo.rows)
+        overhead = 1.0 + tech.precharge_overhead_factor
+        model = PowerModel(geo, tech=tech)
+        return _EnergyConstants(
+            row_decode=model.row_decode_energy(),
+            col_decode=model.column_decode_energy(),
+            wordline=tech.swing_energy(tech.wordline_capacitance(geo.columns)),
+            read_col=model.read_column_energy(),
+            write_col=model.write_column_energy(),
+            res_per_column=model.res_energy_per_column(),
+            restore_coeff=tech.swing_energy(c_bl, tech.vdd) * overhead,
+            control_element=model.control_element_energy(),
+            lptest_line=model.lptest_line_energy(),
+            leakage=model.leakage_energy_per_cycle(),
+        )
+
+    # ------------------------------------------------------------------
+    # Walk expansion helpers
+    # ------------------------------------------------------------------
+    def _element_walk(self, element: MarchElement
+                      ) -> Tuple[AddressingDirection, "np.ndarray", "np.ndarray"]:
+        """Direction and (rows, words) coordinate arrays for one element."""
+        direction = resolve_direction(element, self.any_direction)
+        rows, words = self.order.coordinate_arrays()
+        if direction is AddressingDirection.DOWN:
+            rows, words = rows[::-1], words[::-1]
+        return direction, rows, words
+
+    def _decayed_restore_energy(self, elapsed_cycles: "np.ndarray") -> float:
+        """Supply energy to recharge bit lines floating for ``elapsed_cycles``.
+
+        A floating pair has exactly one line discharged by its cell (the
+        other sits at VDD with the cell's '1' node — no charge moves), so the
+        restored swing per pair is ``VDD * (1 - exp(-t/tau))``; the energy is
+        summed over all pairs of each affected word.
+        """
+        duration = elapsed_cycles.astype(np.float64) * self.clock.period
+        swings = 1.0 - np.exp(-duration / self._tau)
+        return (self._k.restore_coeff * self.geometry.bits_per_word
+                * float(np.sum(swings)))
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, algorithm: MarchAlgorithm, mode: OperatingMode) -> "TestRunResult":
+        """Run ``algorithm`` once in ``mode`` and return the measurements.
+
+        Returns the same :class:`repro.core.session.TestRunResult` the
+        reference backend produces (fault-free memory: no mismatches, no
+        faulty swaps, no read hazards), with the energy ledger built from
+        aggregate reductions.  Raises :class:`UnsupportedConfiguration` when
+        the run cannot be replayed in bulk.
+        """
+        from ..core.session import TestRunResult  # deferred: avoids an import cycle
+
+        algorithm.validate()
+        if mode is OperatingMode.LOW_POWER_TEST:
+            by_source, counters, cycles, stress = self._run_low_power(algorithm)
+        else:
+            by_source, counters, cycles, stress = self._run_functional(algorithm)
+        self.last_stress = stress
+        self.last_counters = counters
+        label = f"{algorithm.name} [{mode.value}] (vectorized)"
+        ledger = EnergyLedger.from_aggregates(
+            self.clock.period, by_source, cycles=cycles, label=label)
+        return TestRunResult(
+            algorithm=algorithm.name,
+            mode=mode.value,
+            order=self.order.name,
+            geometry=self.geometry.describe(),
+            cycles=cycles,
+            total_energy=ledger.total_energy(),
+            average_power=ledger.average_power(),
+            energy_by_source=ledger.energy_by_source(),
+            mismatches=[],
+            faulty_swaps=[],
+            read_hazards=0,
+            row_transitions=counters["row_transitions"],
+            full_restores=counters["full_restores"],
+            full_res_column_cycles=counters["full_res_column_cycles"],
+            floating_column_cycles=counters["floating_column_cycles"],
+        )
+
+    def compare_modes(self, algorithm: MarchAlgorithm) -> "ModeComparison":
+        """Vectorized functional vs. low-power comparison (the PRR measurement)."""
+        from ..core.session import ModeComparison
+
+        functional = self.run(algorithm, OperatingMode.FUNCTIONAL)
+        low_power = self.run(algorithm, OperatingMode.LOW_POWER_TEST)
+        return ModeComparison(algorithm=algorithm.name,
+                              functional=functional, low_power=low_power)
+
+    # ------------------------------------------------------------------
+    # Functional mode: closed-form vector reductions
+    # ------------------------------------------------------------------
+    def _run_functional(self, algorithm: MarchAlgorithm):
+        geo, k = self.geometry, self._k
+        bits = geo.bits_per_word
+        per_access_decode = k.row_decode + k.col_decode
+        unselected = geo.columns - bits
+
+        by_source: Dict[PowerSource, float] = {}
+        counters = {"row_transitions": 0, "full_restores": 0,
+                    "full_res_column_cycles": 0, "floating_column_cycles": 0,
+                    "partial_res_column_cycles": 0}
+        track = self.track_cell_stress and geo.columns <= 128
+        stress_uniform = 0
+        prev_row: Optional[int] = None
+        cycles = 0
+
+        for element in algorithm.elements:
+            _, rows_arr, _ = self._element_walk(element)
+            n_addr = int(rows_arr.size)
+            ops = element.operation_count
+            n_access = n_addr * ops
+
+            # Operation + decode energy (booked per access under its own kind).
+            self._add(by_source, PowerSource.OPERATION_READ,
+                      n_addr * element.read_count
+                      * (per_access_decode + bits * k.read_col))
+            self._add(by_source, PowerSource.OPERATION_WRITE,
+                      n_addr * element.write_count
+                      * (per_access_decode + bits * k.write_col))
+
+            # Word-line recharges: one per row change, attributed to the kind
+            # of the first operation of the element (the access that lands on
+            # the new row).
+            changes = int(np.count_nonzero(np.diff(rows_arr)))
+            new_row_at_boundary = prev_row is None or int(rows_arr[0]) != prev_row
+            # A boundary onto a different row recharges the word line; it
+            # only counts as a row *transition* when a row was active before.
+            counters["row_transitions"] += changes
+            if new_row_at_boundary and prev_row is not None:
+                counters["row_transitions"] += 1
+            recharges = changes + (1 if new_row_at_boundary else 0)
+            wl_source = (PowerSource.OPERATION_READ if element.operations[0].is_read
+                         else PowerSource.OPERATION_WRITE)
+            self._add(by_source, wl_source, recharges * k.wordline)
+            prev_row = int(rows_arr[-1])
+
+            # Every unselected column keeps its pre-charge ON: aggregate RES.
+            res_energy = n_access * unselected * k.res_per_column
+            self._add(by_source, PowerSource.PRECHARGE_UNSELECTED, res_energy)
+            self._add(by_source, PowerSource.CELL_RES, res_energy * CELL_RES_RATIO)
+            counters["full_res_column_cycles"] += n_access * unselected
+
+            self._add(by_source, PowerSource.LEAKAGE, n_access * k.leakage)
+            if track:
+                stress_uniform += ops * (geo.words_per_row - 1)
+            cycles += n_access
+
+        stress = None
+        if self.track_cell_stress:
+            shape = (geo.rows, geo.words_per_row)
+            full = np.zeros(shape, dtype=np.int64)
+            if track:
+                full += stress_uniform
+            stress = CellStressTotals(
+                full_res=full,
+                partial_res=np.zeros(shape, dtype=np.int64),
+                reads_per_cell=algorithm.read_count,
+                writes_per_cell=algorithm.write_count,
+            )
+        return by_source, counters, cycles, stress
+
+    # ------------------------------------------------------------------
+    # Low-power test mode: per-row-segment vectorization
+    # ------------------------------------------------------------------
+    def _run_low_power(self, algorithm: MarchAlgorithm):
+        geo, k = self.geometry, self._k
+        bits = geo.bits_per_word
+        n_words = geo.words_per_row
+        per_access_decode = k.row_decode + k.col_decode
+        track = self.track_cell_stress
+
+        by_source: Dict[PowerSource, float] = {}
+        counters = {"row_transitions": 0, "full_restores": 0,
+                    "full_res_column_cycles": 0, "floating_column_cycles": 0}
+        partial_res_cycles = 0
+        control_events = 0
+        lptest_toggles = 0
+
+        shape = (geo.rows, n_words)
+        stress_full = np.zeros(shape, dtype=np.int64) if track else None
+        stress_partial = np.zeros(shape, dtype=np.int64) if track else None
+
+        #: per-word cycle index at which the word's bit lines started to
+        #: float (pre-charge OFF, lines at VDD at that instant); -1 while the
+        #: word is attached to a pre-charge circuit.
+        float_start = np.full(n_words, -1, dtype=np.int64)
+
+        walks = [self._element_walk(element) for element in algorithm.elements]
+        prev_word = -1
+        prev_row: Optional[int] = None
+        cycle = 0
+
+        for index, element in enumerate(algorithm.elements):
+            direction, rows_arr, words_arr = walks[index]
+            ops = element.operation_count
+            delta = traversal_neighbour_delta(direction)
+            if index + 1 < len(walks):
+                next_first_row: Optional[int] = int(walks[index + 1][1][0])
+            else:
+                next_first_row = None
+            wl_source = (PowerSource.OPERATION_READ if element.operations[0].is_read
+                         else PowerSource.OPERATION_WRITE)
+
+            boundaries = np.flatnonzero(np.diff(rows_arr)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [rows_arr.size]))
+
+            for start, end in zip(starts, ends):
+                start, end = int(start), int(end)
+                row = int(rows_arr[start])
+                seg = words_arr[start:end]
+                m = int(seg.size)
+                base = cycle + start * ops
+
+                # -- support checks: the planner keeps the *traversal
+                # neighbour* pre-charged, so the bulk replay is exact only
+                # when that neighbour is the next selected word and the
+                # selected word's lines are held at VDD when it is selected.
+                if m > 1 and not np.array_equal(seg[1:], seg[:-1] + delta):
+                    raise UnsupportedConfiguration(
+                        f"order {self.order.name!r} does not follow the "
+                        "pre-charged traversal neighbour within a row; use the "
+                        "reference backend")
+                first_word = int(seg[0])
+                if float_start[first_word] >= 0:
+                    raise UnsupportedConfiguration(
+                        "selected word's bit lines are floating at selection "
+                        "time; use the reference backend")
+
+                neighbours = seg + delta
+                valid = (neighbours >= 0) & (neighbours < n_words)
+                n_enabled = int(np.count_nonzero(valid))
+
+                # -- word line / row transition accounting.
+                if prev_row is None or row != prev_row:
+                    if prev_row is not None:
+                        counters["row_transitions"] += 1
+                    self._add(by_source, wl_source, k.wordline)
+                prev_row = row
+
+                # -- control elements: one switching event per column change
+                # (plus the very first cycle of the run).
+                control_events += (m - 1)
+                if prev_word < 0 or prev_word != first_word:
+                    control_events += 1
+                prev_word = int(seg[-1])
+
+                # -- operations on the selected words (held at VDD, so the
+                # per-access energies are the same constants as functional
+                # mode).
+                self._add(by_source, PowerSource.OPERATION_READ,
+                          m * element.read_count
+                          * (per_access_decode + bits * k.read_col))
+                self._add(by_source, PowerSource.OPERATION_WRITE,
+                          m * element.write_count
+                          * (per_access_decode + bits * k.write_col))
+                self._add(by_source, PowerSource.LEAKAGE, m * ops * k.leakage)
+
+                # -- newly floating words at the segment's first access:
+                # everything previously attached except the selected word and
+                # its pre-charged neighbour.
+                newly = float_start < 0
+                newly[first_word] = False
+                if bool(valid[0]):
+                    newly[int(neighbours[0])] = False
+                n_newly = int(np.count_nonzero(newly))
+                partial_res_cycles += (n_newly + (m - 1)) * bits
+                if track:
+                    stress_partial[row][newly] += 1
+                    if m > 1:
+                        np.add.at(stress_partial[row], seg[:-1], 1)
+                float_start[newly] = base
+
+                # -- the pre-charged neighbour of each visit: sustains a full
+                # RES every cycle and recharges whatever its floating lines
+                # lost (nonzero only on the visit's first cycle).
+                enabled_words = neighbours[valid]
+                sustain = n_enabled * ops * bits * k.res_per_column
+                self._add(by_source, PowerSource.PRECHARGE_UNSELECTED, sustain)
+                self._add(by_source, PowerSource.CELL_RES, sustain * CELL_RES_RATIO)
+                counters["full_res_column_cycles"] += n_enabled * ops * bits
+                if track and n_enabled:
+                    np.add.at(stress_full[row], enabled_words, ops)
+                if n_enabled:
+                    visit_cycles = base + np.flatnonzero(valid) * ops
+                    fs = float_start[enabled_words]
+                    floating = fs >= 0
+                    if np.any(floating):
+                        self._add(by_source, PowerSource.PRECHARGE_UNSELECTED,
+                                  self._decayed_restore_energy(
+                                      visit_cycles[floating] - fs[floating]))
+
+                # -- post-segment floating state: each visited word refloats
+                # one visit after its own selection; the last visited word
+                # and its neighbour stay attached.
+                if m > 1:
+                    float_start[seg[:-1]] = base + np.arange(1, m) * ops
+                float_start[int(seg[-1])] = -1
+                if bool(valid[-1]):
+                    float_start[int(neighbours[-1])] = -1
+
+                counters["floating_column_cycles"] += ops * (
+                    m * (geo.columns - bits) - n_enabled * bits)
+
+                # -- the paper's one functional-mode cycle per row: restore
+                # every bit line during the last access before the traversal
+                # leaves this row (or the test ends).
+                if end < rows_arr.size:
+                    restore_now = True  # next segment of this element = new row
+                elif next_first_row is None:
+                    restore_now = True  # last access of the whole test
+                else:
+                    restore_now = next_first_row != row
+                if restore_now:
+                    last_cycle = base + m * ops - 1
+                    floating = float_start >= 0
+                    if np.any(floating):
+                        self._add(by_source, PowerSource.ROW_TRANSITION_RESTORE,
+                                  self._decayed_restore_energy(
+                                      last_cycle - float_start[floating]))
+                        float_start[floating] = -1
+                    counters["full_restores"] += 1
+                    lptest_toggles += 1
+
+            cycle += int(rows_arr.size) * ops
+
+        self._add(by_source, PowerSource.CONTROL_LOGIC,
+                  control_events * k.control_element)
+        self._add(by_source, PowerSource.LPTEST_DRIVER,
+                  lptest_toggles * k.lptest_line)
+        counters["partial_res_column_cycles"] = partial_res_cycles
+
+        stress = None
+        if track:
+            stress = CellStressTotals(
+                full_res=stress_full,
+                partial_res=stress_partial,
+                reads_per_cell=algorithm.read_count,
+                writes_per_cell=algorithm.write_count,
+            )
+        return by_source, counters, cycle, stress
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _add(by_source: Dict[PowerSource, float], source: PowerSource,
+             energy: float) -> None:
+        if energy == 0.0:
+            return
+        by_source[source] = by_source.get(source, 0.0) + energy

@@ -114,4 +114,5 @@ def complement_data(algorithm: MarchAlgorithm) -> MarchAlgorithm:
 
 
 def all_degrees() -> List[DegreeOfFreedom]:
+    """All March-test degrees of freedom, in the paper's numbering order."""
     return list(DegreeOfFreedom)

@@ -147,6 +147,30 @@ def row_transition_count(algorithm: MarchAlgorithm, order: AddressOrder,
     For a word-line-sequential order this equals ``#elements * #rows`` (plus
     nothing for the final access, which is also counted); it is the
     frequency driver of the paper's P_B term.
+
+    Counted directly over the coordinate sequences — one flag per row
+    change within an element, one per element boundary that lands on a
+    different row, one for the final access of the test — without
+    materialising :class:`AccessStep` objects, so it stays cheap on
+    paper-scale geometries (the same segment arithmetic the vectorized
+    backend uses).
     """
-    return sum(1 for step in walk(algorithm, order, any_direction)
-               if step.last_access_on_row)
+    elements = list(algorithm.elements)
+    first_rows: List[Optional[int]] = []
+    for element in elements:
+        first = next(iter(element_coordinates(element, order, any_direction)), None)
+        first_rows.append(first[0] if first is not None else None)
+
+    total = 0
+    for element_index, element in enumerate(elements):
+        rows = [row for row, _ in
+                element_coordinates(element, order, any_direction)]
+        total += sum(1 for previous, current in zip(rows, rows[1:])
+                     if previous != current)
+        if element_index + 1 < len(elements):
+            next_row = first_rows[element_index + 1]
+            if next_row is not None and next_row != rows[-1]:
+                total += 1
+        else:
+            total += 1  # the final access of the test is always flagged
+    return total

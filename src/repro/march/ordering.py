@@ -57,6 +57,33 @@ class AddressOrder:
     def sequence(self, ascending: bool = True) -> List[Coordinate]:
         return list(self.ascending() if ascending else self.descending())
 
+    def coordinate_arrays(self):
+        """The ascending sequence as two parallel ``numpy`` integer arrays.
+
+        Returns ``(rows, words)`` where ``rows[i], words[i]`` is the
+        coordinate visited at position ``i``.  This is the bulk form the
+        vectorized execution backend (:mod:`repro.engine`) consumes; the
+        result is materialised lazily and cached on the order instance, so
+        repeated runs over the same order pay the expansion only once.
+        Subclasses whose sequence has an arithmetic structure override
+        :meth:`_build_coordinate_arrays` with a closed-form construction.
+        Requires ``numpy``.
+        """
+        cached = getattr(self, "_coordinate_arrays_cache", None)
+        if cached is None:
+            cached = self._build_coordinate_arrays()
+            self._coordinate_arrays_cache = cached
+        return cached
+
+    def _build_coordinate_arrays(self):
+        """Uncached expansion: one :meth:`coordinate_at` call per position."""
+        import numpy as np
+
+        coords = np.asarray(self.sequence(), dtype=np.int64)
+        coords = coords.reshape(len(self), 2)
+        return (np.ascontiguousarray(coords[:, 0]),
+                np.ascontiguousarray(coords[:, 1]))
+
     # ------------------------------------------------------------------
     def is_wordline_sequential(self) -> bool:
         """True when consecutive positions stay on a row until it is exhausted.
@@ -93,6 +120,13 @@ class RowMajorOrder(AddressOrder):
         if not 0 <= position < len(self):
             raise OrderingError(f"position {position} out of range [0, {len(self)})")
         return self.geometry.coordinates_of(position)
+
+    def _build_coordinate_arrays(self):
+        """Closed-form bulk expansion (no per-position Python loop)."""
+        import numpy as np
+
+        positions = np.arange(len(self), dtype=np.int64)
+        return np.divmod(positions, self.geometry.words_per_row)
 
 
 class ColumnMajorOrder(AddressOrder):

@@ -128,6 +128,38 @@ class EnergyLedger:
         for event in events:
             self.record(event)
 
+    @classmethod
+    def from_aggregates(cls, clock_period: float,
+                        by_source: Mapping[PowerSource, float],
+                        cycles: int, label: str = "") -> "EnergyLedger":
+        """Build an aggregate-only ledger from precomputed per-source totals.
+
+        The vectorized execution backend (:mod:`repro.engine`) computes
+        energy totals as array reductions rather than one event at a time;
+        this constructor wraps those totals in a ledger that reports the
+        same aggregate views (total energy, per-source breakdown, average
+        power over ``cycles`` clock cycles) as an event-by-event ledger.
+        Per-event and per-cycle views are unavailable (``keep_events`` and
+        ``track_per_cycle`` are off), and each source counts as one booked
+        event.  Zero-energy sources are dropped, mirroring
+        :meth:`record_energy`.
+        """
+        if cycles < 0:
+            raise AccountingError(f"cycles must be non-negative, got {cycles}")
+        ledger = cls(clock_period, label=label,
+                     keep_events=False, track_per_cycle=False)
+        last_cycle = max(0, cycles - 1)
+        for source, energy in by_source.items():
+            if energy < 0:
+                raise AccountingError(
+                    f"energy must be non-negative, got {energy} for {source}")
+            if energy == 0.0:
+                continue
+            ledger._book(last_cycle, source, energy, column=None)
+        if cycles > 0:
+            ledger._max_cycle = cycles - 1
+        return ledger
+
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------

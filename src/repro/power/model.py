@@ -93,40 +93,63 @@ class PowerModel:
     def bitline_capacitance(self) -> float:
         return self.tech.bitline_capacitance(self.geometry.rows)
 
-    def _address_bits(self, count: int) -> int:
+    def address_bits(self, count: int) -> int:
+        """Address bits needed to select among ``count`` entries (at least 1)."""
         bits = 0
         while (1 << bits) < count:
             bits += 1
         return max(1, bits)
 
+    # Backwards-compatible alias (pre-1.1 private name).
+    _address_bits = address_bits
+
+    def row_decode_energy(self) -> float:
+        """Row-decoder switching energy of one access (word line excluded)."""
+        cap = self.address_bits(self.geometry.rows) * self.DECODER_CAP_PER_BIT
+        return self.tech.swing_energy(cap)
+
+    def column_decode_energy(self) -> float:
+        """Column-decoder + column-mux switching energy of one access."""
+        cap = (self.address_bits(self.geometry.words_per_row)
+               * self.DECODER_CAP_PER_BIT
+               + self.geometry.bits_per_word * self.COLUMN_MUX_CAP)
+        return self.tech.swing_energy(cap)
+
     def decode_energy(self) -> float:
         """Row + column decode energy of one access (word line amortised)."""
-        row_bits = self._address_bits(self.geometry.rows)
-        col_bits = self._address_bits(self.geometry.words_per_row)
-        cap = (row_bits + col_bits) * self.DECODER_CAP_PER_BIT
-        cap += self.geometry.bits_per_word * self.COLUMN_MUX_CAP
-        return self.tech.swing_energy(cap)
+        return self.row_decode_energy() + self.column_decode_energy()
+
+    def read_column_energy(self) -> float:
+        """Energy of one read on one column (sense + read-swing restoration).
+
+        The per-column share of :meth:`read_energy`; the vectorized backend
+        books it separately from the decode energy, so both backends consume
+        the same definition.
+        """
+        c_bl = self.bitline_capacitance()
+        swing = self.READ_SWING_FRACTION * self.tech.vdd
+        return (self.tech.swing_energy(self.SENSE_CAP)
+                + self.tech.swing_energy(c_bl, swing)
+                * (1.0 + self.tech.precharge_overhead_factor))
+
+    def write_column_energy(self) -> float:
+        """Energy of one write on one column (drivers + full restoration)."""
+        c_bl = self.bitline_capacitance()
+        full_swing = self.tech.vdd
+        return (self.tech.swing_energy(self.WRITE_DRIVER_CAP)
+                + self.WRITE_CROWBAR_FACTOR * c_bl * full_swing * self.tech.vdd
+                + self.tech.swing_energy(c_bl, full_swing)
+                * (1.0 + self.tech.precharge_overhead_factor))
 
     def read_energy(self) -> float:
         """P_r: one read cycle (decode, sense, selected-column restoration)."""
-        c_bl = self.bitline_capacitance()
-        swing = self.READ_SWING_FRACTION * self.tech.vdd
-        per_column = (
-            self.tech.swing_energy(self.SENSE_CAP)
-            + self.tech.swing_energy(c_bl, swing) * (1.0 + self.tech.precharge_overhead_factor)
-        )
-        return self.decode_energy() + self.geometry.bits_per_word * per_column
+        return (self.decode_energy()
+                + self.geometry.bits_per_word * self.read_column_energy())
 
     def write_energy(self) -> float:
         """P_w: one write cycle (decode, drivers, full bit-line restoration)."""
-        c_bl = self.bitline_capacitance()
-        full_swing = self.tech.vdd
-        per_column = (
-            self.tech.swing_energy(self.WRITE_DRIVER_CAP)
-            + self.WRITE_CROWBAR_FACTOR * c_bl * full_swing * self.tech.vdd
-            + self.tech.swing_energy(c_bl, full_swing) * (1.0 + self.tech.precharge_overhead_factor)
-        )
-        return self.decode_energy() + self.geometry.bits_per_word * per_column
+        return (self.decode_energy()
+                + self.geometry.bits_per_word * self.write_column_energy())
 
     def res_energy_per_column(self) -> float:
         """P_A: pre-charge circuit sustaining one RES for one operation phase."""

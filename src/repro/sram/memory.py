@@ -46,6 +46,13 @@ class MemoryError_(Exception):
     """Raised on illegal accesses or inconsistent pre-charge plans."""
 
 
+#: Ratio of cell-side RES energy to pre-charge-side RES energy; the paper
+#: measures three orders of magnitude between the two.  Shared between the
+#: behavioural memory and the vectorized backend (:mod:`repro.engine`) so
+#: the two execution paths cannot drift apart.
+CELL_RES_RATIO = 1.0e-3
+
+
 class OperatingMode(Enum):
     """Memory operating mode (Section 4)."""
 
@@ -178,9 +185,9 @@ class SRAM:
             self.tech.vdd * self.tech.res_equilibrium_current
             * self.clock.operation_duration
         )
-        #: Ratio of cell-side RES energy to pre-charge-side RES energy; the
-        #: paper measures three orders of magnitude.
-        self._cell_res_ratio = 1.0e-3
+        #: Ratio of cell-side RES energy to pre-charge-side RES energy (see
+        #: the module-level :data:`CELL_RES_RATIO`).
+        self._cell_res_ratio = CELL_RES_RATIO
         self._lptest_line_cap = self.tech.wordline_capacitance(geometry.columns)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,39 @@
+"""Paper-scale sweep runner: batch grids of test-power scenarios.
+
+* :mod:`repro.sweep.runner` — :class:`SweepRunner` and friends: grid
+  construction, multiprocessing fan-out, JSON/CSV export;
+* :mod:`repro.sweep.__main__` — the ``python -m repro.sweep`` command line.
+
+Quickstart::
+
+    from repro.sweep import SweepRunner, sweep_grid
+
+    cases = sweep_grid(["64x64", "512x512"], ["March C-", "MATS+"])
+    result = SweepRunner(cases, processes=4).run()
+    print(result.render())
+    result.to_csv("sweep.csv")
+"""
+
+from .runner import (
+    SweepCase,
+    SweepError,
+    SweepRecord,
+    SweepResult,
+    SweepRunner,
+    paper_table1_cases,
+    parse_geometry,
+    run_case,
+    sweep_grid,
+)
+
+__all__ = [
+    "SweepCase",
+    "SweepError",
+    "SweepRecord",
+    "SweepResult",
+    "SweepRunner",
+    "paper_table1_cases",
+    "parse_geometry",
+    "run_case",
+    "sweep_grid",
+]

@@ -1,0 +1,371 @@
+"""Batch execution of test-power scenario grids (the paper-scale sweeps).
+
+A sweep batch-executes a grid of *(geometry x algorithm x address-order x
+backend)* scenarios, each one a full functional-vs-low-power-test-mode
+comparison (the measurement behind the paper's Table 1), with optional
+multiprocessing fan-out across scenarios and JSON/CSV export of the
+results.  Together with the vectorized engine this turns the reproduction
+into an experiment service: the full 512 x 512 measured Table 1 — minutes
+per algorithm on the reference engine — becomes one CLI invocation
+(``python -m repro.sweep --paper``) that completes in seconds.
+
+Design notes:
+
+* a :class:`SweepCase` is a plain, picklable description (names and
+  integers, no live objects), so cases travel cheaply to worker processes
+  and round-trip through JSON;
+* :func:`run_case` is a module-level function — the unit of work a
+  ``multiprocessing.Pool`` maps over;
+* a :class:`SweepResult` holds one :class:`SweepRecord` per scenario and
+  renders through :func:`repro.analysis.tables.render_table`, so sweep
+  output matches the benchmark tables.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.tables import render_table
+from ..core.prr import AnalyticalPowerModel
+from ..core.session import BACKENDS, TestSession
+from ..march.element import AddressingDirection
+from ..march.library import PAPER_TABLE1_ALGORITHMS, get_algorithm
+from ..march.ordering import ORDER_REGISTRY, make_order
+from ..sram.geometry import ArrayGeometry
+
+
+class SweepError(Exception):
+    """Raised on malformed sweep specifications."""
+
+
+GeometryLike = Union[ArrayGeometry, Tuple[int, int], Tuple[int, int, int], str]
+
+
+def parse_geometry(spec: GeometryLike) -> ArrayGeometry:
+    """Coerce a geometry specification into an :class:`ArrayGeometry`.
+
+    Accepts an :class:`ArrayGeometry`, a ``(rows, columns)`` or
+    ``(rows, columns, bits_per_word)`` tuple, or a string like ``"512x512"``
+    / ``"64x64x4"`` (the CLI form).
+    """
+    if isinstance(spec, ArrayGeometry):
+        return spec
+    if isinstance(spec, str):
+        parts = spec.lower().replace("×", "x").split("x")
+        if len(parts) not in (2, 3):
+            raise SweepError(
+                f"geometry {spec!r} must look like ROWSxCOLS or ROWSxCOLSxBITS")
+        try:
+            numbers = [int(part) for part in parts]
+        except ValueError as exc:
+            raise SweepError(f"geometry {spec!r} has non-integer fields") from exc
+        return ArrayGeometry(*numbers)
+    return ArrayGeometry(*spec)
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One scenario of a sweep grid (picklable, JSON-friendly).
+
+    Everything is carried by name or plain number so the case can be sent
+    to a worker process and rebuilt there: the algorithm resolves through
+    :func:`repro.march.get_algorithm`, the order through
+    :func:`repro.march.ordering.make_order`.
+    """
+
+    rows: int
+    columns: int
+    algorithm: str
+    bits_per_word: int = 1
+    order: str = "row-major"
+    any_direction: str = "up"
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.order not in ORDER_REGISTRY:
+            raise SweepError(
+                f"unknown address order {self.order!r}; "
+                f"available: {sorted(ORDER_REGISTRY)}")
+        if self.backend not in BACKENDS:
+            raise SweepError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        get_algorithm(self.algorithm)  # fail fast on unknown names
+
+    def geometry(self) -> ArrayGeometry:
+        """The array geometry this case runs on."""
+        return ArrayGeometry(rows=self.rows, columns=self.columns,
+                             bits_per_word=self.bits_per_word)
+
+    def label(self) -> str:
+        """Short human-readable scenario label used in logs and tables."""
+        geometry = f"{self.rows}x{self.columns}"
+        if self.bits_per_word != 1:
+            geometry += f"x{self.bits_per_word}"
+        return f"{self.algorithm} @ {geometry} [{self.order}, {self.backend}]"
+
+
+@dataclass
+class SweepRecord:
+    """The measurements of one executed :class:`SweepCase`."""
+
+    rows: int
+    columns: int
+    bits_per_word: int
+    algorithm: str
+    order: str
+    any_direction: str
+    backend: str            # requested backend
+    backend_used: str       # engine that actually ran ("vectorized"/"reference")
+    cycles_per_mode: int
+    functional_power_w: float
+    low_power_power_w: float
+    measured_prr: float
+    analytical_prr: float   # the paper's Section 5 equation
+    analytical_prr_recharge: float  # + the next-column recharge term
+    passed: bool            # no read mismatch in either mode
+    elapsed_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (the JSON/CSV row)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SweepRecord":
+        """Rebuild a record from :meth:`as_dict` output (JSON/CSV import)."""
+        kwargs = {}
+        for spec in fields(cls):
+            if spec.name not in data:
+                raise SweepError(f"sweep record is missing field {spec.name!r}")
+            value = data[spec.name]
+            if spec.type in ("int", int):
+                value = int(value)  # CSV round-trip delivers strings
+            elif spec.type in ("float", float):
+                value = float(value)
+            elif spec.type in ("bool", bool) and isinstance(value, str):
+                value = value == "True"
+            kwargs[spec.name] = value
+        return cls(**kwargs)
+
+    def table_row(self) -> Dict[str, object]:
+        """One row of the sweep report table."""
+        geometry = f"{self.rows}x{self.columns}"
+        if self.bits_per_word != 1:
+            geometry += f"x{self.bits_per_word}"
+        return {
+            "Algorithm": self.algorithm,
+            "Geometry": geometry,
+            "Order": self.order,
+            "Backend": self.backend_used,
+            "PRR measured": f"{100.0 * self.measured_prr:.1f} %",
+            "PRR analytical": f"{100.0 * self.analytical_prr:.1f} %",
+            "PRR analytical (+recharge)": f"{100.0 * self.analytical_prr_recharge:.1f} %",
+            "P_F (mW)": f"{self.functional_power_w * 1e3:.3f}",
+            "P_LPT (mW)": f"{self.low_power_power_w * 1e3:.3f}",
+            "Cycles/mode": self.cycles_per_mode,
+            "Runtime (s)": f"{self.elapsed_s:.2f}",
+        }
+
+
+def run_case(case: SweepCase) -> SweepRecord:
+    """Execute one scenario: both modes, measured and analytical PRR.
+
+    This is the multiprocessing work unit.  A requested ``"vectorized"`` or
+    ``"auto"`` backend first tries the batch engine; ``"auto"`` falls back
+    to the reference engine for configurations the engine rejects, and the
+    record's ``backend_used`` reports which engine actually ran.
+    """
+    from ..engine import EngineError  # deferred: numpy optional
+
+    geometry = case.geometry()
+    algorithm = get_algorithm(case.algorithm)
+    order = make_order(case.order, geometry)
+    any_direction = AddressingDirection(case.any_direction)
+    session = TestSession(geometry, order=order, any_direction=any_direction,
+                          detailed=False)
+
+    started = time.perf_counter()
+    backend_used = "reference"
+    if case.backend in ("vectorized", "auto"):
+        try:
+            comparison = session.compare_modes(algorithm, backend="vectorized")
+            backend_used = "vectorized"
+        except EngineError:
+            # Unsupported scenario or numpy unavailable: "auto" falls back.
+            if case.backend == "vectorized":
+                raise
+            comparison = session.compare_modes(algorithm, backend="reference")
+    else:
+        comparison = session.compare_modes(algorithm, backend="reference")
+    elapsed = time.perf_counter() - started
+
+    analytical = AnalyticalPowerModel(geometry)
+    prediction = analytical.predict(algorithm)
+    prediction_recharge = analytical.predict(
+        algorithm, include_secondary=True, include_next_column_recharge=True)
+
+    return SweepRecord(
+        rows=case.rows,
+        columns=case.columns,
+        bits_per_word=case.bits_per_word,
+        algorithm=algorithm.name,
+        order=case.order,
+        any_direction=case.any_direction,
+        backend=case.backend,
+        backend_used=backend_used,
+        cycles_per_mode=comparison.functional.cycles,
+        functional_power_w=comparison.functional.average_power,
+        low_power_power_w=comparison.low_power.average_power,
+        measured_prr=comparison.prr,
+        analytical_prr=prediction.prr,
+        analytical_prr_recharge=prediction_recharge.prr,
+        passed=comparison.functional.passed and comparison.low_power.passed,
+        elapsed_s=elapsed,
+    )
+
+
+@dataclass
+class SweepResult:
+    """The records of one executed sweep, with export/import helpers."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def table_rows(self) -> List[Dict[str, object]]:
+        """The sweep as :func:`repro.analysis.tables.render_table` rows."""
+        return [record.table_row() for record in self.records]
+
+    def render(self, title: str = "Sweep results") -> str:
+        """Plain-text report table of the whole sweep."""
+        return render_table(self.table_rows(), title=title)
+
+    # ------------------------------------------------------------------
+    # Export / import
+    # ------------------------------------------------------------------
+    def to_json(self, path: Union[str, Path]) -> Path:
+        """Write the records to ``path`` as a JSON document; returns the path."""
+        path = Path(path)
+        payload = {"format": "repro-sweep", "version": 1,
+                   "records": [record.as_dict() for record in self.records]}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "SweepResult":
+        """Load a sweep previously written by :meth:`to_json`."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("format") != "repro-sweep":
+            raise SweepError(f"{path} is not a repro sweep export")
+        return cls([SweepRecord.from_dict(row) for row in payload["records"]])
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the records to ``path`` as CSV; returns the path."""
+        import csv
+
+        path = Path(path)
+        names = [spec.name for spec in fields(SweepRecord)]
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=names)
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow(record.as_dict())
+        return path
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "SweepResult":
+        """Load a sweep previously written by :meth:`to_csv`."""
+        import csv
+
+        with Path(path).open(newline="", encoding="utf-8") as handle:
+            return cls([SweepRecord.from_dict(row) for row in csv.DictReader(handle)])
+
+
+def sweep_grid(geometries: Iterable[GeometryLike],
+               algorithms: Iterable[str],
+               orders: Iterable[str] = ("row-major",),
+               backends: Iterable[str] = ("auto",),
+               any_direction: str = "up") -> List[SweepCase]:
+    """Build the full cross-product grid of scenarios.
+
+    ``geometries`` accepts anything :func:`parse_geometry` does; the other
+    axes are names.  The grid order is geometry-major so large scenarios
+    cluster together, which helps the multiprocessing fan-out balance.
+    """
+    cases: List[SweepCase] = []
+    for geometry_spec in geometries:
+        geometry = parse_geometry(geometry_spec)
+        for order in orders:
+            for backend in backends:
+                for algorithm in algorithms:
+                    cases.append(SweepCase(
+                        rows=geometry.rows, columns=geometry.columns,
+                        bits_per_word=geometry.bits_per_word,
+                        algorithm=algorithm, order=order,
+                        any_direction=any_direction, backend=backend))
+    return cases
+
+
+def paper_table1_cases(backend: str = "vectorized") -> List[SweepCase]:
+    """The paper-scale measured Table 1: 512 x 512, all five algorithms."""
+    return sweep_grid(["512x512"],
+                      [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS],
+                      backends=(backend,))
+
+
+class SweepRunner:
+    """Executes a list of :class:`SweepCase` scenarios, optionally in parallel.
+
+    ``processes`` selects the fan-out: ``1`` (or ``None`` with one case)
+    runs in-process; anything larger maps the cases over a
+    ``multiprocessing.Pool`` of that size.  Workers rebuild every object
+    from the case's names, so only plain data crosses process boundaries.
+    """
+
+    def __init__(self, cases: Sequence[SweepCase],
+                 processes: Optional[int] = None) -> None:
+        if not cases:
+            raise SweepError("a sweep needs at least one case")
+        if processes is not None and processes < 1:
+            raise SweepError(f"processes must be >= 1, got {processes}")
+        self.cases = list(cases)
+        self.processes = processes
+
+    def run(self, progress: bool = False) -> SweepResult:
+        """Execute every case and return the collected :class:`SweepResult`.
+
+        With ``progress`` true, a one-line status is printed per completed
+        case (sequential mode) or per chunk (parallel mode).
+        """
+        workers = self.processes or 1
+        workers = min(workers, len(self.cases))
+        if workers <= 1:
+            records = []
+            for case in self.cases:
+                record = run_case(case)
+                if progress:
+                    print(f"[sweep] {case.label()}: "
+                          f"PRR {100 * record.measured_prr:.1f} % "
+                          f"({record.elapsed_s:.2f} s, {record.backend_used})")
+                records.append(record)
+            return SweepResult(records)
+        with multiprocessing.get_context().Pool(processes=workers) as pool:
+            records = pool.map(run_case, self.cases)
+        if progress:
+            for record in records:
+                print(f"[sweep] {record.algorithm} @ "
+                      f"{record.rows}x{record.columns}: "
+                      f"PRR {100 * record.measured_prr:.1f} % "
+                      f"({record.elapsed_s:.2f} s, {record.backend_used})")
+        return SweepResult(records)

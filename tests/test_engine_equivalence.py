@@ -1,0 +1,246 @@
+"""Equivalence of the vectorized engine against the reference backend.
+
+The vectorized backend is only useful if it measures *exactly* what the
+cycle-accurate reference memory measures.  These tests run both engines on
+identical configurations and require:
+
+* identical energy ledgers (total, per-source breakdown, average power) up
+  to floating-point summation order,
+* identical stress counters (RES column-cycles, floating column-cycles,
+  row transitions, full restores),
+* identical fault detections (none on a fault-free memory),
+* identical per-cell stress statistics where the reference memory tracks
+  them.
+
+Coverage spans all five Table 1 algorithms, both operating modes, both
+traversal directions, word-oriented geometries and every address order the
+engine supports — plus the guarantee that unsupported configurations are
+refused (``backend="vectorized"``) or transparently fall back
+(``backend="auto"``) rather than measured wrongly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MARCH_CM,
+    MARCH_SR,
+    PAPER_TABLE1_ALGORITHMS,
+    SMALL_GEOMETRY,
+    TestSession,
+    checkerboard_background,
+)
+from repro.core.session import SessionError
+from repro.engine import EngineError, UnsupportedConfiguration, VectorizedEngine
+from repro.march.element import AddressingDirection
+from repro.march.ordering import (
+    ColumnMajorOrder,
+    PseudoRandomOrder,
+    RowMajorSnakeOrder,
+)
+from repro.sram import SRAM, ArrayGeometry, OperatingMode, solid_background
+
+REL_TOL = 1e-9
+
+COUNTER_FIELDS = (
+    "cycles",
+    "row_transitions",
+    "full_restores",
+    "full_res_column_cycles",
+    "floating_column_cycles",
+    "read_hazards",
+)
+
+
+def assert_equivalent(reference, vectorized, label=""):
+    """Assert two TestRunResults agree on every reported measurement."""
+    assert set(reference.energy_by_source) == set(vectorized.energy_by_source), label
+    for source, expected in reference.energy_by_source.items():
+        observed = vectorized.energy_by_source[source]
+        assert observed == pytest.approx(expected, rel=REL_TOL), (label, source)
+    assert vectorized.total_energy == pytest.approx(reference.total_energy,
+                                                    rel=REL_TOL), label
+    assert vectorized.average_power == pytest.approx(reference.average_power,
+                                                     rel=REL_TOL), label
+    for field in COUNTER_FIELDS:
+        assert getattr(vectorized, field) == getattr(reference, field), (label, field)
+    assert reference.mismatches == [] and vectorized.mismatches == [], label
+    assert reference.faulty_swaps == [] and vectorized.faulty_swaps == [], label
+    assert reference.passed and vectorized.passed, label
+    assert vectorized.order == reference.order
+    assert vectorized.geometry == reference.geometry
+
+
+def both_backends(geometry, algorithm, mode, **session_kwargs):
+    reference = TestSession(geometry, **session_kwargs).run(algorithm, mode)
+    vectorized = TestSession(geometry, backend="vectorized",
+                             **session_kwargs).run(algorithm, mode)
+    return reference, vectorized
+
+
+# ----------------------------------------------------------------------
+# Main equivalence matrix: Table 1 algorithms x modes on SMALL_GEOMETRY
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+@pytest.mark.parametrize("algorithm", PAPER_TABLE1_ALGORITHMS,
+                         ids=lambda a: a.name)
+def test_equivalence_table1_algorithms(algorithm, mode):
+    reference, vectorized = both_backends(SMALL_GEOMETRY, algorithm, mode)
+    assert_equivalent(reference, vectorized, label=f"{algorithm.name}/{mode.value}")
+
+
+def test_equivalence_compare_modes_prr():
+    for algorithm in PAPER_TABLE1_ALGORITHMS:
+        reference = TestSession(SMALL_GEOMETRY).compare_modes(algorithm)
+        vectorized = TestSession(SMALL_GEOMETRY).compare_modes(
+            algorithm, backend="vectorized")
+        # Note: on a tiny 16x16 array the PRR is legitimately small or even
+        # negative (few suppressed columns, frequent row restores); the
+        # equivalence of the two backends is what matters here.
+        assert vectorized.prr == pytest.approx(reference.prr, rel=REL_TOL)
+
+
+# ----------------------------------------------------------------------
+# Directions, backgrounds, orders, geometries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+def test_equivalence_descending_any_direction(mode):
+    reference, vectorized = both_backends(
+        SMALL_GEOMETRY, MARCH_CM, mode,
+        any_direction=AddressingDirection.DOWN)
+    assert_equivalent(reference, vectorized, label="any-down")
+
+
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+def test_equivalence_checkerboard_background(mode):
+    reference, vectorized = both_backends(
+        SMALL_GEOMETRY, MARCH_SR, mode, background=checkerboard_background())
+    assert_equivalent(reference, vectorized, label="checkerboard")
+
+
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+def test_equivalence_column_major_order(mode):
+    """Fast-row order: every access is a row transition (worst case)."""
+    geometry = ArrayGeometry(rows=8, columns=8)
+    reference, vectorized = both_backends(
+        geometry, MARCH_CM, mode, order=ColumnMajorOrder(geometry))
+    assert_equivalent(reference, vectorized, label="column-major")
+
+
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+def test_equivalence_word_oriented_geometry(mode):
+    geometry = ArrayGeometry(rows=8, columns=16, bits_per_word=4)
+    reference, vectorized = both_backends(geometry, MARCH_CM, mode)
+    assert_equivalent(reference, vectorized, label="word-oriented")
+
+
+def test_equivalence_wide_geometry_low_power():
+    """Wide array: the savings regime the paper targets."""
+    geometry = ArrayGeometry(rows=4, columns=64)
+    reference, vectorized = both_backends(
+        geometry, MARCH_CM, OperatingMode.LOW_POWER_TEST)
+    assert_equivalent(reference, vectorized, label="wide")
+
+
+# ----------------------------------------------------------------------
+# Per-cell stress statistics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", list(OperatingMode), ids=lambda m: m.value)
+def test_per_cell_stress_matches_reference(mode):
+    geometry = ArrayGeometry(rows=8, columns=8)
+    session = TestSession(geometry)
+    memory = SRAM(geometry, mode=mode)
+    memory.apply_background(solid_background(0))
+    session.run(MARCH_CM, mode, memory=memory)
+
+    engine = VectorizedEngine(geometry)
+    engine.run(MARCH_CM, mode)
+    stress = engine.last_stress
+    assert stress is not None
+
+    def per_cell(attribute):
+        return np.array([[getattr(memory.array.cell(row, column).stats, attribute)
+                          for column in range(geometry.columns)]
+                         for row in range(geometry.rows)])
+
+    assert np.array_equal(per_cell("full_res_count"), stress.full_res)
+    assert np.array_equal(per_cell("partial_res_count"), stress.partial_res)
+    assert np.all(per_cell("reads") == stress.reads_per_cell)
+    assert np.all(per_cell("writes") == stress.writes_per_cell)
+    assert (engine.last_counters["partial_res_column_cycles"]
+            == memory.counters.partial_res_column_cycles)
+
+
+# ----------------------------------------------------------------------
+# Unsupported configurations: refuse or fall back, never mis-measure
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("order_factory", [PseudoRandomOrder, RowMajorSnakeOrder],
+                         ids=["pseudo-random", "snake"])
+def test_unsupported_order_raises_on_explicit_vectorized(order_factory):
+    geometry = ArrayGeometry(rows=8, columns=8)
+    session = TestSession(geometry, order=order_factory(geometry),
+                          backend="vectorized")
+    with pytest.raises(UnsupportedConfiguration):
+        session.run(MARCH_CM, OperatingMode.LOW_POWER_TEST)
+
+
+@pytest.mark.parametrize("order_factory", [PseudoRandomOrder, RowMajorSnakeOrder],
+                         ids=["pseudo-random", "snake"])
+def test_unsupported_order_auto_falls_back_to_reference(order_factory):
+    geometry = ArrayGeometry(rows=8, columns=8)
+    reference = TestSession(geometry, order=order_factory(geometry)).run(
+        MARCH_CM, OperatingMode.LOW_POWER_TEST)
+    auto = TestSession(geometry, order=order_factory(geometry),
+                       backend="auto").run(MARCH_CM, OperatingMode.LOW_POWER_TEST)
+    assert_equivalent(reference, auto, label="auto-fallback")
+
+
+def test_functional_mode_supports_any_order_vectorized():
+    """Functional mode has no floating state, so every order vectorizes."""
+    geometry = ArrayGeometry(rows=8, columns=8)
+    reference, vectorized = both_backends(
+        geometry, MARCH_CM, OperatingMode.FUNCTIONAL,
+        order=PseudoRandomOrder(geometry))
+    assert_equivalent(reference, vectorized, label="pseudo-random functional")
+
+
+def test_vectorized_rejects_custom_memory():
+    memory = SRAM(SMALL_GEOMETRY)
+    memory.apply_background(solid_background(0))
+    session = TestSession(SMALL_GEOMETRY, backend="vectorized")
+    with pytest.raises(SessionError):
+        session.run(MARCH_CM, OperatingMode.FUNCTIONAL, memory=memory)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(SessionError):
+        TestSession(SMALL_GEOMETRY, backend="warp-drive")
+    with pytest.raises(SessionError):
+        TestSession(SMALL_GEOMETRY).run(MARCH_CM, OperatingMode.FUNCTIONAL,
+                                        backend="warp-drive")
+
+
+def test_auto_falls_back_when_numpy_unavailable(monkeypatch):
+    """Without numpy, 'auto' silently takes the reference path; explicit
+    'vectorized' surfaces the missing dependency."""
+    import repro.engine.vectorized as vectorized
+
+    monkeypatch.setattr(vectorized, "np", None)
+    result = TestSession(SMALL_GEOMETRY, backend="auto").run(
+        MARCH_CM, OperatingMode.FUNCTIONAL)
+    assert result.passed
+    with pytest.raises(EngineError):
+        TestSession(SMALL_GEOMETRY, backend="vectorized").run(
+            MARCH_CM, OperatingMode.FUNCTIONAL)
+
+
+def test_auto_uses_custom_memory_on_reference_path():
+    """A custom memory under backend='auto' silently runs the reference path."""
+    memory = SRAM(SMALL_GEOMETRY)
+    memory.apply_background(solid_background(0))
+    result = TestSession(SMALL_GEOMETRY, backend="auto").run(
+        MARCH_CM, OperatingMode.FUNCTIONAL, memory=memory)
+    assert result.passed
+    assert memory.cycle == result.cycles  # the supplied memory really ran

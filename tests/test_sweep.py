@@ -1,0 +1,159 @@
+"""SweepRunner: grid construction, execution, export round-trips, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    SweepCase,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    paper_table1_cases,
+    parse_geometry,
+    run_case,
+    sweep_grid,
+)
+from repro.sweep.__main__ import main as sweep_main
+
+
+# ----------------------------------------------------------------------
+# Grid construction / validation
+# ----------------------------------------------------------------------
+def test_parse_geometry_forms():
+    assert parse_geometry("16x8").rows == 16
+    assert parse_geometry("16x8").columns == 8
+    assert parse_geometry("16x8x4").bits_per_word == 4
+    assert parse_geometry((4, 4)).cell_count == 16
+    geometry = parse_geometry(parse_geometry("8x8"))
+    assert geometry.rows == 8
+    with pytest.raises(SweepError):
+        parse_geometry("16")
+    with pytest.raises(SweepError):
+        parse_geometry("axb")
+
+
+def test_sweep_grid_cross_product():
+    cases = sweep_grid(["8x8", "16x16"], ["March C-", "MATS+"],
+                       orders=("row-major", "column-major"))
+    assert len(cases) == 2 * 2 * 2
+    labels = {case.label() for case in cases}
+    assert len(labels) == len(cases)  # every scenario is distinct
+
+
+def test_case_validation_fails_fast():
+    with pytest.raises(SweepError):
+        SweepCase(rows=8, columns=8, algorithm="March C-", order="no-such-order")
+    with pytest.raises(KeyError):
+        SweepCase(rows=8, columns=8, algorithm="No Such March")
+
+
+def test_paper_preset_covers_table1():
+    cases = paper_table1_cases()
+    assert len(cases) == 5
+    assert all(case.rows == 512 and case.columns == 512 for case in cases)
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def test_run_case_produces_consistent_record():
+    # A wide array, where suppressing the unselected pre-charges wins (on
+    # tiny square arrays the restore overhead can make the PRR negative).
+    case = SweepCase(rows=8, columns=64, algorithm="MATS+", backend="vectorized")
+    record = run_case(case)
+    assert record.backend_used == "vectorized"
+    assert record.algorithm == "MATS+"
+    assert record.cycles_per_mode == 5 * 8 * 64
+    assert record.passed
+    assert 0.0 < record.measured_prr < 1.0
+    assert record.functional_power_w > record.low_power_power_w
+
+
+def test_runner_serial_and_parallel_agree():
+    cases = sweep_grid(["8x8"], ["MATS+", "March C-"], backends=("vectorized",))
+    serial = SweepRunner(cases, processes=1).run()
+    parallel = SweepRunner(cases, processes=2).run()
+    assert len(serial) == len(parallel) == 2
+    for lhs, rhs in zip(serial, parallel):
+        assert lhs.algorithm == rhs.algorithm
+        assert lhs.measured_prr == pytest.approx(rhs.measured_prr, rel=1e-12)
+
+
+def test_runner_rejects_empty_and_bad_process_counts():
+    with pytest.raises(SweepError):
+        SweepRunner([])
+    case = SweepCase(rows=4, columns=4, algorithm="MATS+")
+    with pytest.raises(SweepError):
+        SweepRunner([case], processes=0)
+
+
+# ----------------------------------------------------------------------
+# Export / import round-trips
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_result():
+    cases = sweep_grid(["8x8"], ["MATS+"], backends=("vectorized",))
+    return SweepRunner(cases).run()
+
+
+def test_json_round_trip(small_result, tmp_path):
+    path = small_result.to_json(tmp_path / "sweep.json")
+    payload = json.loads(path.read_text())
+    assert payload["format"] == "repro-sweep"
+    loaded = SweepResult.from_json(path)
+    assert [r.as_dict() for r in loaded] == [r.as_dict() for r in small_result]
+
+
+def test_csv_round_trip(small_result, tmp_path):
+    path = small_result.to_csv(tmp_path / "sweep.csv")
+    loaded = SweepResult.from_csv(path)
+    assert len(loaded) == len(small_result)
+    original = small_result.records[0]
+    restored = loaded.records[0]
+    assert restored.algorithm == original.algorithm
+    assert restored.rows == original.rows
+    assert restored.passed == original.passed
+    assert restored.measured_prr == pytest.approx(original.measured_prr, rel=1e-12)
+
+
+def test_from_json_rejects_foreign_documents(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"format": "something-else", "records": []}))
+    with pytest.raises(SweepError):
+        SweepResult.from_json(path)
+
+
+def test_render_produces_table(small_result):
+    text = small_result.render(title="Unit sweep")
+    assert "Unit sweep" in text
+    assert "MATS+" in text
+    assert "PRR measured" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_runs_grid_and_exports(tmp_path, capsys):
+    json_path = tmp_path / "out.json"
+    csv_path = tmp_path / "out.csv"
+    exit_code = sweep_main([
+        "--geometry", "8x8", "--algorithm", "MATS+",
+        "--backend", "vectorized",
+        "--json", str(json_path), "--csv", str(csv_path),
+    ])
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "MATS+" in captured
+    assert json_path.exists() and csv_path.exists()
+    assert len(SweepResult.from_json(json_path)) == 1
+    assert len(SweepResult.from_csv(csv_path)) == 1
+
+
+def test_cli_quiet_mode_is_quiet(capsys):
+    exit_code = sweep_main(["--geometry", "8x8", "--algorithm", "MATS+",
+                            "--quiet"])
+    assert exit_code == 0
+    assert capsys.readouterr().out == ""
