@@ -6,14 +6,20 @@ and MATS+ (its target single-cell battery) under the word-line order, the
 fast-row order and a pseudo-random permutation, and checks the per-fault
 detection results are identical — which is what makes the paper's choice of
 the word-line-after-word-line order admissible.
+
+Each (algorithm, battery) pair is one :func:`repro.faults.run_campaign`
+call: the fault list is batch-simulated once per order and both the
+coverage and the invariance views derive from that single pass.  The
+paper-scale version of this experiment (full 512 x 512 array, vectorized
+campaign engine) lives in ``test_bench_fault_campaign.py``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis import render_table
-from repro.faults import build_fault_list, check_order_invariance, run_coverage
+from repro.analysis import coverage_table
+from repro.faults import build_fault_list, run_campaign
 from repro.march import MARCH_CM, MATS_PLUS
 from repro.march.dof import coverage_equivalence_orders
 from repro.sram.geometry import ArrayGeometry
@@ -22,39 +28,34 @@ GEOMETRY = ArrayGeometry(rows=6, columns=6)
 LOCATIONS = [(0, 0), (0, 5), (2, 3), (5, 0), (5, 5)]
 
 
-def run_campaign():
+def run_experiment():
     orders = coverage_equivalence_orders(GEOMETRY, seeds=(2006,))
     results = []
     full_battery = build_fault_list(GEOMETRY, locations=LOCATIONS)
     single_cell = build_fault_list(GEOMETRY, locations=LOCATIONS, include_coupling=False)
     for algorithm, battery, label in ((MARCH_CM, full_battery, "SAF+TF+RDF+CF battery"),
                                       (MATS_PLUS, single_cell, "single-cell battery")):
-        invariance = check_order_invariance(algorithm, orders, GEOMETRY, battery)
-        coverages = [run_coverage(algorithm, order, GEOMETRY, battery) for order in orders]
-        results.append((algorithm, label, invariance, coverages))
+        campaign = run_campaign(algorithm, orders, GEOMETRY, battery)
+        results.append((algorithm, label, campaign))
     return results
 
 
 @pytest.mark.benchmark(group="dof1")
 def test_dof1_fault_coverage_invariance(benchmark, once):
-    results = once(benchmark, run_campaign)
-    rows = []
-    for algorithm, label, invariance, coverages in results:
-        for coverage in coverages:
-            rows.append({
-                "Algorithm": algorithm.name,
-                "Fault battery": label,
-                "Address order": coverage.order,
-                "Detected": f"{coverage.detected_faults}/{coverage.total_faults}",
-                "Coverage": f"{100 * coverage.coverage:.1f} %",
-            })
+    results = once(benchmark, run_experiment)
+    reports = [campaign.coverage_report(order)
+               for _, _, campaign in results
+               for order in campaign.orders]
     print()
-    print(render_table(rows, title="DOF-1: fault coverage under different address orders"))
-    for algorithm, label, invariance, coverages in results:
-        print(f"  {invariance.describe()}")
+    print(coverage_table(
+        reports, title="DOF-1: fault coverage under different address orders"))
+    for algorithm, label, campaign in results:
+        invariance = campaign.invariance_report()
+        print(f"  {invariance.describe()} [{label}, {campaign.backend_used}]")
         assert invariance.invariant, invariance.disagreements[:3]
-        baseline = coverages[0].coverage
-        assert all(c.coverage == pytest.approx(baseline) for c in coverages)
+        coverages = [campaign.coverage_report(order).coverage
+                     for order in campaign.orders]
+        assert all(c == pytest.approx(coverages[0]) for c in coverages)
     # March C- must cover the classical battery essentially completely.
-    march_cm_cov = results[0][3][0].coverage
+    march_cm_cov = results[0][2].coverage_report().coverage
     assert march_cm_cov > 0.85

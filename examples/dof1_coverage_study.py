@@ -3,49 +3,70 @@
 
 The paper's scheme is only legal because a March test may use any address
 permutation as its ⇑ sequence.  This example injects the classical fault
-battery into a small array and fault-simulates March C- under three very
-different orders — the word-line order the paper needs, the fast-row order a
-legacy BIST would use, and a pseudo-random permutation — showing that every
-fault is detected (or missed) identically, then prints which faults a weaker
-test (MATS+) misses.
+battery and fault-simulates March C- under three very different orders —
+the word-line order the paper needs, the fast-row order a legacy BIST
+would use, and a pseudo-random permutation — showing that every fault is
+detected (or missed) identically, then prints which faults a weaker test
+(MATS+) misses.
+
+The campaign runs twice: once on a small array with the scalar reference
+simulator, then at the paper's full 512 x 512 geometry on the vectorized
+fault-campaign engine (one batch pass per order, a couple of seconds).
 
 Run with:  python examples/dof1_coverage_study.py
 """
 
+import time
+
 from repro.analysis import render_table
-from repro.faults import build_fault_list, check_order_invariance, run_coverage
+from repro.faults import build_fault_list, run_campaign
 from repro.march import MARCH_CM, MATS_PLUS
 from repro.march.dof import coverage_equivalence_orders
 from repro.sram import ArrayGeometry
+from repro.sram.geometry import PAPER_GEOMETRY
 
 
-def main() -> None:
-    geometry = ArrayGeometry(rows=6, columns=6)
+def study(geometry: ArrayGeometry, backend: str) -> None:
+    """Run the DOF-1 campaign on one geometry/backend and print the report."""
     orders = coverage_equivalence_orders(geometry, seeds=(42,))
-    battery = build_fault_list(geometry, locations=[(0, 0), (2, 4), (5, 5)])
-    print(f"Fault battery: {len(battery)} injected faults "
-          f"(stuck-at, transition, read-destructive, write-destructive, coupling)")
-    print()
+    battery = build_fault_list(geometry)
+    print(f"=== {geometry.describe()} — backend {backend!r}, "
+          f"{len(battery)} injected faults ===")
 
     rows = []
-    for order in orders:
-        for algorithm in (MARCH_CM, MATS_PLUS):
-            report = run_coverage(algorithm, order, geometry, battery)
+    campaigns = {}
+    started = time.perf_counter()
+    for algorithm in (MARCH_CM, MATS_PLUS):
+        campaign = run_campaign(algorithm, orders, geometry, battery,
+                                backend=backend)
+        campaigns[algorithm.name] = campaign
+        for order in orders:
+            report = campaign.coverage_report(order.name)
             rows.append({
                 "Address order": order.name,
                 "Algorithm": algorithm.name,
                 "Coverage": f"{100 * report.coverage:.1f} %",
                 "Missed faults": len(report.missed),
             })
+    elapsed = time.perf_counter() - started
     print(render_table(rows, title="Fault coverage under different DOF-1 choices"))
-    print()
 
-    invariance = check_order_invariance(MARCH_CM, orders, geometry, battery)
-    print("Per-fault invariance for March C-:", invariance.describe())
+    invariance = campaigns[MARCH_CM.name].invariance_report()
+    print(f"Per-fault invariance for March C-: {invariance.describe()} "
+          f"[{invariance.backend} backend, {elapsed:.2f} s]")
     assert invariance.invariant
-
-    weakest = run_coverage(MATS_PLUS, orders[0], geometry, battery)
     print()
+
+
+def main() -> None:
+    study(ArrayGeometry(rows=6, columns=6), backend="reference")
+    study(PAPER_GEOMETRY, backend="vectorized")
+
+    geometry = ArrayGeometry(rows=6, columns=6)
+    orders = coverage_equivalence_orders(geometry, seeds=(42,))
+    battery = build_fault_list(geometry, locations=[(0, 0), (2, 4), (5, 5)])
+    weakest = run_campaign(MATS_PLUS, orders, geometry, battery) \
+        .coverage_report()
     print("Faults MATS+ misses (it only targets stuck-at/address faults):")
     for description in weakest.missed[:8]:
         print("  -", description)

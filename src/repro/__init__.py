@@ -7,13 +7,13 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.sram`     — behavioural, cycle-accurate SRAM with pre-charge and RES modelling
 * :mod:`repro.power`    — per-event energy model and cycle-accurate accounting
 * :mod:`repro.march`    — March test notation, algorithm library, address orders
-* :mod:`repro.faults`   — functional fault models and the DOF-1 coverage checks
+* :mod:`repro.faults`   — functional fault models and backend-pluggable DOF-1 coverage campaigns
 * :mod:`repro.core`     — the paper's contribution: modified pre-charge control,
   low-power test mode planning, analytical PRR model, test sessions
 * :mod:`repro.bist`     — a BIST engine that deploys the low-power test mode
 * :mod:`repro.analysis` — experiment methodology helpers (scaling, fixtures, tables)
-* :mod:`repro.engine`   — NumPy-vectorized batch execution backend (paper-scale runs)
-* :mod:`repro.sweep`    — scenario-grid sweep runner and the ``python -m repro.sweep`` CLI
+* :mod:`repro.engine`   — NumPy-vectorized batch backends: power measurement and fault campaigns
+* :mod:`repro.sweep`    — scenario-grid sweep runner (power + coverage) and the ``python -m repro.sweep`` CLI
 
 Quickstart::
 
@@ -31,6 +31,18 @@ the vectorized backend::
 
     session = TestSession(PAPER_GEOMETRY, backend="vectorized")
     print(f"PRR = {session.compare_modes(MARCH_CM).prr:.1%}")
+
+So does the paper's Section 3 admissibility argument — fault detection
+does not depend on the chosen address order — on the vectorized fault
+campaign engine::
+
+    from repro import MARCH_CM, PAPER_GEOMETRY, build_fault_list, check_order_invariance
+    from repro.march.dof import coverage_equivalence_orders
+
+    faults = build_fault_list(PAPER_GEOMETRY)
+    orders = coverage_equivalence_orders(PAPER_GEOMETRY)
+    report = check_order_invariance(MARCH_CM, orders, PAPER_GEOMETRY, faults)
+    assert report.invariant
 """
 
 from .circuit import PAPER_TECHNOLOGY, TechnologyParameters, default_technology
@@ -66,15 +78,33 @@ from .core import (
     compare_modes,
 )
 from .bist import BistController, BistOrder
-from .faults import FaultInjection, FaultSimulator, StuckAtFault
+from .faults import (
+    FAULT_BACKENDS,
+    FaultInjection,
+    FaultSimulator,
+    StuckAtFault,
+    build_fault_list,
+    check_order_invariance,
+    run_campaign,
+    run_coverage,
+)
 from .engine import (
     EngineError,
     UnsupportedConfiguration,
+    UnsupportedFaultCampaign,
     VectorizedEngine,
+    VectorizedFaultCampaign,
 )
-from .sweep import SweepCase, SweepResult, SweepRunner, sweep_grid
+from .sweep import (
+    CoverageCase,
+    SweepCase,
+    SweepResult,
+    SweepRunner,
+    coverage_grid,
+    sweep_grid,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: The paper this repository reproduces.
 PAPER_REFERENCE = (
@@ -95,7 +125,10 @@ __all__ = [
     "AnalyticalPowerModel", "LowPowerTestPlanner", "ModifiedPrechargeController",
     "TestSession", "ModeComparison", "compare_modes",
     "BistController", "BistOrder",
-    "FaultInjection", "FaultSimulator", "StuckAtFault",
+    "FaultInjection", "FaultSimulator", "StuckAtFault", "FAULT_BACKENDS",
+    "build_fault_list", "check_order_invariance", "run_campaign", "run_coverage",
     "VectorizedEngine", "EngineError", "UnsupportedConfiguration",
-    "SweepRunner", "SweepCase", "SweepResult", "sweep_grid",
+    "VectorizedFaultCampaign", "UnsupportedFaultCampaign",
+    "SweepRunner", "SweepCase", "CoverageCase", "SweepResult",
+    "sweep_grid", "coverage_grid",
 ]

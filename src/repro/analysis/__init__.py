@@ -8,11 +8,18 @@ from .fixtures import (
     res_fight_fixture,
     selected_column_cycle_fixture,
 )
-from .tables import format_energy, format_percent, format_power, render_table
+from .tables import (
+    coverage_table,
+    format_energy,
+    format_percent,
+    format_power,
+    render_table,
+)
 
 __all__ = [
     "ReducedRowEquivalent", "ScalingError", "reduced_row_equivalent",
     "FixtureDescription", "bitline_discharge_fixture", "faulty_swap_fixture",
     "res_fight_fixture", "selected_column_cycle_fixture",
-    "format_energy", "format_percent", "format_power", "render_table",
+    "coverage_table", "format_energy", "format_percent", "format_power",
+    "render_table",
 ]

@@ -72,3 +72,21 @@ def format_power(watts: float) -> str:
 def format_percent(fraction: float, digits: int = 1) -> str:
     """Render a 0-1 fraction as a percentage string (e.g. ``0.473`` → ``47.3 %``)."""
     return f"{100.0 * fraction:.{digits}f} %"
+
+
+def coverage_table(reports: Iterable[object], title: str = "") -> str:
+    """Render fault-coverage reports as one aligned table.
+
+    Accepts any iterable of :class:`repro.faults.CoverageReport`-shaped
+    objects (``algorithm``/``order``/``detected_faults``/``total_faults``/
+    ``coverage``/``backend`` attributes) and keeps the campaign benches,
+    examples and the sweep reports visually consistent.
+    """
+    rows = [{
+        "Algorithm": report.algorithm,
+        "Address order": report.order,
+        "Detected": f"{report.detected_faults}/{report.total_faults}",
+        "Coverage": format_percent(report.coverage),
+        "Backend": getattr(report, "backend", "reference"),
+    } for report in reports]
+    return render_table(rows, title=title)

@@ -1,14 +1,21 @@
-"""Vectorized batch execution backend for March test power measurement.
+"""Vectorized batch execution backends (power measurement + fault campaigns).
 
-* :mod:`repro.engine.vectorized` — the NumPy execution engine: simulates an
-  entire March element over the whole array as array operations (background
-  state, pre-charge activity masks, RES stress counters and per-event energy
-  accumulation as vector reductions) instead of per-cell Python loops.
+* :mod:`repro.engine.vectorized` — the NumPy power-measurement engine:
+  simulates an entire March element over the whole array as array operations
+  (background state, pre-charge activity masks, RES stress counters and
+  per-event energy accumulation as vector reductions) instead of per-cell
+  Python loops.
+* :mod:`repro.engine.fault_campaign` — the NumPy fault-campaign engine:
+  simulates every injection of a fault class simultaneously as parallel
+  victim-state arrays over one shared compiled operation trace, emitting
+  per-fault detection verdicts bit-identical to the reference simulator.
 
-The engine plugs into the existing session API through the ``backend``
-switch of :class:`repro.core.session.TestSession` (``"reference"``,
-``"vectorized"`` or ``"auto"``) and is what makes the paper-scale 512 x 512
-measured experiments and the :mod:`repro.sweep` scenario grids tractable.
+Both engines plug into their session APIs through a ``backend`` switch
+(:class:`repro.core.session.TestSession` and
+:class:`repro.faults.FaultSimulator`: ``"reference"``, ``"vectorized"`` or
+``"auto"``) and are what make the paper-scale 512 x 512 measured
+experiments, the DOF-1 coverage campaigns and the :mod:`repro.sweep`
+scenario grids tractable.
 """
 
 from .vectorized import (
@@ -17,10 +24,16 @@ from .vectorized import (
     UnsupportedConfiguration,
     VectorizedEngine,
 )
+from .fault_campaign import (
+    UnsupportedFaultCampaign,
+    VectorizedFaultCampaign,
+)
 
 __all__ = [
     "VectorizedEngine",
     "CellStressTotals",
     "EngineError",
     "UnsupportedConfiguration",
+    "VectorizedFaultCampaign",
+    "UnsupportedFaultCampaign",
 ]

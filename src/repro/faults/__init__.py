@@ -27,6 +27,7 @@ from .models import (
     coupling_fault_models,
     single_cell_fault_models,
 )
+from .backend import FAULT_BACKENDS, FaultBackend, ReferenceFaultBackend
 from .simulator import (
     DetectionResult,
     FaultInjection,
@@ -35,12 +36,15 @@ from .simulator import (
     LogicalMemory,
 )
 from .coverage import (
+    CampaignResult,
     CoverageReport,
+    DEFAULT_LOCATION_SEED,
     InvarianceReport,
     build_fault_list,
     check_order_invariance,
     default_fault_locations,
     neighbour_of,
+    run_campaign,
     run_coverage,
 )
 
@@ -52,9 +56,11 @@ __all__ = [
     "StateCouplingFault", "IdempotentCouplingFault", "InversionCouplingFault",
     "DisturbCouplingFault",
     "single_cell_fault_models", "coupling_fault_models",
+    "FAULT_BACKENDS", "FaultBackend", "ReferenceFaultBackend",
     "DetectionResult", "FaultInjection", "FaultSimulationError", "FaultSimulator",
     "LogicalMemory",
-    "CoverageReport", "InvarianceReport", "build_fault_list",
+    "CampaignResult", "CoverageReport", "InvarianceReport",
+    "DEFAULT_LOCATION_SEED", "build_fault_list",
     "check_order_invariance", "default_fault_locations", "neighbour_of",
-    "run_coverage",
+    "run_campaign", "run_coverage",
 ]

@@ -7,6 +7,15 @@ It is the tool behind the DOF-1 experiments: the same fault list is
 simulated under different address orders and the detection results must
 agree, which is the property the paper relies on when it fixes the address
 order to "word line after word line".
+
+Execution is backend-pluggable, mirroring
+:class:`repro.core.session.TestSession`: ``backend="reference"`` replays a
+shared compiled trace against one :class:`LogicalMemory` per injection,
+``backend="vectorized"`` hands the whole fault list to the NumPy campaign
+engine (:mod:`repro.engine.fault_campaign`) which simulates every injection
+of a fault class simultaneously, and ``backend="auto"`` (the default) picks
+the vectorized engine whenever the campaign qualifies — falling back to the
+reference path for fault models it has no kernel for.
 """
 
 from __future__ import annotations
@@ -16,9 +25,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection
-from ..march.execution import walk
+from ..march.execution import OperationTrace
 from ..march.ordering import AddressOrder
 from ..sram.geometry import ArrayGeometry
+from .backend import FAULT_BACKENDS, ReferenceFaultBackend
 from .models import CellState, CouplingFault, FaultFree, FaultModel
 
 
@@ -171,42 +181,99 @@ class LogicalMemory:
 
 
 class FaultSimulator:
-    """Run March algorithms against injected faults and report detection."""
+    """Run March algorithms against injected faults and report detection.
+
+    ``backend`` selects the execution engine:
+
+    * ``"reference"`` — the scalar ground truth: one :class:`LogicalMemory`
+      per injection replaying a shared compiled trace.  Supports every
+      :class:`~repro.faults.models.FaultModel`, including user subclasses.
+    * ``"vectorized"`` — the NumPy campaign engine
+      (:class:`repro.engine.fault_campaign.VectorizedFaultCampaign`):
+      all injections of a fault class simulated simultaneously as parallel
+      state arrays.  Raises
+      :class:`repro.engine.fault_campaign.UnsupportedFaultCampaign` for
+      fault models it has no kernel for (and needs numpy).
+    * ``"auto"`` (default) — vectorized when the campaign qualifies,
+      silently falling back to the reference engine otherwise.
+
+    Both engines produce bit-identical :class:`DetectionResult` lists —
+    same verdicts, first-detection steps and mismatch counts — which the
+    test-suite asserts across every standard fault model, both addressing
+    directions and several address orders.  :attr:`last_backend_used`
+    reports which engine executed the most recent call.
+    """
 
     def __init__(self, geometry: ArrayGeometry,
-                 any_direction: AddressingDirection = AddressingDirection.UP) -> None:
+                 any_direction: AddressingDirection = AddressingDirection.UP,
+                 backend: str = "auto") -> None:
+        if backend not in FAULT_BACKENDS:
+            raise FaultSimulationError(
+                f"unknown backend {backend!r}; expected one of {FAULT_BACKENDS}")
         self.geometry = geometry
         self.any_direction = any_direction
+        self.backend = backend
+        self._reference = ReferenceFaultBackend(geometry, any_direction)
+        self._vectorized = None
+        #: name of the engine that executed the most recent simulate call
+        #: ("reference"/"vectorized"; None before the first call).
+        self.last_backend_used: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def _vectorized_backend(self):
+        """The cached vectorized campaign engine (imported lazily: numpy)."""
+        if self._vectorized is None:
+            from ..engine.fault_campaign import VectorizedFaultCampaign
+
+            self._vectorized = VectorizedFaultCampaign(
+                self.geometry, any_direction=self.any_direction)
+        return self._vectorized
+
+    def trace_for(self, algorithm: MarchAlgorithm,
+                  order: AddressOrder) -> OperationTrace:
+        """The compiled operation trace shared by both backends (cached)."""
+        return self._reference.trace_for(algorithm, order)
 
     # ------------------------------------------------------------------
     def simulate(self, algorithm: MarchAlgorithm, order: AddressOrder,
                  injection: Optional[FaultInjection]) -> DetectionResult:
         """Simulate one injected fault (or the fault-free memory) under one run."""
-        memory = LogicalMemory(self.geometry, injection)
-        mismatches = 0
-        first: Optional[int] = None
-        for step in walk(algorithm, order, self.any_direction):
-            if step.is_write:
-                memory.write(step.row, step.word, step.operation.value)
-                continue
-            observed = memory.read(step.row, step.word)
-            if observed != step.operation.value:
-                mismatches += 1
-                if first is None:
-                    first = step.index
-        return DetectionResult(
-            injection=injection if injection is not None else FaultInjection(
-                fault=FaultFree(), victim=(0, 0)),
-            algorithm=algorithm.name,
-            order=order.name,
-            detected=mismatches > 0,
-            first_detection_step=first,
-            mismatches=mismatches,
-        )
+        if injection is None:
+            # The fault-free run needs no fault kernels; replay directly.
+            result = self._reference.simulate_one(algorithm, order, None)
+            self.last_backend_used = "reference"
+            return result
+        return self.simulate_many(algorithm, order, [injection])[0]
 
     def simulate_many(self, algorithm: MarchAlgorithm, order: AddressOrder,
                       injections: Iterable[FaultInjection]) -> List[DetectionResult]:
-        return [self.simulate(algorithm, order, injection) for injection in injections]
+        """Simulate a whole fault list under one run (the campaign call).
+
+        Results are returned in input order.  The selected backend (see
+        the class docstring) executes the complete batch; ``"auto"`` falls
+        back to the reference engine when the vectorized campaign rejects
+        the batch (unknown fault model, missing numpy).
+        """
+        injections = list(injections)
+        trace = self.trace_for(algorithm, order)
+        if self.backend != "reference" and injections:
+            from ..engine import EngineError  # deferred: numpy optional
+
+            try:
+                results = self._vectorized_backend().simulate_many(
+                    algorithm, order, injections, trace=trace)
+                self.last_backend_used = "vectorized"
+                return results
+            except (EngineError, ImportError):
+                # The engine rejected this batch (unknown fault model,
+                # unsupported geometry, missing numpy); it holds no corrupt
+                # state, so a cached instance stays valid for later batches.
+                if self.backend == "vectorized":
+                    raise
+        results = self._reference.simulate_many(algorithm, order, injections,
+                                                trace=trace)
+        self.last_backend_used = "reference"
+        return results
 
     def fault_free_passes(self, algorithm: MarchAlgorithm, order: AddressOrder) -> bool:
         """Sanity check: the fault-free memory must never flag a mismatch."""

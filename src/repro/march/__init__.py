@@ -48,6 +48,10 @@ from .ordering import (
 )
 from .execution import (
     AccessStep,
+    OperationTrace,
+    TraceCache,
+    TraceElement,
+    compile_trace,
     count_steps,
     element_coordinates,
     resolve_direction,
@@ -77,6 +81,7 @@ __all__ = [
     "make_order", "verify_is_permutation",
     "AccessStep", "walk", "count_steps", "element_coordinates", "resolve_direction",
     "row_transition_count",
+    "OperationTrace", "TraceElement", "TraceCache", "compile_trace",
     "AddressSequenceChoice", "DegreeOfFreedom", "all_degrees", "complement_data",
     "coverage_equivalence_orders", "paper_choice",
 ]

@@ -7,12 +7,18 @@ pre-charge controller to do its job — in particular which access is the last
 one on its row before the traversal moves to a different row (that is where
 the paper's one-cycle full restoration goes) and what the next address will
 be (that is the column whose pre-charge must be kept on).
+
+Fault campaigns replay the *same* access stream against thousands of
+injected faults, so this module also provides :class:`OperationTrace`: the
+algorithm/order pair compiled once into per-element coordinate lists, base
+step offsets and background values, shared by every replay (and by both
+fault-simulation backends, so they cannot drift apart on what a run *is*).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .algorithm import MarchAlgorithm
 from .element import AddressingDirection, MarchElement
@@ -137,6 +143,158 @@ def walk(algorithm: MarchAlgorithm, order: AddressOrder,
 def count_steps(algorithm: MarchAlgorithm, order: AddressOrder) -> int:
     """Total number of primitive accesses of a run (no walking required)."""
     return algorithm.operation_count * len(order)
+
+
+# ----------------------------------------------------------------------
+# Compiled traces — the reusable form of (algorithm, order, direction)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceElement:
+    """One March element of a compiled trace.
+
+    ``coordinates`` is the fully resolved traversal of this element — a
+    list shared between elements of the same concrete direction, so a
+    six-element algorithm materialises the address space twice (ascending
+    and descending), not six times.  ``base_step`` is the global index of
+    the element's first primitive access.
+    """
+
+    index: int
+    direction: AddressingDirection
+    operations: Tuple[MarchOperation, ...]
+    coordinates: List[Tuple[int, int]]
+    base_step: int
+
+    @property
+    def operation_count(self) -> int:
+        """Operations applied to each address of this element."""
+        return len(self.operations)
+
+    @property
+    def step_count(self) -> int:
+        """Total primitive accesses of this element."""
+        return len(self.coordinates) * len(self.operations)
+
+
+class OperationTrace:
+    """A March run compiled once, replayed many times.
+
+    Fault simulation executes the *same* (algorithm, order, direction)
+    run for every injected fault; re-deriving the address traversal per
+    fault — what :func:`walk` does — dominates campaign runtime.  The
+    trace resolves each element's direction, materialises the ascending
+    and descending coordinate sequences exactly once, and precomputes the
+    per-element base step offsets and background values.  Both the
+    reference fault backend (:meth:`iter_accesses`) and the vectorized
+    campaign engine (:attr:`elements` plus :meth:`element_backgrounds`)
+    consume this single shared description.
+    """
+
+    def __init__(self, algorithm: MarchAlgorithm, order: AddressOrder,
+                 any_direction: AddressingDirection = AddressingDirection.UP
+                 ) -> None:
+        self.algorithm = algorithm
+        self.order = order
+        self.any_direction = any_direction
+        ascending = order.sequence(ascending=True)
+        descending: Optional[List[Tuple[int, int]]] = None
+        elements: List[TraceElement] = []
+        base = 0
+        for index, element in enumerate(algorithm.elements):
+            direction = resolve_direction(element, any_direction)
+            if direction is AddressingDirection.UP:
+                coordinates = ascending
+            else:
+                if descending is None:
+                    descending = ascending[::-1]
+                coordinates = descending
+            compiled = TraceElement(index=index, direction=direction,
+                                    operations=element.operations,
+                                    coordinates=coordinates, base_step=base)
+            elements.append(compiled)
+            base += compiled.step_count
+        #: compiled elements, in execution order.
+        self.elements: Tuple[TraceElement, ...] = tuple(elements)
+        #: total primitive accesses of one run.
+        self.step_count: int = base
+
+    # ------------------------------------------------------------------
+    def iter_accesses(self) -> Iterator[Tuple[int, int, int, MarchOperation]]:
+        """Yield ``(step_index, row, word, operation)`` for every access.
+
+        The cheap replay form: plain tuples over the precomputed
+        coordinate lists, no per-step object construction, no coordinate
+        re-derivation.  One full March C- pass over a 64 x 64 array is
+        ~41 k tuples; a campaign replays this generator once per fault.
+        """
+        index = 0
+        for element in self.elements:
+            operations = element.operations
+            for row, word in element.coordinates:
+                for operation in operations:
+                    yield index, row, word, operation
+                    index += 1
+
+    def element_backgrounds(self) -> List[Optional[int]]:
+        """Value every cell holds when each element starts (``None`` = unwritten).
+
+        March elements apply their operations to every address, so between
+        elements the whole array is homogeneous: entry ``e`` is the value
+        each cell carries when element ``e`` begins — the last written
+        value of the most recent writing element, or ``None`` before the
+        first write.  The vectorized campaign engine uses this to know an
+        aggressor's fault-free value without simulating the aggressor.
+        """
+        backgrounds: List[Optional[int]] = []
+        background: Optional[int] = None
+        for element in self.algorithm.elements:
+            backgrounds.append(background)
+            final = element.final_written_value()
+            if final is not None:
+                background = final
+        return backgrounds
+
+    def describe(self) -> str:
+        """One-line summary used in logs and error messages."""
+        return (f"{self.algorithm.name} over {self.order.name} "
+                f"({self.step_count} accesses)")
+
+
+def compile_trace(algorithm: MarchAlgorithm, order: AddressOrder,
+                  any_direction: AddressingDirection = AddressingDirection.UP
+                  ) -> OperationTrace:
+    """Compile ``algorithm`` over ``order`` into an :class:`OperationTrace`."""
+    return OperationTrace(algorithm, order, any_direction)
+
+
+class TraceCache:
+    """Memoises compiled traces per (algorithm, order, direction).
+
+    Keyed by object identity — the cache holds strong references to the
+    algorithm and order, so the ids stay valid for the cache's lifetime.
+    One cache instance typically lives inside a fault simulator, where the
+    same algorithm/order pair is replayed for every injection of a
+    campaign and across campaign repetitions.
+    """
+
+    def __init__(self) -> None:
+        self._traces: Dict[Tuple[int, int, AddressingDirection],
+                           Tuple[MarchAlgorithm, AddressOrder, OperationTrace]] = {}
+
+    def get(self, algorithm: MarchAlgorithm, order: AddressOrder,
+            any_direction: AddressingDirection = AddressingDirection.UP
+            ) -> OperationTrace:
+        """Return the compiled trace, building it on first use."""
+        key = (id(algorithm), id(order), any_direction)
+        entry = self._traces.get(key)
+        if entry is None:
+            trace = compile_trace(algorithm, order, any_direction)
+            self._traces[key] = (algorithm, order, trace)
+            return trace
+        return entry[2]
+
+    def __len__(self) -> int:
+        return len(self._traces)
 
 
 def row_transition_count(algorithm: MarchAlgorithm, order: AddressOrder,

@@ -1,39 +1,55 @@
-"""Paper-scale sweep runner: batch grids of test-power scenarios.
+"""Paper-scale sweep runner: batch grids of measurement scenarios.
 
 * :mod:`repro.sweep.runner` — :class:`SweepRunner` and friends: grid
-  construction, multiprocessing fan-out, JSON/CSV export;
+  construction (test-power scenarios *and* fault-coverage campaigns),
+  multiprocessing fan-out, JSON/CSV export;
 * :mod:`repro.sweep.__main__` — the ``python -m repro.sweep`` command line.
 
 Quickstart::
 
-    from repro.sweep import SweepRunner, sweep_grid
+    from repro.sweep import SweepRunner, coverage_grid, sweep_grid
 
     cases = sweep_grid(["64x64", "512x512"], ["March C-", "MATS+"])
+    cases += coverage_grid(["64x64"], ["March C-"])
     result = SweepRunner(cases, processes=4).run()
     print(result.render())
-    result.to_csv("sweep.csv")
+    result.to_json("sweep.json")
 """
 
 from .runner import (
+    CoverageCase,
+    CoverageRecord,
+    INVARIANCE_ORDERS,
     SweepCase,
     SweepError,
     SweepRecord,
     SweepResult,
     SweepRunner,
+    coverage_grid,
+    execute_case,
+    paper_coverage_cases,
     paper_table1_cases,
     parse_geometry,
     run_case,
+    run_coverage_case,
     sweep_grid,
 )
 
 __all__ = [
+    "CoverageCase",
+    "CoverageRecord",
+    "INVARIANCE_ORDERS",
     "SweepCase",
     "SweepError",
     "SweepRecord",
     "SweepResult",
     "SweepRunner",
+    "coverage_grid",
+    "execute_case",
+    "paper_coverage_cases",
     "paper_table1_cases",
     "parse_geometry",
     "run_case",
+    "run_coverage_case",
     "sweep_grid",
 ]

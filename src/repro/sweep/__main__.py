@@ -6,10 +6,18 @@ Examples::
     # vectorized backend) with a result table on stdout:
     python -m repro.sweep --paper
 
-    # A custom grid, fanned out over four worker processes, exported:
+    # The paper-scale DOF-1 invariance check (512 x 512, the standard
+    # fault battery under three address orders, campaign engine):
+    python -m repro.sweep --paper-coverage
+
+    # A custom power grid, fanned out over four worker processes, exported:
     python -m repro.sweep --geometry 64x64 --geometry 128x128 \\
         --algorithm "March C-" --algorithm "MATS+" \\
         --order row-major --processes 4 --csv sweep.csv --json sweep.json
+
+    # A reproducible coverage campaign on a custom geometry:
+    python -m repro.sweep --coverage --geometry 128x128 \\
+        --algorithm "March C-" --seed 7 --sample 12 --json campaign.json
 """
 
 from __future__ import annotations
@@ -20,17 +28,28 @@ from typing import List, Optional, Sequence
 
 from ..core.session import BACKENDS
 from ..engine import EngineError
+from ..faults import DEFAULT_LOCATION_SEED
 from ..march.library import PAPER_TABLE1_ALGORITHMS
 from ..march.ordering import ORDER_REGISTRY
-from .runner import SweepError, SweepRunner, paper_table1_cases, sweep_grid
+from .runner import (
+    INVARIANCE_ORDERS,
+    SweepError,
+    SweepRunner,
+    coverage_grid,
+    paper_coverage_cases,
+    paper_table1_cases,
+    sweep_grid,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.sweep`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.sweep",
-        description="Batch-execute grids of SRAM test-power scenarios "
-                    "(functional vs. low-power test mode, measured PRR).")
+        description="Batch-execute grids of SRAM test scenarios: "
+                    "power measurements (functional vs. low-power test "
+                    "mode, measured PRR) or fault-coverage campaigns "
+                    "(DOF-1 invariance).")
     parser.add_argument("--geometry", action="append", default=None,
                         metavar="ROWSxCOLS[xBITS]",
                         help="array geometry, repeatable (default: 64x64)")
@@ -40,7 +59,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: the five Table 1 algorithms)")
     parser.add_argument("--order", action="append", default=None,
                         choices=sorted(ORDER_REGISTRY),
-                        help="address order, repeatable (default: row-major)")
+                        help="address order, repeatable (default: row-major "
+                             "for power sweeps; row-major + column-major + "
+                             "pseudo-random for coverage campaigns)")
     parser.add_argument("--backend", default="auto", choices=BACKENDS,
                         help="execution engine (default: auto)")
     parser.add_argument("--processes", type=int, default=1, metavar="N",
@@ -48,6 +69,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--paper", action="store_true",
                         help="preset: the paper's 512x512 measured Table 1 "
                              "(overrides --geometry/--algorithm/--order)")
+    parser.add_argument("--coverage", action="store_true",
+                        help="run fault-coverage campaigns (DOF-1 invariance "
+                             "over the standard fault battery) instead of "
+                             "power measurements")
+    parser.add_argument("--paper-coverage", action="store_true",
+                        help="preset: the paper's Section 3 DOF-1 invariance "
+                             "check on the full 512x512 array (implies "
+                             "--coverage; overrides --geometry/--algorithm/"
+                             "--order)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_LOCATION_SEED,
+                        metavar="N",
+                        help="fault-location sampling seed for coverage "
+                             "campaigns, recorded in exports "
+                             f"(default: {DEFAULT_LOCATION_SEED})")
+    parser.add_argument("--sample", type=int, default=6, metavar="N",
+                        help="pseudo-random victim locations added to the "
+                             "corners/centre spread (default: 6)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="export the records to a JSON file")
     parser.add_argument("--csv", metavar="PATH", default=None,
@@ -57,23 +95,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_cases(args: argparse.Namespace):
+    """Turn parsed arguments into (cases, report title)."""
+    if args.paper and (args.coverage or args.paper_coverage):
+        raise SweepError("--paper measures power; combine coverage runs "
+                         "with --paper-coverage instead")
+    if args.paper_coverage:
+        cases = paper_coverage_cases(backend=args.backend, seed=args.seed,
+                                     sample=args.sample)
+        title = ("Paper-scale DOF-1 campaign — fault-detection invariance "
+                 "on the full 512x512 array")
+    elif args.coverage:
+        geometries: List[str] = args.geometry or ["64x64"]
+        algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
+        orders = tuple(args.order) if args.order else INVARIANCE_ORDERS
+        cases = coverage_grid(geometries, algorithms, orders=orders,
+                              backend=args.backend, sample=args.sample,
+                              seed=args.seed)
+        title = f"DOF-1 coverage campaigns ({len(cases)} scenarios)"
+    elif args.paper:
+        backend = "vectorized" if args.backend == "auto" else args.backend
+        cases = paper_table1_cases(backend=backend)
+        title = ("Paper-scale sweep — measured Table 1 on the full 512x512 "
+                 "array")
+    else:
+        geometries = args.geometry or ["64x64"]
+        algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
+        orders = args.order or ["row-major"]
+        cases = sweep_grid(geometries, algorithms, orders=orders,
+                           backends=(args.backend,))
+        title = f"Sweep results ({len(cases)} scenarios)"
+    return cases, title
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code (0 ok, 2 on bad input)."""
     args = build_parser().parse_args(argv)
 
     try:
-        if args.paper:
-            backend = "vectorized" if args.backend == "auto" else args.backend
-            cases = paper_table1_cases(backend=backend)
-            title = ("Paper-scale sweep — measured Table 1 on the full 512x512 "
-                     "array")
-        else:
-            geometries: List[str] = args.geometry or ["64x64"]
-            algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
-            orders = args.order or ["row-major"]
-            cases = sweep_grid(geometries, algorithms, orders=orders,
-                               backends=(args.backend,))
-            title = f"Sweep results ({len(cases)} scenarios)"
+        cases, title = _build_cases(args)
     except (SweepError, KeyError, ValueError) as exc:
         # Bad grid input (geometry syntax, unknown algorithm/order name):
         # report it as a CLI error instead of a traceback.
@@ -89,7 +149,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     except EngineError as exc:
         # backend=vectorized was requested explicitly for a scenario the
-        # engine cannot replay exactly (e.g. a non-neighbour address order).
+        # engine cannot replay exactly (e.g. a custom fault model or a
+        # non-neighbour address order).
         print(f"error: {exc}\nhint: use --backend auto to fall back to the "
               "reference engine for such scenarios", file=sys.stderr)
         return 2

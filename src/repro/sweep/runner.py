@@ -1,24 +1,31 @@
-"""Batch execution of test-power scenario grids (the paper-scale sweeps).
+"""Batch execution of scenario grids (the paper-scale sweeps).
 
-A sweep batch-executes a grid of *(geometry x algorithm x address-order x
-backend)* scenarios, each one a full functional-vs-low-power-test-mode
-comparison (the measurement behind the paper's Table 1), with optional
-multiprocessing fan-out across scenarios and JSON/CSV export of the
-results.  Together with the vectorized engine this turns the reproduction
-into an experiment service: the full 512 x 512 measured Table 1 — minutes
-per algorithm on the reference engine — becomes one CLI invocation
-(``python -m repro.sweep --paper``) that completes in seconds.
+A sweep batch-executes a grid of scenarios with optional multiprocessing
+fan-out across scenarios and JSON/CSV export of the results.  Two scenario
+kinds exist, both plain picklable descriptions:
+
+* :class:`SweepCase` — one *(geometry x algorithm x address-order x
+  backend)* test-power measurement: a full functional-vs-low-power-test-
+  mode comparison (the paper's Table 1).  ``python -m repro.sweep --paper``
+  runs the full 512 x 512 measured Table 1 in seconds.
+* :class:`CoverageCase` — one *(geometry x algorithm x order-set)* fault-
+  coverage campaign: the standard fault battery simulated under several
+  address orders with per-fault invariance checking (the paper's Section 3
+  DOF-1 argument).  ``python -m repro.sweep --paper-coverage`` runs the
+  full 512 x 512 DOF-1 invariance check in seconds on the vectorized
+  campaign engine.
 
 Design notes:
 
-* a :class:`SweepCase` is a plain, picklable description (names and
-  integers, no live objects), so cases travel cheaply to worker processes
-  and round-trip through JSON;
-* :func:`run_case` is a module-level function — the unit of work a
-  ``multiprocessing.Pool`` maps over;
-* a :class:`SweepResult` holds one :class:`SweepRecord` per scenario and
-  renders through :func:`repro.analysis.tables.render_table`, so sweep
-  output matches the benchmark tables.
+* cases carry only names and numbers (no live objects), so they travel
+  cheaply to worker processes and round-trip through JSON;
+* :func:`run_case` / :func:`run_coverage_case` are module-level functions —
+  :func:`execute_case` dispatches on the case type and is the unit of work
+  a ``multiprocessing.Pool`` maps over;
+* a :class:`SweepResult` holds one record per scenario and renders through
+  :func:`repro.analysis.tables.render_table`, so sweep output matches the
+  benchmark tables.  Campaign records carry the victim-sampling ``seed``,
+  so an exported campaign is reproducible from its JSON/CSV alone.
 """
 
 from __future__ import annotations
@@ -33,6 +40,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..analysis.tables import render_table
 from ..core.prr import AnalyticalPowerModel
 from ..core.session import BACKENDS, TestSession
+from ..faults import (
+    DEFAULT_LOCATION_SEED,
+    FAULT_BACKENDS,
+    FaultSimulator,
+    build_fault_list,
+    default_fault_locations,
+    run_campaign,
+)
 from ..march.element import AddressingDirection
 from ..march.library import PAPER_TABLE1_ALGORITHMS, get_algorithm
 from ..march.ordering import ORDER_REGISTRY, make_order
@@ -137,19 +152,7 @@ class SweepRecord:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SweepRecord":
         """Rebuild a record from :meth:`as_dict` output (JSON/CSV import)."""
-        kwargs = {}
-        for spec in fields(cls):
-            if spec.name not in data:
-                raise SweepError(f"sweep record is missing field {spec.name!r}")
-            value = data[spec.name]
-            if spec.type in ("int", int):
-                value = int(value)  # CSV round-trip delivers strings
-            elif spec.type in ("float", float):
-                value = float(value)
-            elif spec.type in ("bool", bool) and isinstance(value, str):
-                value = value == "True"
-            kwargs[spec.name] = value
-        return cls(**kwargs)
+        return _record_from_dict(cls, data)
 
     def table_row(self) -> Dict[str, object]:
         """One row of the sweep report table."""
@@ -169,6 +172,12 @@ class SweepRecord:
             "Cycles/mode": self.cycles_per_mode,
             "Runtime (s)": f"{self.elapsed_s:.2f}",
         }
+
+    def progress_line(self) -> str:
+        """One-line status printed per completed scenario."""
+        return (f"{self.algorithm} @ {self.rows}x{self.columns} [{self.order}]: "
+                f"PRR {100.0 * self.measured_prr:.1f} % "
+                f"({self.elapsed_s:.2f} s, {self.backend_used})")
 
 
 def run_case(case: SweepCase) -> SweepRecord:
@@ -228,11 +237,268 @@ def run_case(case: SweepCase) -> SweepRecord:
     )
 
 
+# ----------------------------------------------------------------------
+# Fault-coverage campaign cases (the DOF-1 sweeps)
+# ----------------------------------------------------------------------
+#: The representative DOF-1 order set: the paper's word-line order, the
+#: legacy fast-row order, and an arbitrary permutation.
+INVARIANCE_ORDERS: Tuple[str, ...] = ("row-major", "column-major", "pseudo-random")
+
+
+@dataclass(frozen=True)
+class CoverageCase:
+    """One fault-coverage campaign scenario (picklable, JSON-friendly).
+
+    The standard fault battery (single-cell and/or coupling) is placed at
+    a deterministic victim spread — corners, centre, plus ``sample``
+    pseudo-random cells drawn from ``seed`` — and simulated under every
+    order in ``orders``; the per-fault verdicts are compared across orders
+    (the paper's Section 3 DOF-1 invariance).  ``backend`` selects the
+    fault-simulation engine (:data:`repro.faults.FAULT_BACKENDS`).
+    """
+
+    rows: int
+    columns: int
+    algorithm: str
+    orders: Tuple[str, ...] = INVARIANCE_ORDERS
+    any_direction: str = "up"
+    backend: str = "auto"
+    include_single: bool = True
+    include_coupling: bool = True
+    sample: int = 6
+    seed: int = DEFAULT_LOCATION_SEED
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "orders", tuple(self.orders))
+        if not self.orders:
+            raise SweepError("a coverage case needs at least one address order")
+        for order in self.orders:
+            if order not in ORDER_REGISTRY:
+                raise SweepError(
+                    f"unknown address order {order!r}; "
+                    f"available: {sorted(ORDER_REGISTRY)}")
+        if self.backend not in FAULT_BACKENDS:
+            raise SweepError(
+                f"unknown backend {self.backend!r}; expected one of {FAULT_BACKENDS}")
+        if not (self.include_single or self.include_coupling):
+            raise SweepError("a coverage case needs at least one fault battery")
+        get_algorithm(self.algorithm)  # fail fast on unknown names
+
+    def geometry(self) -> ArrayGeometry:
+        """The (bit-oriented) array geometry this campaign runs on."""
+        return ArrayGeometry(rows=self.rows, columns=self.columns)
+
+    def label(self) -> str:
+        """Short human-readable scenario label used in logs and tables."""
+        return (f"{self.algorithm} coverage @ {self.rows}x{self.columns} "
+                f"[{len(self.orders)} orders, {self.backend}]")
+
+
+@dataclass
+class CoverageRecord:
+    """The measurements of one executed :class:`CoverageCase`.
+
+    ``seed`` and ``sample`` are recorded so the exported JSON/CSV alone
+    reproduces the exact victim set of the campaign; ``orders`` is the
+    ``"+"``-joined order list (flat for CSV).
+    """
+
+    rows: int
+    columns: int
+    algorithm: str
+    orders: str
+    any_direction: str
+    backend: str            # requested backend
+    backend_used: str       # engine that actually ran ("vectorized"/"reference")
+    seed: int
+    sample: int
+    locations: int          # victim locations in the campaign
+    total_faults: int
+    detected_faults: int    # under the first order
+    coverage: float
+    invariant: bool         # per-fault detection identical across orders
+    disagreements: int
+    elapsed_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (the JSON/CSV row)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CoverageRecord":
+        """Rebuild a record from :meth:`as_dict` output (JSON/CSV import)."""
+        return _record_from_dict(cls, data)
+
+    def table_row(self) -> Dict[str, object]:
+        """One row of the sweep report table."""
+        return {
+            "Algorithm": self.algorithm,
+            "Geometry": f"{self.rows}x{self.columns}",
+            "Orders": self.orders,
+            "Backend": self.backend_used,
+            "Faults": self.total_faults,
+            "Coverage": f"{100.0 * self.coverage:.1f} %",
+            "DOF-1 invariant": "yes" if self.invariant else
+                               f"NO ({self.disagreements})",
+            "Seed": self.seed,
+            "Runtime (s)": f"{self.elapsed_s:.2f}",
+        }
+
+    def progress_line(self) -> str:
+        """One-line status printed per completed scenario."""
+        status = "invariant" if self.invariant else \
+            f"{self.disagreements} DISAGREEMENTS"
+        return (f"{self.algorithm} coverage @ {self.rows}x{self.columns}: "
+                f"{100.0 * self.coverage:.1f} % of {self.total_faults} faults, "
+                f"DOF-1 {status} ({self.elapsed_s:.2f} s, {self.backend_used})")
+
+
+def run_coverage_case(case: CoverageCase) -> CoverageRecord:
+    """Execute one coverage campaign: all orders, per-fault invariance.
+
+    The multiprocessing work unit for coverage scenarios.  The fault list
+    is simulated once per order through the backend-pluggable
+    :class:`repro.faults.FaultSimulator`; coverage is reported under the
+    first order and the invariance verdict compares every order pair-wise
+    against it.
+    """
+    geometry = case.geometry()
+    algorithm = get_algorithm(case.algorithm)
+    orders = [make_order(name, geometry) for name in case.orders]
+    locations = default_fault_locations(geometry, sample=case.sample,
+                                        seed=case.seed)
+    injections = build_fault_list(geometry, locations=locations,
+                                  include_single=case.include_single,
+                                  include_coupling=case.include_coupling)
+    simulator = FaultSimulator(geometry,
+                               any_direction=AddressingDirection(case.any_direction),
+                               backend=case.backend)
+
+    started = time.perf_counter()
+    campaign = run_campaign(algorithm, orders, geometry, injections,
+                            simulator=simulator)
+    elapsed = time.perf_counter() - started
+
+    coverage = campaign.coverage_report()
+    invariance = campaign.invariance_report()
+    return CoverageRecord(
+        rows=case.rows,
+        columns=case.columns,
+        algorithm=algorithm.name,
+        orders="+".join(case.orders),
+        any_direction=case.any_direction,
+        backend=case.backend,
+        backend_used=campaign.backend_used,
+        seed=case.seed,
+        sample=case.sample,
+        locations=len(locations),
+        total_faults=coverage.total_faults,
+        detected_faults=coverage.detected_faults,
+        coverage=coverage.coverage,
+        invariant=invariance.invariant,
+        disagreements=len(invariance.disagreements),
+        elapsed_s=elapsed,
+    )
+
+
+def coverage_grid(geometries: Iterable[GeometryLike],
+                  algorithms: Iterable[str],
+                  orders: Sequence[str] = INVARIANCE_ORDERS,
+                  backend: str = "auto",
+                  any_direction: str = "up",
+                  sample: int = 6,
+                  seed: int = DEFAULT_LOCATION_SEED) -> List["CoverageCase"]:
+    """Build a grid of coverage campaigns: one case per geometry x algorithm."""
+    cases: List[CoverageCase] = []
+    for geometry_spec in geometries:
+        geometry = parse_geometry(geometry_spec)
+        if geometry.bits_per_word != 1:
+            raise SweepError(
+                "coverage campaigns model bit-oriented arrays; use "
+                f"ROWSxCOLS geometries (got {geometry.describe()})")
+        for algorithm in algorithms:
+            cases.append(CoverageCase(
+                rows=geometry.rows, columns=geometry.columns,
+                algorithm=algorithm, orders=tuple(orders),
+                any_direction=any_direction, backend=backend,
+                sample=sample, seed=seed))
+    return cases
+
+
+def paper_coverage_cases(backend: str = "auto",
+                         sample: int = 6,
+                         seed: int = DEFAULT_LOCATION_SEED
+                         ) -> List["CoverageCase"]:
+    """The paper-scale DOF-1 check: the full 512 x 512 array, three orders.
+
+    March C- carries the full single-cell + coupling battery (the fault
+    classes it targets); MATS+ carries the single-cell battery only — a
+    weak test may detect untargeted coupling faults merely fortuitously,
+    and such fortuitous detections are legitimately order-dependent.
+    """
+    march_cm = CoverageCase(rows=512, columns=512, algorithm="March C-",
+                            backend=backend, sample=sample, seed=seed)
+    mats_plus = CoverageCase(rows=512, columns=512, algorithm="MATS+",
+                             backend=backend, include_coupling=False,
+                             sample=sample, seed=seed)
+    return [march_cm, mats_plus]
+
+
+#: Either scenario kind a sweep can hold.
+AnyCase = Union[SweepCase, CoverageCase]
+#: Either record kind a sweep result can hold.
+AnyRecord = Union[SweepRecord, "CoverageRecord"]
+
+#: JSON ``kind`` tags per record class (power sweeps predate the tag and
+#: stay the default for version-1 documents).
+_RECORD_KINDS: Dict[str, type] = {"power": SweepRecord, "coverage": CoverageRecord}
+
+
+def _record_kind(record: AnyRecord) -> str:
+    """The JSON ``kind`` tag of a record instance."""
+    for kind, cls in _RECORD_KINDS.items():
+        if isinstance(record, cls):
+            return kind
+    raise SweepError(f"unknown sweep record type {type(record).__name__}")
+
+
+def _record_from_dict(cls, data: Dict[str, object]):
+    """Rebuild a record dataclass, coercing CSV's stringly-typed fields."""
+    kwargs = {}
+    for spec in fields(cls):
+        if spec.name not in data:
+            raise SweepError(f"sweep record is missing field {spec.name!r}")
+        value = data[spec.name]
+        if spec.type in ("int", int):
+            value = int(value)  # CSV round-trip delivers strings
+        elif spec.type in ("float", float):
+            value = float(value)
+        elif spec.type in ("bool", bool) and isinstance(value, str):
+            value = value == "True"
+        kwargs[spec.name] = value
+    return cls(**kwargs)
+
+
+def execute_case(case: AnyCase) -> AnyRecord:
+    """Run one scenario of either kind (the multiprocessing work unit)."""
+    if isinstance(case, CoverageCase):
+        return run_coverage_case(case)
+    if isinstance(case, SweepCase):
+        return run_case(case)
+    raise SweepError(f"unknown sweep case type {type(case).__name__}")
+
+
 @dataclass
 class SweepResult:
-    """The records of one executed sweep, with export/import helpers."""
+    """The records of one executed sweep, with export/import helpers.
 
-    records: List[SweepRecord] = field(default_factory=list)
+    Holds power records, coverage records, or a mix; JSON export tags each
+    record with its kind (``"power"``/``"coverage"``), CSV export requires
+    a homogeneous result (one header) and the importer sniffs the kind
+    from the header fields.
+    """
+
+    records: List[AnyRecord] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.records)
@@ -248,8 +514,21 @@ class SweepResult:
         return [record.table_row() for record in self.records]
 
     def render(self, title: str = "Sweep results") -> str:
-        """Plain-text report table of the whole sweep."""
-        return render_table(self.table_rows(), title=title)
+        """Plain-text report of the whole sweep.
+
+        A homogeneous sweep renders as one table; a mixed sweep renders
+        one table per record kind (the two kinds have different columns).
+        """
+        kinds = {_record_kind(record) for record in self.records}
+        if len(kinds) <= 1:
+            return render_table(self.table_rows(), title=title)
+        sections = []
+        for kind, record_cls in _RECORD_KINDS.items():
+            rows = [record.table_row() for record in self.records
+                    if isinstance(record, record_cls)]
+            if rows:
+                sections.append(render_table(rows, title=f"{title} — {kind}"))
+        return "\n\n".join(sections)
 
     # ------------------------------------------------------------------
     # Export / import
@@ -257,25 +536,48 @@ class SweepResult:
     def to_json(self, path: Union[str, Path]) -> Path:
         """Write the records to ``path`` as a JSON document; returns the path."""
         path = Path(path)
-        payload = {"format": "repro-sweep", "version": 1,
-                   "records": [record.as_dict() for record in self.records]}
+        rows = [{"kind": _record_kind(record), **record.as_dict()}
+                for record in self.records]
+        payload = {"format": "repro-sweep", "version": 2, "records": rows}
         path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         return path
 
     @classmethod
     def from_json(cls, path: Union[str, Path]) -> "SweepResult":
-        """Load a sweep previously written by :meth:`to_json`."""
+        """Load a sweep previously written by :meth:`to_json`.
+
+        Accepts both version-2 documents (kind-tagged records) and the
+        version-1 power-only layout.
+        """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         if payload.get("format") != "repro-sweep":
             raise SweepError(f"{path} is not a repro sweep export")
-        return cls([SweepRecord.from_dict(row) for row in payload["records"]])
+        records: List[AnyRecord] = []
+        for row in payload["records"]:
+            row = dict(row)
+            kind = row.pop("kind", "power")
+            record_cls = _RECORD_KINDS.get(kind)
+            if record_cls is None:
+                raise SweepError(f"{path} contains unknown record kind {kind!r}")
+            records.append(record_cls.from_dict(row))
+        return cls(records)
 
     def to_csv(self, path: Union[str, Path]) -> Path:
-        """Write the records to ``path`` as CSV; returns the path."""
+        """Write the records to ``path`` as CSV; returns the path.
+
+        CSV has one header, so the result must be homogeneous (all power
+        records or all coverage records); use JSON for mixed sweeps.
+        """
         import csv
 
         path = Path(path)
-        names = [spec.name for spec in fields(SweepRecord)]
+        kinds = {type(record) for record in self.records}
+        if len(kinds) > 1:
+            raise SweepError(
+                "CSV export needs a homogeneous sweep (one record kind); "
+                "use to_json for mixed results")
+        record_cls = kinds.pop() if kinds else SweepRecord
+        names = [spec.name for spec in fields(record_cls)]
         with path.open("w", newline="", encoding="utf-8") as handle:
             writer = csv.DictWriter(handle, fieldnames=names)
             writer.writeheader()
@@ -285,11 +587,18 @@ class SweepResult:
 
     @classmethod
     def from_csv(cls, path: Union[str, Path]) -> "SweepResult":
-        """Load a sweep previously written by :meth:`to_csv`."""
+        """Load a sweep previously written by :meth:`to_csv`.
+
+        The record kind is sniffed from the header: campaign exports carry
+        the ``total_faults`` column, power exports ``measured_prr``.
+        """
         import csv
 
         with Path(path).open(newline="", encoding="utf-8") as handle:
-            return cls([SweepRecord.from_dict(row) for row in csv.DictReader(handle)])
+            reader = csv.DictReader(handle)
+            names = reader.fieldnames or []
+            record_cls = CoverageRecord if "total_faults" in names else SweepRecord
+            return cls([record_cls.from_dict(row) for row in reader])
 
 
 def sweep_grid(geometries: Iterable[GeometryLike],
@@ -325,15 +634,17 @@ def paper_table1_cases(backend: str = "vectorized") -> List[SweepCase]:
 
 
 class SweepRunner:
-    """Executes a list of :class:`SweepCase` scenarios, optionally in parallel.
+    """Executes a list of sweep scenarios, optionally in parallel.
 
-    ``processes`` selects the fan-out: ``1`` (or ``None`` with one case)
-    runs in-process; anything larger maps the cases over a
+    Accepts any mix of :class:`SweepCase` and :class:`CoverageCase`
+    scenarios (dispatched through :func:`execute_case`).  ``processes``
+    selects the fan-out: ``1`` (or ``None`` with one case) runs
+    in-process; anything larger maps the cases over a
     ``multiprocessing.Pool`` of that size.  Workers rebuild every object
     from the case's names, so only plain data crosses process boundaries.
     """
 
-    def __init__(self, cases: Sequence[SweepCase],
+    def __init__(self, cases: Sequence[AnyCase],
                  processes: Optional[int] = None) -> None:
         if not cases:
             raise SweepError("a sweep needs at least one case")
@@ -353,19 +664,14 @@ class SweepRunner:
         if workers <= 1:
             records = []
             for case in self.cases:
-                record = run_case(case)
+                record = execute_case(case)
                 if progress:
-                    print(f"[sweep] {case.label()}: "
-                          f"PRR {100 * record.measured_prr:.1f} % "
-                          f"({record.elapsed_s:.2f} s, {record.backend_used})")
+                    print(f"[sweep] {record.progress_line()}")
                 records.append(record)
             return SweepResult(records)
         with multiprocessing.get_context().Pool(processes=workers) as pool:
-            records = pool.map(run_case, self.cases)
+            records = pool.map(execute_case, self.cases)
         if progress:
             for record in records:
-                print(f"[sweep] {record.algorithm} @ "
-                      f"{record.rows}x{record.columns}: "
-                      f"PRR {100 * record.measured_prr:.1f} % "
-                      f"({record.elapsed_s:.2f} s, {record.backend_used})")
+                print(f"[sweep] {record.progress_line()}")
         return SweepResult(records)

@@ -7,13 +7,20 @@ import json
 import pytest
 
 from repro.sweep import (
+    CoverageCase,
+    CoverageRecord,
+    INVARIANCE_ORDERS,
     SweepCase,
     SweepError,
     SweepResult,
     SweepRunner,
+    coverage_grid,
+    execute_case,
+    paper_coverage_cases,
     paper_table1_cases,
     parse_geometry,
     run_case,
+    run_coverage_case,
     sweep_grid,
 )
 from repro.sweep.__main__ import main as sweep_main
@@ -157,3 +164,136 @@ def test_cli_quiet_mode_is_quiet(capsys):
                             "--quiet"])
     assert exit_code == 0
     assert capsys.readouterr().out == ""
+
+
+# ----------------------------------------------------------------------
+# Coverage campaigns (the DOF-1 sweeps)
+# ----------------------------------------------------------------------
+def test_coverage_case_validation_fails_fast():
+    with pytest.raises(SweepError):
+        CoverageCase(rows=8, columns=8, algorithm="March C-", orders=())
+    with pytest.raises(SweepError):
+        CoverageCase(rows=8, columns=8, algorithm="March C-",
+                     orders=("no-such-order",))
+    with pytest.raises(SweepError):
+        CoverageCase(rows=8, columns=8, algorithm="March C-",
+                     backend="no-such-backend")
+    with pytest.raises(SweepError):
+        CoverageCase(rows=8, columns=8, algorithm="March C-",
+                     include_single=False, include_coupling=False)
+    with pytest.raises(KeyError):
+        CoverageCase(rows=8, columns=8, algorithm="No Such March")
+
+
+def test_coverage_grid_and_paper_preset():
+    cases = coverage_grid(["8x8", "16x16"], ["March C-", "MATS+"], seed=3)
+    assert len(cases) == 4
+    assert all(case.orders == INVARIANCE_ORDERS for case in cases)
+    assert all(case.seed == 3 for case in cases)
+    with pytest.raises(SweepError):
+        coverage_grid(["8x8x4"], ["March C-"])  # word-oriented: no campaigns
+
+    paper = paper_coverage_cases(seed=11)
+    assert len(paper) == 2
+    assert all(case.rows == 512 and case.columns == 512 for case in paper)
+    assert all(case.seed == 11 for case in paper)
+    # MATS+ only targets single-cell faults; its invariance check must not
+    # include the coupling battery (fortuitous detections are order-dependent).
+    by_name = {case.algorithm: case for case in paper}
+    assert by_name["March C-"].include_coupling
+    assert not by_name["MATS+"].include_coupling
+
+
+def test_run_coverage_case_produces_consistent_record():
+    case = CoverageCase(rows=16, columns=16, algorithm="March C-",
+                        backend="vectorized", seed=7, sample=4)
+    record = run_coverage_case(case)
+    assert record.backend_used == "vectorized"
+    assert record.seed == 7 and record.sample == 4
+    assert record.locations == 4 + 5  # corners + centre + sampled
+    assert record.total_faults == record.locations * 21  # 9 single + 12 coupling
+    assert record.invariant and record.disagreements == 0
+    assert 0.85 < record.coverage <= 1.0
+    assert record.detected_faults == round(record.coverage * record.total_faults)
+
+
+def test_execute_case_dispatches_on_case_kind():
+    power = execute_case(SweepCase(rows=8, columns=8, algorithm="MATS+",
+                                   backend="vectorized"))
+    campaign = execute_case(CoverageCase(rows=8, columns=8, algorithm="MATS+",
+                                         include_coupling=False))
+    assert hasattr(power, "measured_prr")
+    assert isinstance(campaign, CoverageRecord)
+    with pytest.raises(SweepError):
+        execute_case("not a case")
+
+
+def test_runner_handles_mixed_case_kinds():
+    cases = [SweepCase(rows=8, columns=8, algorithm="MATS+",
+                       backend="vectorized"),
+             CoverageCase(rows=8, columns=8, algorithm="March C-")]
+    result = SweepRunner(cases).run()
+    assert len(result) == 2
+    assert "Coverage" in result.render()
+
+
+@pytest.fixture(scope="module")
+def coverage_result():
+    cases = coverage_grid(["8x8"], ["March C-"], seed=5)
+    return SweepRunner(cases).run()
+
+
+def test_coverage_json_round_trip_records_seed(coverage_result, tmp_path):
+    path = coverage_result.to_json(tmp_path / "campaign.json")
+    payload = json.loads(path.read_text())
+    assert payload["records"][0]["kind"] == "coverage"
+    assert payload["records"][0]["seed"] == 5
+    loaded = SweepResult.from_json(path)
+    assert isinstance(loaded.records[0], CoverageRecord)
+    assert [r.as_dict() for r in loaded] == [r.as_dict() for r in coverage_result]
+
+
+def test_coverage_csv_round_trip_records_seed(coverage_result, tmp_path):
+    path = coverage_result.to_csv(tmp_path / "campaign.csv")
+    header = path.read_text().splitlines()[0]
+    assert "seed" in header.split(",")
+    loaded = SweepResult.from_csv(path)
+    restored = loaded.records[0]
+    assert isinstance(restored, CoverageRecord)
+    assert restored.seed == 5
+    assert restored.invariant == coverage_result.records[0].invariant
+    assert restored.coverage == pytest.approx(
+        coverage_result.records[0].coverage, rel=1e-12)
+
+
+def test_mixed_sweep_round_trips_json_but_not_csv(small_result,
+                                                  coverage_result, tmp_path):
+    mixed = SweepResult(small_result.records + coverage_result.records)
+    loaded = SweepResult.from_json(mixed.to_json(tmp_path / "mixed.json"))
+    assert {type(record).__name__ for record in loaded.records} == \
+        {"SweepRecord", "CoverageRecord"}
+    with pytest.raises(SweepError):
+        mixed.to_csv(tmp_path / "mixed.csv")
+
+
+def test_cli_coverage_runs_and_exports(tmp_path, capsys):
+    json_path = tmp_path / "campaign.json"
+    csv_path = tmp_path / "campaign.csv"
+    exit_code = sweep_main([
+        "--coverage", "--geometry", "8x8", "--algorithm", "March C-",
+        "--seed", "9", "--sample", "3",
+        "--json", str(json_path), "--csv", str(csv_path),
+    ])
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "DOF-1" in captured
+    payload = json.loads(json_path.read_text())
+    assert payload["records"][0]["seed"] == 9
+    assert payload["records"][0]["invariant"] is True
+    assert len(SweepResult.from_csv(csv_path)) == 1
+
+
+def test_cli_rejects_paper_and_coverage_combination(capsys):
+    exit_code = sweep_main(["--paper", "--coverage"])
+    assert exit_code == 2
+    assert "paper-coverage" in capsys.readouterr().err
