@@ -10,10 +10,13 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.faults`   — functional fault models and backend-pluggable DOF-1 coverage campaigns
 * :mod:`repro.core`     — the paper's contribution: modified pre-charge control,
   low-power test mode planning, analytical PRR model, test sessions
-* :mod:`repro.bist`     — a BIST engine that deploys the low-power test mode
+* :mod:`repro.bist`     — a BIST engine that deploys the low-power test mode,
+  with backend-pluggable power measurement
 * :mod:`repro.analysis` — experiment methodology helpers (scaling, fixtures, tables)
-* :mod:`repro.engine`   — NumPy-vectorized batch backends: power measurement and fault campaigns
-* :mod:`repro.sweep`    — scenario-grid sweep runner (power + coverage) and the ``python -m repro.sweep`` CLI
+* :mod:`repro.engine`   — NumPy-vectorized batch backends: power measurement,
+  fault campaigns and BIST power campaigns
+* :mod:`repro.sweep`    — scenario-grid sweep runner (power + coverage +
+  measured-vs-analytical PRR) and the ``python -m repro.sweep`` CLI
 
 Quickstart::
 
@@ -43,6 +46,15 @@ campaign engine::
     orders = coverage_equivalence_orders(PAPER_GEOMETRY)
     report = check_order_invariance(MARCH_CM, orders, PAPER_GEOMETRY, faults)
     assert report.invariant
+
+And so does the measured Table 1 through the BIST deployment path, on the
+vectorized power campaign::
+
+    from repro import BistController, MARCH_CM, PAPER_GEOMETRY
+
+    controller = BistController(PAPER_GEOMETRY, backend="auto")
+    result = controller.run(MARCH_CM, low_power=True)
+    print(result.describe())
 """
 
 from .circuit import PAPER_TECHNOLOGY, TechnologyParameters, default_technology
@@ -77,7 +89,7 @@ from .core import (
     TestSession,
     compare_modes,
 )
-from .bist import BistController, BistOrder
+from .bist import BistController, BistOrder, BistResult, POWER_BACKENDS
 from .faults import (
     FAULT_BACKENDS,
     FaultInjection,
@@ -94,17 +106,20 @@ from .engine import (
     UnsupportedFaultCampaign,
     VectorizedEngine,
     VectorizedFaultCampaign,
+    VectorizedPowerCampaign,
 )
 from .sweep import (
     CoverageCase,
+    PrrCase,
     SweepCase,
     SweepResult,
     SweepRunner,
     coverage_grid,
+    prr_grid,
     sweep_grid,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: The paper this repository reproduces.
 PAPER_REFERENCE = (
@@ -124,11 +139,12 @@ __all__ = [
     "PAPER_TABLE1_ALGORITHMS",
     "AnalyticalPowerModel", "LowPowerTestPlanner", "ModifiedPrechargeController",
     "TestSession", "ModeComparison", "compare_modes",
-    "BistController", "BistOrder",
+    "BistController", "BistOrder", "BistResult", "POWER_BACKENDS",
     "FaultInjection", "FaultSimulator", "StuckAtFault", "FAULT_BACKENDS",
     "build_fault_list", "check_order_invariance", "run_campaign", "run_coverage",
     "VectorizedEngine", "EngineError", "UnsupportedConfiguration",
     "VectorizedFaultCampaign", "UnsupportedFaultCampaign",
-    "SweepRunner", "SweepCase", "CoverageCase", "SweepResult",
-    "sweep_grid", "coverage_grid",
+    "VectorizedPowerCampaign",
+    "SweepRunner", "SweepCase", "CoverageCase", "PrrCase", "SweepResult",
+    "sweep_grid", "coverage_grid", "prr_grid",
 ]

@@ -13,6 +13,7 @@ from .tables import (
     format_energy,
     format_percent,
     format_power,
+    prr_table,
     render_table,
 )
 
@@ -21,5 +22,5 @@ __all__ = [
     "FixtureDescription", "bitline_discharge_fixture", "faulty_swap_fixture",
     "res_fight_fixture", "selected_column_cycle_fixture",
     "coverage_table", "format_energy", "format_percent", "format_power",
-    "render_table",
+    "prr_table", "render_table",
 ]

@@ -74,6 +74,39 @@ def format_percent(fraction: float, digits: int = 1) -> str:
     return f"{100.0 * fraction:.{digits}f} %"
 
 
+def prr_table(records: Iterable[object], title: str = "") -> str:
+    """Render PRR-campaign records as one Table 1 style aligned table.
+
+    Accepts any iterable of :class:`repro.sweep.PrrRecord`-shaped objects
+    (``algorithm``/``measured_prr``/``analytical_prr``/
+    ``analytical_prr_bracket``/``within_bracket``/``functional_power_w``/
+    ``low_power_power_w``/``backend_used`` attributes) and lays them out
+    like the paper's Table 1 — per-address algorithm statistics first, then
+    the measured PRR next to the analytical band — so the sweep CLI, the
+    benches and the docs all present the headline result identically.
+    """
+    from ..march.library import get_algorithm
+
+    rows = []
+    for record in records:
+        algorithm = get_algorithm(record.algorithm)
+        rows.append({
+            "Algorithm": record.algorithm,
+            "# elm": algorithm.element_count,
+            "# oper": algorithm.operation_count,
+            "# read": algorithm.read_count,
+            "# write": algorithm.write_count,
+            "PRR measured": format_percent(record.measured_prr),
+            "PRR analytical": format_percent(record.analytical_prr),
+            "PRR bracket": format_percent(record.analytical_prr_bracket),
+            "In bracket": "yes" if record.within_bracket else "NO",
+            "P_F": format_power(record.functional_power_w),
+            "P_LPT": format_power(record.low_power_power_w),
+            "Backend": getattr(record, "backend_used", "reference"),
+        })
+    return render_table(rows, title=title)
+
+
 def coverage_table(reports: Iterable[object], title: str = "") -> str:
     """Render fault-coverage reports as one aligned table.
 

@@ -6,9 +6,16 @@ address generator restricted to hardware-friendly orders, a response
 comparator, and a controller FSM that owns the ``LPtest`` mode signal and
 the per-cycle pre-charge planning.  The BIST layer is how a user of this
 library would actually deploy the paper's low-power test mode.
+
+Power measurement is backend-pluggable (:mod:`repro.bist.backend`): the
+controller runs either on the cycle-accurate behavioural memory
+(``backend="reference"``) or on the vectorized power-campaign engine of
+:mod:`repro.engine.power_campaign` (``backend="vectorized"``/``"auto"``),
+which makes the paper-scale measured Table 1 interactive.
 """
 
 from .address_generator import AddressGenerator, BistOrder
+from .backend import POWER_BACKENDS, PowerBackend, ReferencePowerBackend
 from .comparator import Comparator, ComparatorLog
 from .controller import BistController, BistResult, BistError
 
@@ -16,4 +23,5 @@ __all__ = [
     "AddressGenerator", "BistOrder",
     "Comparator", "ComparatorLog",
     "BistController", "BistResult", "BistError",
+    "POWER_BACKENDS", "PowerBackend", "ReferencePowerBackend",
 ]

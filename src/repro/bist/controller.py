@@ -7,6 +7,17 @@ precondition), falls back to functional mode for algorithms that need it
 (Section 4 notes that tests relying on functional-mode power behaviour must
 run with LPtest off), and reports pass/fail plus the power measurements of
 the run.
+
+Execution is pluggable (the same seam as
+:class:`repro.core.session.TestSession` and
+:class:`repro.faults.FaultSimulator`): ``backend="reference"`` walks the
+behavioural memory cycle by cycle through
+:class:`~repro.bist.backend.ReferencePowerBackend`, ``backend="vectorized"``
+replays the compiled operation trace on
+:class:`repro.engine.power_campaign.VectorizedPowerCampaign` (required for
+paper-scale power campaigns), and ``backend="auto"`` picks the vectorized
+engine whenever the run qualifies.  :attr:`BistController.last_backend_used`
+reports which engine actually measured the most recent run.
 """
 
 from __future__ import annotations
@@ -15,14 +26,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuit.technology import TechnologyParameters, default_technology
-from ..core.lowpower import FunctionalModePlanner, LowPowerTestPlanner
 from ..march.algorithm import MarchAlgorithm
-from ..march.execution import walk
 from ..power.sources import PowerSource
 from ..sram.array import BackgroundFunction, solid_background
 from ..sram.geometry import ArrayGeometry
 from ..sram.memory import OperatingMode, SRAM
 from .address_generator import AddressGenerator, BistOrder
+from .backend import POWER_BACKENDS, ReferencePowerBackend
 from .comparator import Comparator
 
 
@@ -43,76 +53,149 @@ class BistResult:
     average_power: float
     energy_by_source: Dict[PowerSource, float] = field(default_factory=dict)
     failure_log: List = field(default_factory=list)
+    #: class name of the pre-charge planner that produced the power figures
+    #: (``LowPowerTestPlanner`` or ``FunctionalModePlanner``).
+    planner: str = ""
+    #: execution engine that measured the run ("reference"/"vectorized").
+    backend: str = "reference"
 
     def describe(self) -> str:
+        """One-line human-readable summary of the run."""
         mode = "low-power test mode" if self.low_power_mode else "functional mode"
         verdict = "PASS" if self.passed else f"FAIL ({self.failures} mismatches)"
+        planner = f", {self.planner}" if self.planner else ""
         return (f"{self.algorithm} in {mode}: {verdict}, "
-                f"{self.cycles} cycles, {self.average_power * 1e3:.3f} mW average")
+                f"{self.cycles} cycles, {self.average_power * 1e3:.3f} mW average"
+                f"{planner} [{self.backend}]")
 
 
 class BistController:
-    """Sequencer for March tests on one memory instance."""
+    """Sequencer for March tests on one memory instance.
+
+    ``backend`` selects the power-measurement engine
+    (:data:`repro.bist.backend.POWER_BACKENDS`):
+
+    * ``"reference"`` (default) — the cycle-accurate behavioural memory,
+      one access at a time.  Supports every configuration, including
+      caller-supplied memories with injected faults.
+    * ``"vectorized"`` — the NumPy power-campaign engine
+      (:class:`repro.engine.power_campaign.VectorizedPowerCampaign`), which
+      replays the compiled operation trace in closed vector form and makes
+      paper-scale geometries (the full 512 x 512 array) interactive.
+      Raises for runs it cannot replay exactly (custom memories, address
+      orders that do not keep the pre-charged traversal neighbour).
+    * ``"auto"`` — vectorized when the run qualifies, silently falling
+      back to the reference engine otherwise.
+
+    Both engines produce equivalent :class:`BistResult` measurements —
+    energy totals and per-source breakdowns, pass/fail and the bounded
+    comparator log; the differential test-suite asserts this on the whole
+    algorithm library.
+    """
 
     def __init__(self, geometry: ArrayGeometry,
                  tech: TechnologyParameters | None = None,
                  order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL,
-                 background: Optional[BackgroundFunction] = None) -> None:
+                 background: Optional[BackgroundFunction] = None,
+                 backend: str = "reference") -> None:
+        if backend not in POWER_BACKENDS:
+            raise BistError(
+                f"unknown backend {backend!r}; expected one of {POWER_BACKENDS}")
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.address_generator = AddressGenerator(geometry, order)
         self.background = background if background is not None else solid_background(0)
         self.comparator = Comparator()
+        self.backend = backend
+        #: engine that measured the most recent :meth:`run` (``None`` before
+        #: the first run): "reference" or "vectorized".
+        self.last_backend_used: Optional[str] = None
+        self._reference = ReferencePowerBackend(geometry, tech=self.tech)
+        self._vectorized = None
+        # One AddressOrder instance per generator configuration, so the
+        # vectorized campaign's trace cache (keyed by order identity) hits
+        # across runs and modes while still following a reconfigured
+        # address generator.
+        self._address_order = None
+        self._address_order_key = None
+
+    def _current_order(self):
+        """The generator's AddressOrder, cached per generator configuration."""
+        key = (id(self.address_generator), self.address_generator.order)
+        if self._address_order is None or self._address_order_key != key:
+            self._address_order = self.address_generator.as_address_order()
+            self._address_order_key = key
+        return self._address_order
 
     # ------------------------------------------------------------------
     def build_memory(self, low_power: bool) -> SRAM:
-        mode = OperatingMode.LOW_POWER_TEST if low_power else OperatingMode.FUNCTIONAL
-        memory = SRAM(self.geometry, tech=self.tech, mode=mode,
-                      ledger_label=f"BIST [{mode.value}]")
-        memory.apply_background(self.background)
-        return memory
+        """A fresh fault-free memory in the requested mode (reference substrate)."""
+        return self._reference.build_memory(low_power, self.background)
+
+    def _vectorized_backend(self):
+        """The cached vectorized power campaign for this controller."""
+        if self._vectorized is None:
+            from ..engine import VectorizedPowerCampaign  # deferred: numpy optional
+
+            self._vectorized = VectorizedPowerCampaign(
+                self.geometry, tech=self.tech)
+        return self._vectorized
 
     def run(self, algorithm: MarchAlgorithm, low_power: bool = True,
-            memory: Optional[SRAM] = None) -> BistResult:
-        """Run ``algorithm`` once and return the pass/fail + power result."""
+            memory: Optional[SRAM] = None,
+            backend: Optional[str] = None) -> BistResult:
+        """Run ``algorithm`` once and return the pass/fail + power result.
+
+        A pre-built ``memory`` (e.g. one with injected faults) can be
+        supplied; it always runs on the reference engine.  ``backend``
+        overrides the controller's execution engine for this run (see the
+        class docstring).
+        """
         if low_power and not self.address_generator.supports_low_power_mode():
             raise BistError(
                 "the low-power test mode requires the word-line-sequential "
                 f"address order; the generator is configured for {self.address_generator.order}")
         algorithm.validate()
-        if memory is None:
-            memory = self.build_memory(low_power)
-        else:
-            memory.set_mode(OperatingMode.LOW_POWER_TEST if low_power
-                            else OperatingMode.FUNCTIONAL)
-        planner = (LowPowerTestPlanner(self.geometry, tech=self.tech)
-                   if low_power else FunctionalModePlanner())
-        planner.reset()
-        self.comparator.reset()
-        order = self.address_generator.as_address_order()
+        chosen = backend if backend is not None else self.backend
+        if chosen not in POWER_BACKENDS:
+            raise BistError(
+                f"unknown backend {chosen!r}; expected one of {POWER_BACKENDS}")
+        order = self._current_order()
+        if chosen != "reference":
+            if memory is None:
+                from ..engine import EngineError
 
-        for step in walk(algorithm, order):
-            plan = planner.plan(step) if low_power else None
-            if step.is_write:
-                memory.write(step.row, step.word, step.operation.value, plan=plan)
-                continue
-            outcome = memory.read(step.row, step.word, plan=plan)
-            self.comparator.check(cycle=outcome.cycle, row=step.row, word=step.word,
-                                  expected=step.operation.value, observed=outcome.value)
+                try:
+                    result = self._vectorized_backend().measure(
+                        algorithm, order, low_power=low_power,
+                        background=self.background,
+                        log_limit=self.comparator.log_limit)
+                    # Keep the controller's public comparator coherent with
+                    # the most recent run, whichever engine measured it.
+                    self.comparator.reset()
+                    self.comparator.failures = result.failures
+                    self.comparator.log = list(result.failure_log)
+                    self.last_backend_used = result.backend
+                    return result
+                except EngineError:
+                    # Unsupported run (or numpy unavailable): "auto" falls
+                    # back to the reference engine, "vectorized" surfaces
+                    # it.  A construction failure is never cached, so any
+                    # campaign already in self._vectorized stays valid.
+                    if chosen == "vectorized":
+                        raise
+            elif chosen == "vectorized":
+                raise BistError(
+                    "the vectorized backend cannot run with a custom memory; "
+                    "use backend='reference' (or 'auto')")
+        result = self._reference.measure(
+            algorithm, order, low_power=low_power, background=self.background,
+            memory=memory, comparator=self.comparator)
+        self.last_backend_used = result.backend
+        return result
 
-        ledger = memory.ledger
-        return BistResult(
-            algorithm=algorithm.name,
-            low_power_mode=low_power,
-            passed=self.comparator.passed,
-            failures=self.comparator.failures,
-            cycles=memory.cycle,
-            total_energy=ledger.total_energy(),
-            average_power=ledger.average_power(),
-            energy_by_source=ledger.energy_by_source(),
-            failure_log=list(self.comparator.log),
-        )
-
-    def run_suite(self, algorithms, low_power: bool = True) -> List[BistResult]:
+    def run_suite(self, algorithms, low_power: bool = True,
+                  backend: Optional[str] = None) -> List[BistResult]:
         """Run several algorithms back to back (fresh memory each time)."""
-        return [self.run(algorithm, low_power=low_power) for algorithm in algorithms]
+        return [self.run(algorithm, low_power=low_power, backend=backend)
+                for algorithm in algorithms]

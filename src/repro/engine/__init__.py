@@ -9,10 +9,16 @@
   simulates every injection of a fault class simultaneously as parallel
   victim-state arrays over one shared compiled operation trace, emitting
   per-fault detection verdicts bit-identical to the reference simulator.
+* :mod:`repro.engine.power_campaign` — the NumPy BIST power-campaign
+  engine: replays a compiled operation trace and computes the pre-charge
+  activity, comparator outcomes and all five Section 5 power sources in
+  closed vector form, for both pre-charge planners (the measured Table 1
+  workload).
 
-Both engines plug into their session APIs through a ``backend`` switch
-(:class:`repro.core.session.TestSession` and
-:class:`repro.faults.FaultSimulator`: ``"reference"``, ``"vectorized"`` or
+The engines plug into their session APIs through a ``backend`` switch
+(:class:`repro.core.session.TestSession`,
+:class:`repro.faults.FaultSimulator` and
+:class:`repro.bist.BistController`: ``"reference"``, ``"vectorized"`` or
 ``"auto"``) and are what make the paper-scale 512 x 512 measured
 experiments, the DOF-1 coverage campaigns and the :mod:`repro.sweep`
 scenario grids tractable.
@@ -28,6 +34,7 @@ from .fault_campaign import (
     UnsupportedFaultCampaign,
     VectorizedFaultCampaign,
 )
+from .power_campaign import VectorizedPowerCampaign
 
 __all__ = [
     "VectorizedEngine",
@@ -36,4 +43,5 @@ __all__ = [
     "UnsupportedConfiguration",
     "VectorizedFaultCampaign",
     "UnsupportedFaultCampaign",
+    "VectorizedPowerCampaign",
 ]

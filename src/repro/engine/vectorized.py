@@ -211,13 +211,7 @@ class VectorizedEngine:
         """
         from ..core.session import TestRunResult  # deferred: avoids an import cycle
 
-        algorithm.validate()
-        if mode is OperatingMode.LOW_POWER_TEST:
-            by_source, counters, cycles, stress = self._run_low_power(algorithm)
-        else:
-            by_source, counters, cycles, stress = self._run_functional(algorithm)
-        self.last_stress = stress
-        self.last_counters = counters
+        by_source, counters, cycles, _ = self.run_aggregates(algorithm, mode)
         label = f"{algorithm.name} [{mode.value}] (vectorized)"
         ledger = EnergyLedger.from_aggregates(
             self.clock.period, by_source, cycles=cycles, label=label)
@@ -239,6 +233,30 @@ class VectorizedEngine:
             floating_column_cycles=counters["floating_column_cycles"],
         )
 
+    def run_aggregates(self, algorithm: MarchAlgorithm, mode: OperatingMode,
+                       walks=None):
+        """Measure one run and return raw ``(by_source, counters, cycles, stress)``.
+
+        The aggregate core behind :meth:`run`, also consumed by
+        :class:`repro.engine.power_campaign.VectorizedPowerCampaign` (which
+        assembles BIST results instead of session results).  ``walks``
+        optionally supplies the per-element ``(direction, rows, words)``
+        coordinate arrays — e.g. a compiled trace's
+        :meth:`repro.march.execution.OperationTrace.element_walks` — instead
+        of deriving them from the engine's own address order; the arrays
+        must describe the same traversal the order would produce.
+        """
+        algorithm.validate()
+        if walks is None:
+            walks = [self._element_walk(element) for element in algorithm.elements]
+        if mode is OperatingMode.LOW_POWER_TEST:
+            by_source, counters, cycles, stress = self._run_low_power(algorithm, walks)
+        else:
+            by_source, counters, cycles, stress = self._run_functional(algorithm, walks)
+        self.last_stress = stress
+        self.last_counters = counters
+        return by_source, counters, cycles, stress
+
     def compare_modes(self, algorithm: MarchAlgorithm) -> "ModeComparison":
         """Vectorized functional vs. low-power comparison (the PRR measurement)."""
         from ..core.session import ModeComparison
@@ -251,7 +269,7 @@ class VectorizedEngine:
     # ------------------------------------------------------------------
     # Functional mode: closed-form vector reductions
     # ------------------------------------------------------------------
-    def _run_functional(self, algorithm: MarchAlgorithm):
+    def _run_functional(self, algorithm: MarchAlgorithm, walks):
         geo, k = self.geometry, self._k
         bits = geo.bits_per_word
         per_access_decode = k.row_decode + k.col_decode
@@ -266,8 +284,7 @@ class VectorizedEngine:
         prev_row: Optional[int] = None
         cycles = 0
 
-        for element in algorithm.elements:
-            _, rows_arr, _ = self._element_walk(element)
+        for element, (_, rows_arr, _) in zip(algorithm.elements, walks):
             n_addr = int(rows_arr.size)
             ops = element.operation_count
             n_access = n_addr * ops
@@ -324,7 +341,7 @@ class VectorizedEngine:
     # ------------------------------------------------------------------
     # Low-power test mode: per-row-segment vectorization
     # ------------------------------------------------------------------
-    def _run_low_power(self, algorithm: MarchAlgorithm):
+    def _run_low_power(self, algorithm: MarchAlgorithm, walks):
         geo, k = self.geometry, self._k
         bits = geo.bits_per_word
         n_words = geo.words_per_row
@@ -347,7 +364,6 @@ class VectorizedEngine:
         #: word is attached to a pre-charge circuit.
         float_start = np.full(n_words, -1, dtype=np.int64)
 
-        walks = [self._element_walk(element) for element in algorithm.elements]
         prev_word = -1
         prev_row: Optional[int] = None
         cycle = 0

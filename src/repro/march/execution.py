@@ -217,6 +217,34 @@ class OperationTrace:
         self.elements: Tuple[TraceElement, ...] = tuple(elements)
         #: total primitive accesses of one run.
         self.step_count: int = base
+        self._walks: Optional[List[Tuple[AddressingDirection, object, object]]] = None
+
+    # ------------------------------------------------------------------
+    def element_walks(self):
+        """Per-element ``(direction, rows, words)`` NumPy coordinate arrays.
+
+        The bulk form of :attr:`elements` the vectorized power campaign
+        (:mod:`repro.engine.power_campaign`) replays: the ascending arrays
+        come from :meth:`repro.march.ordering.AddressOrder.coordinate_arrays`
+        (cached on the order, shared with the vectorized test engine) and the
+        descending arrays are reversed views of the same buffers, so a
+        six-element algorithm holds one coordinate expansion, not six.
+        Materialised lazily and cached on the trace; requires ``numpy``.
+        """
+        if self._walks is None:
+            ascending = self.order.coordinate_arrays()
+            descending: Optional[Tuple[object, object]] = None
+            walks = []
+            for element in self.elements:
+                if element.direction is AddressingDirection.DOWN:
+                    if descending is None:
+                        descending = (ascending[0][::-1], ascending[1][::-1])
+                    rows, words = descending
+                else:
+                    rows, words = ascending
+                walks.append((element.direction, rows, words))
+            self._walks = walks
+        return self._walks
 
     # ------------------------------------------------------------------
     def iter_accesses(self) -> Iterator[Tuple[int, int, int, MarchOperation]]:

@@ -20,6 +20,9 @@ from .runner import (
     CoverageCase,
     CoverageRecord,
     INVARIANCE_ORDERS,
+    PRR_BRACKET_SLACK,
+    PrrCase,
+    PrrRecord,
     SweepCase,
     SweepError,
     SweepRecord,
@@ -28,10 +31,13 @@ from .runner import (
     coverage_grid,
     execute_case,
     paper_coverage_cases,
+    paper_prr_cases,
     paper_table1_cases,
     parse_geometry,
+    prr_grid,
     run_case,
     run_coverage_case,
+    run_prr_case,
     sweep_grid,
 )
 
@@ -39,6 +45,9 @@ __all__ = [
     "CoverageCase",
     "CoverageRecord",
     "INVARIANCE_ORDERS",
+    "PRR_BRACKET_SLACK",
+    "PrrCase",
+    "PrrRecord",
     "SweepCase",
     "SweepError",
     "SweepRecord",
@@ -47,9 +56,12 @@ __all__ = [
     "coverage_grid",
     "execute_case",
     "paper_coverage_cases",
+    "paper_prr_cases",
     "paper_table1_cases",
     "parse_geometry",
+    "prr_grid",
     "run_case",
     "run_coverage_case",
+    "run_prr_case",
     "sweep_grid",
 ]

@@ -6,9 +6,17 @@ Examples::
     # vectorized backend) with a result table on stdout:
     python -m repro.sweep --paper
 
+    # The same measured Table 1 through the BIST deployment path, with
+    # the analytical PRR band next to every measurement:
+    python -m repro.sweep --paper-table1
+
     # The paper-scale DOF-1 invariance check (512 x 512, the standard
     # fault battery under three address orders, campaign engine):
     python -m repro.sweep --paper-coverage
+
+    # A custom measured-vs-analytical PRR grid on two geometries:
+    python -m repro.sweep --prr-grid --geometry 64x512 --geometry 128x512 \\
+        --algorithm "March C-" --json prr.json
 
     # A custom power grid, fanned out over four worker processes, exported:
     python -m repro.sweep --geometry 64x64 --geometry 128x128 \\
@@ -37,7 +45,9 @@ from .runner import (
     SweepRunner,
     coverage_grid,
     paper_coverage_cases,
+    paper_prr_cases,
     paper_table1_cases,
+    prr_grid,
     sweep_grid,
 )
 
@@ -69,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--paper", action="store_true",
                         help="preset: the paper's 512x512 measured Table 1 "
                              "(overrides --geometry/--algorithm/--order)")
+    parser.add_argument("--prr-grid", action="store_true",
+                        help="run BIST power campaigns (measured vs. "
+                             "analytical PRR through the backend-pluggable "
+                             "BIST controller) instead of session power "
+                             "measurements")
+    parser.add_argument("--paper-table1", action="store_true",
+                        help="preset: the paper's measured Table 1 through "
+                             "the BIST path on the full 512x512 array, with "
+                             "the analytical PRR band (implies --prr-grid; "
+                             "overrides --geometry/--algorithm/--order)")
     parser.add_argument("--coverage", action="store_true",
                         help="run fault-coverage campaigns (DOF-1 invariance "
                              "over the standard fault battery) instead of "
@@ -100,7 +120,23 @@ def _build_cases(args: argparse.Namespace):
     if args.paper and (args.coverage or args.paper_coverage):
         raise SweepError("--paper measures power; combine coverage runs "
                          "with --paper-coverage instead")
-    if args.paper_coverage:
+    if (args.prr_grid or args.paper_table1) and \
+            (args.coverage or args.paper_coverage or args.paper):
+        raise SweepError("--prr-grid/--paper-table1 run BIST power "
+                         "campaigns; they cannot be combined with "
+                         "--paper/--coverage/--paper-coverage")
+    if args.paper_table1:
+        backend = "vectorized" if args.backend == "auto" else args.backend
+        cases = paper_prr_cases(backend=backend, seed=args.seed)
+        title = ("Paper-scale BIST campaign — measured vs. analytical "
+                 "Table 1 on the full 512x512 array")
+    elif args.prr_grid:
+        geometries = args.geometry or ["64x64"]
+        algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
+        cases = prr_grid(geometries, algorithms, backend=args.backend,
+                         seed=args.seed)
+        title = f"BIST PRR campaigns ({len(cases)} scenarios)"
+    elif args.paper_coverage:
         cases = paper_coverage_cases(backend=args.backend, seed=args.seed,
                                      sample=args.sample)
         title = ("Paper-scale DOF-1 campaign — fault-detection invariance "

@@ -14,6 +14,13 @@ kinds exist, both plain picklable descriptions:
   DOF-1 argument).  ``python -m repro.sweep --paper-coverage`` runs the
   full 512 x 512 DOF-1 invariance check in seconds on the vectorized
   campaign engine.
+* :class:`PrrCase` — one *(geometry x algorithm x backend)* BIST power
+  campaign: both operating modes measured through the backend-pluggable
+  :class:`repro.bist.BistController`, the measured Power Reduction Ratio
+  differenced against the Section 5 analytical model and its extended
+  (bracketing) variant.  ``python -m repro.sweep --paper-table1`` runs the
+  full measured 512 x 512 Table 1 in seconds on the vectorized power
+  campaign.
 
 Design notes:
 
@@ -38,6 +45,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.tables import render_table
+from ..bist import BistController, POWER_BACKENDS
 from ..core.prr import AnalyticalPowerModel
 from ..core.session import BACKENDS, TestSession
 from ..faults import (
@@ -444,14 +452,216 @@ def paper_coverage_cases(backend: str = "auto",
     return [march_cm, mats_plus]
 
 
-#: Either scenario kind a sweep can hold.
-AnyCase = Union[SweepCase, CoverageCase]
-#: Either record kind a sweep result can hold.
-AnyRecord = Union[SweepRecord, "CoverageRecord"]
+# ----------------------------------------------------------------------
+# BIST power-campaign cases (the measured-vs-analytical Table 1 sweeps)
+# ----------------------------------------------------------------------
+#: Slack (in PRR fraction) allowed on either side of the analytical bracket
+#: when classifying a measured PRR as in-bracket: the extended model may
+#: overestimate an overhead by a hair (it books a full bit-line swing for
+#: the next-column recharge where the measurement sees a decayed one).
+PRR_BRACKET_SLACK = 0.002
+
+
+@dataclass(frozen=True)
+class PrrCase:
+    """One BIST power-campaign scenario (picklable, JSON-friendly).
+
+    The algorithm runs in both operating modes through the
+    backend-pluggable :class:`repro.bist.BistController` (word-line-
+    sequential address generator, the paper's BIST deployment) and the
+    measured Power Reduction Ratio is differenced against the Section 5
+    analytical prediction and its extended bracketing variant.
+    ``backend`` selects the power-measurement engine
+    (:data:`repro.bist.POWER_BACKENDS`); ``seed`` is recorded verbatim in
+    the exports for provenance uniformity with the campaign records (the
+    PRR measurement itself is deterministic).
+    """
+
+    rows: int
+    columns: int
+    algorithm: str
+    bits_per_word: int = 1
+    backend: str = "auto"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.backend not in POWER_BACKENDS:
+            raise SweepError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {POWER_BACKENDS}")
+        get_algorithm(self.algorithm)  # fail fast on unknown names
+
+    def geometry(self) -> ArrayGeometry:
+        """The array geometry this campaign runs on."""
+        return ArrayGeometry(rows=self.rows, columns=self.columns,
+                             bits_per_word=self.bits_per_word)
+
+    def label(self) -> str:
+        """Short human-readable scenario label used in logs and tables."""
+        geometry = f"{self.rows}x{self.columns}"
+        if self.bits_per_word != 1:
+            geometry += f"x{self.bits_per_word}"
+        return f"{self.algorithm} PRR @ {geometry} [{self.backend}]"
+
+
+@dataclass
+class PrrRecord:
+    """The measurements of one executed :class:`PrrCase`.
+
+    Carries the raw energy totals of both modes (the quantities the golden
+    Table 1 regression pins), the measured PRR, and the analytical
+    prediction band: ``analytical_prr`` is the paper's Section 5 equation,
+    ``analytical_prr_bracket`` the extended variant (secondary overheads +
+    next-column recharge) that bounds the measurement from below.
+    ``backend`` / ``backend_used`` / ``seed`` make the exported JSON/CSV
+    self-describing about how the numbers were produced.
+    """
+
+    rows: int
+    columns: int
+    bits_per_word: int
+    algorithm: str
+    backend: str            # requested backend
+    backend_used: str       # engine that actually ran ("vectorized"/"reference")
+    seed: int
+    cycles_per_mode: int
+    functional_energy_j: float
+    low_power_energy_j: float
+    functional_power_w: float
+    low_power_power_w: float
+    measured_prr: float
+    analytical_prr: float           # the paper's Section 5 equation
+    analytical_prr_bracket: float   # + secondary overheads + recharge term
+    within_bracket: bool    # bracket-slack test of the measured PRR
+    functional_planner: str
+    low_power_planner: str
+    passed: bool            # no comparator failure in either mode
+    elapsed_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (the JSON/CSV row)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PrrRecord":
+        """Rebuild a record from :meth:`as_dict` output (JSON/CSV import)."""
+        return _record_from_dict(cls, data)
+
+    def table_row(self) -> Dict[str, object]:
+        """One row of the sweep report table (the Table 1 layout)."""
+        algorithm = get_algorithm(self.algorithm)
+        geometry = f"{self.rows}x{self.columns}"
+        if self.bits_per_word != 1:
+            geometry += f"x{self.bits_per_word}"
+        return {
+            "Algorithm": self.algorithm,
+            "Geometry": geometry,
+            "# elm": algorithm.element_count,
+            "# oper": algorithm.operation_count,
+            "PRR measured": f"{100.0 * self.measured_prr:.1f} %",
+            "PRR analytical": f"{100.0 * self.analytical_prr:.1f} %",
+            "PRR bracket": f"{100.0 * self.analytical_prr_bracket:.1f} %",
+            "In bracket": "yes" if self.within_bracket else "NO",
+            "P_F (mW)": f"{self.functional_power_w * 1e3:.3f}",
+            "P_LPT (mW)": f"{self.low_power_power_w * 1e3:.3f}",
+            "Backend": self.backend_used,
+            "Runtime (s)": f"{self.elapsed_s:.2f}",
+        }
+
+    def progress_line(self) -> str:
+        """One-line status printed per completed scenario."""
+        bracket = "in bracket" if self.within_bracket else "OUT OF BRACKET"
+        return (f"{self.algorithm} PRR @ {self.rows}x{self.columns}: "
+                f"measured {100.0 * self.measured_prr:.1f} % vs analytical "
+                f"{100.0 * self.analytical_prr:.1f} % ({bracket}, "
+                f"{self.elapsed_s:.2f} s, {self.backend_used})")
+
+
+def run_prr_case(case: PrrCase) -> PrrRecord:
+    """Execute one BIST power campaign: both modes, measured + analytical.
+
+    The multiprocessing work unit for PRR scenarios.  Both modes run
+    through one :class:`repro.bist.BistController` (so the vectorized
+    campaign's compiled trace is shared between them) and the record keeps
+    the raw energy totals alongside the measured and predicted PRR.
+    """
+    geometry = case.geometry()
+    algorithm = get_algorithm(case.algorithm)
+    controller = BistController(geometry, backend=case.backend)
+
+    started = time.perf_counter()
+    functional = controller.run(algorithm, low_power=False)
+    low_power = controller.run(algorithm, low_power=True)
+    elapsed = time.perf_counter() - started
+    backends_used = {functional.backend, low_power.backend}
+    backend_used = "+".join(sorted(backends_used))
+
+    measured_prr = (1.0 - low_power.average_power / functional.average_power
+                    if functional.average_power > 0 else 0.0)
+    analytical = AnalyticalPowerModel(geometry)
+    plain = analytical.prr(algorithm)
+    bracket = analytical.prr(algorithm, include_secondary=True,
+                             include_next_column_recharge=True)
+    within = (bracket - PRR_BRACKET_SLACK
+              <= measured_prr <= plain + PRR_BRACKET_SLACK)
+
+    return PrrRecord(
+        rows=case.rows,
+        columns=case.columns,
+        bits_per_word=case.bits_per_word,
+        algorithm=algorithm.name,
+        backend=case.backend,
+        backend_used=backend_used,
+        seed=case.seed,
+        cycles_per_mode=functional.cycles,
+        functional_energy_j=functional.total_energy,
+        low_power_energy_j=low_power.total_energy,
+        functional_power_w=functional.average_power,
+        low_power_power_w=low_power.average_power,
+        measured_prr=measured_prr,
+        analytical_prr=plain,
+        analytical_prr_bracket=bracket,
+        within_bracket=within,
+        functional_planner=functional.planner,
+        low_power_planner=low_power.planner,
+        passed=functional.passed and low_power.passed,
+        elapsed_s=elapsed,
+    )
+
+
+def prr_grid(geometries: Iterable[GeometryLike],
+             algorithms: Iterable[str],
+             backend: str = "auto",
+             seed: int = 0) -> List["PrrCase"]:
+    """Build a grid of BIST power campaigns: one case per geometry x algorithm."""
+    cases: List[PrrCase] = []
+    for geometry_spec in geometries:
+        geometry = parse_geometry(geometry_spec)
+        for algorithm in algorithms:
+            cases.append(PrrCase(
+                rows=geometry.rows, columns=geometry.columns,
+                bits_per_word=geometry.bits_per_word,
+                algorithm=algorithm, backend=backend, seed=seed))
+    return cases
+
+
+def paper_prr_cases(backend: str = "vectorized", seed: int = 0) -> List["PrrCase"]:
+    """The paper-scale measured Table 1 through the BIST path: 512 x 512,
+    all five algorithms, both modes per case."""
+    return prr_grid(["512x512"],
+                    [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS],
+                    backend=backend, seed=seed)
+
+
+#: Any scenario kind a sweep can hold.
+AnyCase = Union[SweepCase, CoverageCase, PrrCase]
+#: Any record kind a sweep result can hold.
+AnyRecord = Union[SweepRecord, "CoverageRecord", "PrrRecord"]
 
 #: JSON ``kind`` tags per record class (power sweeps predate the tag and
 #: stay the default for version-1 documents).
-_RECORD_KINDS: Dict[str, type] = {"power": SweepRecord, "coverage": CoverageRecord}
+_RECORD_KINDS: Dict[str, type] = {"power": SweepRecord, "coverage": CoverageRecord,
+                                  "prr": PrrRecord}
 
 
 def _record_kind(record: AnyRecord) -> str:
@@ -480,9 +690,11 @@ def _record_from_dict(cls, data: Dict[str, object]):
 
 
 def execute_case(case: AnyCase) -> AnyRecord:
-    """Run one scenario of either kind (the multiprocessing work unit)."""
+    """Run one scenario of any kind (the multiprocessing work unit)."""
     if isinstance(case, CoverageCase):
         return run_coverage_case(case)
+    if isinstance(case, PrrCase):
+        return run_prr_case(case)
     if isinstance(case, SweepCase):
         return run_case(case)
     raise SweepError(f"unknown sweep case type {type(case).__name__}")
@@ -589,15 +801,21 @@ class SweepResult:
     def from_csv(cls, path: Union[str, Path]) -> "SweepResult":
         """Load a sweep previously written by :meth:`to_csv`.
 
-        The record kind is sniffed from the header: campaign exports carry
-        the ``total_faults`` column, power exports ``measured_prr``.
+        The record kind is sniffed from the header: coverage exports carry
+        the ``total_faults`` column, PRR-campaign exports
+        ``analytical_prr_bracket``, power exports ``measured_prr`` only.
         """
         import csv
 
         with Path(path).open(newline="", encoding="utf-8") as handle:
             reader = csv.DictReader(handle)
             names = reader.fieldnames or []
-            record_cls = CoverageRecord if "total_faults" in names else SweepRecord
+            if "total_faults" in names:
+                record_cls: type = CoverageRecord
+            elif "analytical_prr_bracket" in names:
+                record_cls = PrrRecord
+            else:
+                record_cls = SweepRecord
             return cls([record_cls.from_dict(row) for row in reader])
 
 

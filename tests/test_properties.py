@@ -14,12 +14,14 @@ from repro.march import (
     walk,
 )
 from repro.march.ordering import (
+    AddressComplementOrder,
     ColumnMajorOrder,
     PseudoRandomOrder,
     RowMajorOrder,
     RowMajorSnakeOrder,
     verify_is_permutation,
 )
+from repro.march.parser import parse_march_detailed
 from repro.power.accounting import EnergyLedger
 from repro.power.sources import PowerSource
 from repro.sram.bitline import BitLinePair
@@ -81,13 +83,43 @@ class TestNotationProperties:
         twice = algorithm.with_inverted_data().with_inverted_data()
         assert twice.to_notation() == algorithm.to_notation()
 
+    @given(algorithms, st.data())
+    def test_round_trip_survives_notation_noise(self, algorithm, data):
+        """parse ∘ format is identity even under whitespace/brace noise.
+
+        The parser accepts braceless notation, arbitrary spacing around
+        separators and mixed comma/space operation lists; none of it may
+        change what the algorithm *is*.
+        """
+        notation = algorithm.to_notation()
+        if data.draw(st.booleans(), label="strip braces"):
+            notation = notation.strip().removeprefix("{").removesuffix("}")
+        pad = data.draw(st.sampled_from(["", " ", "  ", "\t"]), label="padding")
+        notation = notation.replace(";", f"{pad};{pad}").replace(",", f",{pad}")
+        reparsed = parse_march(notation, name=algorithm.name)
+        assert reparsed.to_notation() == algorithm.to_notation()
+
+    @given(algorithms, st.integers(min_value=1, max_value=3))
+    def test_delay_markers_are_counted_and_dropped(self, algorithm, delays):
+        chunks = algorithm.to_notation().strip("{}").split(";")
+        for _ in range(delays):
+            chunks.insert(len(chunks) // 2, " Del ")
+        result = parse_march_detailed(";".join(chunks), name=algorithm.name)
+        assert result.ignored_delays == delays
+        assert result.algorithm.to_notation() == algorithm.to_notation()
+
 
 # ----------------------------------------------------------------------
 # Address order properties (DOF 1)
 # ----------------------------------------------------------------------
+#: Every deterministic order class the registry ships (the pseudo-random
+#: order needs a seed and is exercised separately).
+DETERMINISTIC_ORDERS = [RowMajorOrder, ColumnMajorOrder, RowMajorSnakeOrder,
+                        AddressComplementOrder]
+
+
 class TestOrderingProperties:
-    @given(geometries, st.sampled_from([RowMajorOrder, ColumnMajorOrder,
-                                        RowMajorSnakeOrder]))
+    @given(geometries, st.sampled_from(DETERMINISTIC_ORDERS))
     def test_orders_are_permutations(self, geometry, order_cls):
         assert verify_is_permutation(order_cls(geometry))
 
@@ -99,6 +131,34 @@ class TestOrderingProperties:
     def test_descending_is_reverse_of_ascending(self, geometry, seed):
         order = PseudoRandomOrder(geometry, seed=seed)
         assert list(order.descending()) == list(reversed(list(order.ascending())))
+
+    @given(geometries, st.sampled_from(DETERMINISTIC_ORDERS + [PseudoRandomOrder]))
+    def test_inverse_composes_to_identity(self, geometry, order_cls):
+        """The DOF-1 precondition: every order is a *bijection* of the
+        address space, so position -> coordinate -> position is the
+        identity in both composition orders — which is exactly what lets
+        fault-coverage arguments permute freely over address sequences.
+        """
+        order = order_cls(geometry)
+        inverse = {order.coordinate_at(position): position
+                   for position in range(len(order))}
+        assert len(inverse) == geometry.word_count  # injective, hence bijective
+        for position in range(len(order)):
+            assert inverse[order.coordinate_at(position)] == position
+        for address in range(geometry.word_count):
+            coordinate = geometry.coordinates_of(address)
+            assert order.coordinate_at(inverse[coordinate]) == coordinate
+
+    @given(geometries, st.sampled_from(DETERMINISTIC_ORDERS + [PseudoRandomOrder]))
+    @settings(max_examples=30, deadline=None)
+    def test_descending_inverse_is_reversed_ascending_inverse(self, geometry,
+                                                              order_cls):
+        """Descending traversal is the reverse permutation, never a new one."""
+        order = order_cls(geometry)
+        ascending = list(order.ascending())
+        descending = list(order.descending())
+        assert descending == ascending[::-1]
+        assert sorted(ascending) == sorted(descending)
 
     @given(geometries, algorithms)
     @settings(max_examples=30, deadline=None)

@@ -145,6 +145,27 @@ class TestBist:
         assert [r.algorithm for r in results] == ["MATS", "MATS+"]
         assert all(r.passed for r in results)
 
+    def test_bist_result_reports_the_planner(self, wide_geometry):
+        controller = BistController(wide_geometry)
+        low_power = controller.run(MATS_PLUS, low_power=True)
+        functional = controller.run(MATS_PLUS, low_power=False)
+        assert low_power.planner == "LowPowerTestPlanner"
+        assert functional.planner == "FunctionalModePlanner"
+        assert low_power.backend == functional.backend == "reference"
+        assert "LowPowerTestPlanner" in low_power.describe()
+        # The attribution survives the vectorized engine unchanged.
+        vectorized = controller.run(MATS_PLUS, low_power=True,
+                                    backend="vectorized")
+        assert vectorized.planner == "LowPowerTestPlanner"
+        assert vectorized.backend == "vectorized"
+
+    def test_bist_suite_accepts_backend_override(self, small_geometry):
+        controller = BistController(small_geometry)
+        results = controller.run_suite([MATS, MATS_PLUS], low_power=True,
+                                       backend="vectorized")
+        assert all(r.backend == "vectorized" for r in results)
+        assert controller.last_backend_used == "vectorized"
+
     def test_address_generator_counter_stepping(self, small_geometry):
         from repro.bist import AddressGenerator
         generator = AddressGenerator(small_geometry)

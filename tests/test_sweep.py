@@ -10,6 +10,8 @@ from repro.sweep import (
     CoverageCase,
     CoverageRecord,
     INVARIANCE_ORDERS,
+    PrrCase,
+    PrrRecord,
     SweepCase,
     SweepError,
     SweepResult,
@@ -17,10 +19,13 @@ from repro.sweep import (
     coverage_grid,
     execute_case,
     paper_coverage_cases,
+    paper_prr_cases,
     paper_table1_cases,
     parse_geometry,
+    prr_grid,
     run_case,
     run_coverage_case,
+    run_prr_case,
     sweep_grid,
 )
 from repro.sweep.__main__ import main as sweep_main
@@ -297,3 +302,90 @@ def test_cli_rejects_paper_and_coverage_combination(capsys):
     exit_code = sweep_main(["--paper", "--coverage"])
     assert exit_code == 2
     assert "paper-coverage" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# BIST PRR-campaign cases (measured vs. analytical Table 1)
+# ----------------------------------------------------------------------
+def test_prr_grid_and_paper_preset():
+    cases = prr_grid(["8x64", "8x32x2"], ["March C-", "MATS+"],
+                     backend="vectorized", seed=3)
+    assert len(cases) == 4
+    assert {case.label() for case in cases} == {
+        "March C- PRR @ 8x64 [vectorized]",
+        "MATS+ PRR @ 8x64 [vectorized]",
+        "March C- PRR @ 8x32x2 [vectorized]",
+        "MATS+ PRR @ 8x32x2 [vectorized]",
+    }
+    assert all(case.seed == 3 for case in cases)
+    paper = paper_prr_cases()
+    assert len(paper) == 5
+    assert all(case.rows == 512 and case.columns == 512
+               and case.backend == "vectorized" for case in paper)
+
+
+def test_prr_case_validation_fails_fast():
+    with pytest.raises(SweepError):
+        PrrCase(rows=8, columns=8, algorithm="March C-", backend="no-such")
+    with pytest.raises(KeyError):
+        PrrCase(rows=8, columns=8, algorithm="No Such March")
+
+
+def test_execute_case_dispatches_prr_cases():
+    record = execute_case(PrrCase(rows=8, columns=64, algorithm="MATS+",
+                                  backend="vectorized"))
+    assert isinstance(record, PrrRecord)
+    assert record.cycles_per_mode == 5 * 8 * 64
+    assert record.passed and record.within_bracket
+    assert "PRR measured" in record.table_row()
+    assert "in bracket" in record.progress_line()
+
+
+@pytest.fixture(scope="module")
+def prr_result():
+    cases = prr_grid(["8x64"], ["MATS+"], backend="vectorized", seed=11)
+    return SweepRunner(cases).run()
+
+
+def test_prr_json_round_trip_records_backend_and_seed(prr_result, tmp_path):
+    path = prr_result.to_json(tmp_path / "prr.json")
+    payload = json.loads(path.read_text())
+    assert payload["records"][0]["kind"] == "prr"
+    assert payload["records"][0]["seed"] == 11
+    assert payload["records"][0]["backend_used"] == "vectorized"
+    loaded = SweepResult.from_json(path)
+    assert isinstance(loaded.records[0], PrrRecord)
+    assert [r.as_dict() for r in loaded] == [r.as_dict() for r in prr_result]
+
+
+def test_prr_csv_round_trip_records_backend_and_seed(prr_result, tmp_path):
+    path = prr_result.to_csv(tmp_path / "prr.csv")
+    header = path.read_text().splitlines()[0].split(",")
+    assert "seed" in header and "backend_used" in header
+    loaded = SweepResult.from_csv(path)
+    restored = loaded.records[0]
+    assert isinstance(restored, PrrRecord)
+    assert restored.seed == 11
+    assert restored.within_bracket == prr_result.records[0].within_bracket
+    assert restored.measured_prr == pytest.approx(
+        prr_result.records[0].measured_prr, rel=1e-12)
+
+
+def test_cli_prr_grid_runs_and_exports(tmp_path, capsys):
+    json_path = tmp_path / "prr.json"
+    exit_code = sweep_main([
+        "--prr-grid", "--geometry", "8x64", "--algorithm", "MATS+",
+        "--backend", "vectorized", "--json", str(json_path),
+    ])
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "PRR measured" in captured
+    payload = json.loads(json_path.read_text())
+    assert payload["records"][0]["kind"] == "prr"
+    assert payload["records"][0]["within_bracket"] is True
+
+
+def test_cli_rejects_prr_and_coverage_combination(capsys):
+    assert sweep_main(["--prr-grid", "--coverage"]) == 2
+    assert sweep_main(["--paper-table1", "--paper"]) == 2
+    capsys.readouterr()

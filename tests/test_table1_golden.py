@@ -1,0 +1,80 @@
+"""Golden regression: the measured 512 x 512 Table 1 numbers are pinned.
+
+The headline result of the reproduction — the measured energy totals and
+Power Reduction Ratios of the five Table 1 algorithms on the paper's full
+512 x 512 array — must not drift silently under refactors.  The values
+below were produced by :func:`repro.sweep.run_prr_case` on the vectorized
+power campaign (which the differential suite holds equivalent to the
+behavioural reference memory) and are pinned to a tolerance far below any
+physical-model change but far above floating-point summation noise.
+
+If a change moves these numbers *intentionally* (a technology constant, a
+power-source formula), regenerate the table with::
+
+    python - <<'EOF'
+    from repro.sweep import paper_prr_cases, run_prr_case
+    for case in paper_prr_cases():
+        r = run_prr_case(case)
+        print(r.algorithm, r.cycles_per_mode, r.functional_energy_j,
+              r.low_power_energy_j, r.measured_prr)
+    EOF
+
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import paper_prr_cases, run_prr_case
+
+#: algorithm -> (cycles per mode, functional energy [J], low-power test
+#: energy [J], measured PRR) on the full 512 x 512 array.
+GOLDEN_TABLE1 = {
+    "March C-": (2621440, 1.4070445338787842e-05, 9.34548733918288e-06,
+                 0.33580728156341444),
+    "March SS": (5767168, 3.0471612423733254e-05, 1.4192095142492393e-05,
+                 0.5342519146955718),
+    "MATS+": (1310720, 7.154374457425921e-06, 4.791894089502903e-06,
+              0.3302148052190459),
+    "March SR": (3670016, 1.9458066508414975e-05, 1.088230715635956e-05,
+                 0.4407302929274437),
+    "March G": (6029312, 3.2713095650476035e-05, 1.629388108990993e-05,
+                0.5019156467488632),
+}
+
+#: Relative tolerance on the pinned energies: generous enough for platform
+#: and numpy-version summation differences, tight enough that any formula
+#: or constant change trips it.
+GOLDEN_REL_TOL = 1e-6
+
+
+@pytest.fixture(scope="module")
+def paper_records():
+    """The full measured Table 1, computed once for the module."""
+    return {record.algorithm: record
+            for record in map(run_prr_case, paper_prr_cases())}
+
+
+def test_golden_covers_the_whole_table(paper_records):
+    assert set(paper_records) == set(GOLDEN_TABLE1)
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_TABLE1))
+def test_measured_table1_numbers_are_pinned(paper_records, algorithm):
+    cycles, functional_j, low_power_j, prr = GOLDEN_TABLE1[algorithm]
+    record = paper_records[algorithm]
+    assert record.cycles_per_mode == cycles
+    assert record.functional_energy_j == pytest.approx(functional_j,
+                                                       rel=GOLDEN_REL_TOL)
+    assert record.low_power_energy_j == pytest.approx(low_power_j,
+                                                      rel=GOLDEN_REL_TOL)
+    assert record.measured_prr == pytest.approx(prr, rel=GOLDEN_REL_TOL)
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_TABLE1))
+def test_paper_scale_runs_stay_healthy(paper_records, algorithm):
+    record = paper_records[algorithm]
+    assert record.passed, algorithm
+    assert record.within_bracket, algorithm
+    assert record.backend_used == "vectorized", algorithm
