@@ -100,14 +100,7 @@ from .faults import (
     run_campaign,
     run_coverage,
 )
-from .engine import (
-    EngineError,
-    UnsupportedConfiguration,
-    UnsupportedFaultCampaign,
-    VectorizedEngine,
-    VectorizedFaultCampaign,
-    VectorizedPowerCampaign,
-)
+from .engine import EngineError  # numpy-free: resolved from engine.dispatch
 from .sweep import (
     CoverageCase,
     PrrCase,
@@ -119,7 +112,34 @@ from .sweep import (
     sweep_grid,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
+
+#: Engine classes resolved lazily (PEP 562) so that importing :mod:`repro`
+#: (or any scalar subsystem) never loads numpy; the vectorized modules load
+#: on first attribute access instead.
+_LAZY_ENGINE_EXPORTS = (
+    "VectorizedEngine",
+    "UnsupportedConfiguration",
+    "VectorizedFaultCampaign",
+    "UnsupportedFaultCampaign",
+    "VectorizedPowerCampaign",
+)
+
+
+def __getattr__(name: str):
+    """Resolve the vectorized engine exports from :mod:`repro.engine` lazily."""
+    if name in _LAZY_ENGINE_EXPORTS:
+        from . import engine
+
+        value = getattr(engine, name)
+        globals()[name] = value  # cache: subsequent access skips __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    """Advertise the lazy engine exports alongside the module globals."""
+    return sorted(set(globals()) | set(_LAZY_ENGINE_EXPORTS))
 
 #: The paper this repository reproduces.
 PAPER_REFERENCE = (

@@ -26,13 +26,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuit.technology import TechnologyParameters, default_technology
+from ..engine.dispatch import BackendDispatcher, EngineError
 from ..march.algorithm import MarchAlgorithm
+from ..march.execution import TraceCache
 from ..power.sources import PowerSource
 from ..sram.array import BackgroundFunction, solid_background
 from ..sram.geometry import ArrayGeometry
 from ..sram.memory import OperatingMode, SRAM
 from .address_generator import AddressGenerator, BistOrder
-from .backend import POWER_BACKENDS, ReferencePowerBackend
+from .backend import ReferencePowerBackend
 from .comparator import Comparator
 
 
@@ -97,21 +99,23 @@ class BistController:
                  tech: TechnologyParameters | None = None,
                  order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL,
                  background: Optional[BackgroundFunction] = None,
-                 backend: str = "reference") -> None:
-        if backend not in POWER_BACKENDS:
-            raise BistError(
-                f"unknown backend {backend!r}; expected one of {POWER_BACKENDS}")
+                 backend: str = "reference",
+                 trace_cache: Optional[TraceCache] = None) -> None:
+        self._dispatch = BackendDispatcher("bist", self._make_engine,
+                                           error=BistError)
+        self.backend = self._dispatch.validate(backend)
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.address_generator = AddressGenerator(geometry, order)
         self.background = background if background is not None else solid_background(0)
         self.comparator = Comparator()
-        self.backend = backend
         #: engine that measured the most recent :meth:`run` (``None`` before
         #: the first run): "reference" or "vectorized".
         self.last_backend_used: Optional[str] = None
         self._reference = ReferencePowerBackend(geometry, tech=self.tech)
-        self._vectorized = None
+        # ``trace_cache`` optionally shares compiled traces across
+        # controllers (the sweep orchestrator passes its process-local one).
+        self._trace_cache = trace_cache
         # One AddressOrder instance per generator configuration, so the
         # vectorized campaign's trace cache (keyed by order identity) hits
         # across runs and modes while still following a reconfigured
@@ -132,14 +136,29 @@ class BistController:
         """A fresh fault-free memory in the requested mode (reference substrate)."""
         return self._reference.build_memory(low_power, self.background)
 
-    def _vectorized_backend(self):
-        """The cached vectorized power campaign for this controller."""
-        if self._vectorized is None:
-            from ..engine import VectorizedPowerCampaign  # deferred: numpy optional
+    def _make_engine(self):
+        """Build the vectorized power campaign (imported lazily: numpy)."""
+        from ..engine import VectorizedPowerCampaign  # deferred: numpy optional
 
-            self._vectorized = VectorizedPowerCampaign(
-                self.geometry, tech=self.tech)
-        return self._vectorized
+        return VectorizedPowerCampaign(
+            self.geometry, tech=self.tech, trace_cache=self._trace_cache)
+
+    def warm(self, algorithm: MarchAlgorithm) -> None:
+        """Pre-compile ``algorithm``'s operation trace (no measurement).
+
+        On the vectorized backend this populates the campaign's trace
+        cache so the first :meth:`run` skips compilation — the sweep
+        orchestrator's worker initializer calls this for every algorithm a
+        worker may be handed.  A no-op on the reference backend (which
+        walks fresh each run) and when the engine is unavailable.
+        """
+        algorithm.validate()
+        if self.backend == "reference":
+            return
+        try:
+            self._dispatch.engine.trace_for(algorithm, self._current_order())
+        except (EngineError, ImportError):  # warming is best-effort
+            pass
 
     def run(self, algorithm: MarchAlgorithm, low_power: bool = True,
             memory: Optional[SRAM] = None,
@@ -156,43 +175,42 @@ class BistController:
                 "the low-power test mode requires the word-line-sequential "
                 f"address order; the generator is configured for {self.address_generator.order}")
         algorithm.validate()
-        chosen = backend if backend is not None else self.backend
-        if chosen not in POWER_BACKENDS:
-            raise BistError(
-                f"unknown backend {chosen!r}; expected one of {POWER_BACKENDS}")
+        chosen = self._dispatch.validate(
+            backend if backend is not None else self.backend)
         order = self._current_order()
-        if chosen != "reference":
-            if memory is None:
-                from ..engine import EngineError
 
-                try:
-                    result = self._vectorized_backend().measure(
-                        algorithm, order, low_power=low_power,
-                        background=self.background,
-                        log_limit=self.comparator.log_limit)
-                    # Keep the controller's public comparator coherent with
-                    # the most recent run, whichever engine measured it.
-                    self.comparator.reset()
-                    self.comparator.failures = result.failures
-                    self.comparator.log = list(result.failure_log)
-                    self.last_backend_used = result.backend
-                    return result
-                except EngineError:
-                    # Unsupported run (or numpy unavailable): "auto" falls
-                    # back to the reference engine, "vectorized" surfaces
-                    # it.  A construction failure is never cached, so any
-                    # campaign already in self._vectorized stays valid.
-                    if chosen == "vectorized":
-                        raise
-            elif chosen == "vectorized":
+        def measure_vectorized(campaign) -> BistResult:
+            result = campaign.measure(
+                algorithm, order, low_power=low_power,
+                background=self.background,
+                log_limit=self.comparator.log_limit)
+            # Keep the controller's public comparator coherent with the
+            # most recent run, whichever engine measured it.
+            self.comparator.reset()
+            self.comparator.failures = result.failures
+            self.comparator.log = list(result.failure_log)
+            self.last_backend_used = result.backend
+            return result
+
+        def measure_reference() -> BistResult:
+            result = self._reference.measure(
+                algorithm, order, low_power=low_power,
+                background=self.background,
+                memory=memory, comparator=self.comparator)
+            self.last_backend_used = result.backend
+            return result
+
+        if memory is not None:
+            if chosen == "vectorized":
                 raise BistError(
                     "the vectorized backend cannot run with a custom memory; "
                     "use backend='reference' (or 'auto')")
-        result = self._reference.measure(
-            algorithm, order, low_power=low_power, background=self.background,
-            memory=memory, comparator=self.comparator)
-        self.last_backend_used = result.backend
-        return result
+            return measure_reference()
+        # "auto" falls back on EngineError (unsupported run, numpy
+        # unavailable); a construction failure is never cached, so any
+        # campaign already built stays valid — no invalidation.
+        return self._dispatch.call(chosen, vectorized=measure_vectorized,
+                                   reference=measure_reference)
 
     def run_suite(self, algorithms, low_power: bool = True,
                   backend: Optional[str] = None) -> List[BistResult]:

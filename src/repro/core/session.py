@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.technology import TechnologyParameters, default_technology
+from ..engine.dispatch import BackendDispatcher, register_backend_family
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection
 from ..march.execution import walk
@@ -117,8 +118,9 @@ class ModeComparison:
         }
 
 
-#: Valid values of the ``backend`` switch of :class:`TestSession`.
-BACKENDS = ("reference", "vectorized", "auto")
+#: Valid values of the ``backend`` switch of :class:`TestSession`
+#: (the "session" family of :mod:`repro.engine.dispatch`).
+BACKENDS = register_backend_family("session")
 
 
 class TestSession:
@@ -151,17 +153,18 @@ class TestSession:
                  any_direction: AddressingDirection = AddressingDirection.UP,
                  detailed: Optional[bool] = None,
                  backend: str = "reference") -> None:
-        if backend not in BACKENDS:
-            raise SessionError(
-                f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self._dispatch = BackendDispatcher("session", self._make_engine,
+                                           error=SessionError)
+        self.backend = self._dispatch.validate(backend)
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.order = order or RowMajorOrder(geometry)
         self.background = background if background is not None else solid_background(0)
         self.any_direction = any_direction
         self.detailed = detailed
-        self.backend = backend
-        self._engine = None
+        #: engine that executed the most recent :meth:`run` (``None`` before
+        #: the first run): "reference" or "vectorized".
+        self.last_backend_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     def _build_memory(self, mode: OperatingMode, label: str) -> SRAM:
@@ -177,15 +180,18 @@ class TestSession:
             return LowPowerTestPlanner(self.geometry, tech=self.tech)
         return FunctionalModePlanner()
 
-    def _vectorized_engine(self):
-        """The cached :class:`repro.engine.VectorizedEngine` for this session."""
-        if self._engine is None:
-            from ..engine import VectorizedEngine  # deferred: numpy optional
+    def _make_engine(self):
+        """Build the :class:`repro.engine.VectorizedEngine` for this session.
 
-            self._engine = VectorizedEngine(
-                self.geometry, tech=self.tech, order=self.order,
-                any_direction=self.any_direction, detailed=self.detailed)
-        return self._engine
+        The dispatcher's engine factory: called lazily on the first
+        vectorized run (the import defers numpy) and again after a failed
+        run invalidates the cached engine.
+        """
+        from ..engine import VectorizedEngine  # deferred: numpy optional
+
+        return VectorizedEngine(
+            self.geometry, tech=self.tech, order=self.order,
+            any_direction=self.any_direction, detailed=self.detailed)
 
     # ------------------------------------------------------------------
     def run(self, algorithm: MarchAlgorithm, mode: OperatingMode,
@@ -200,26 +206,31 @@ class TestSession:
         for this run (see the class docstring); a custom memory or planner
         always runs on the reference engine.
         """
-        chosen = backend if backend is not None else self.backend
-        if chosen not in BACKENDS:
-            raise SessionError(
-                f"unknown backend {chosen!r}; expected one of {BACKENDS}")
-        if chosen != "reference":
-            if memory is None and planner is None:
-                from ..engine import EngineError
+        chosen = self._dispatch.validate(
+            backend if backend is not None else self.backend)
+        if memory is None and planner is None:
+            def run_vectorized(engine) -> TestRunResult:
+                result = engine.run(algorithm, mode)
+                self.last_backend_used = "vectorized"
+                return result
 
-                try:
-                    return self._vectorized_engine().run(algorithm, mode)
-                except EngineError:
-                    # Unsupported run (or numpy unavailable): "auto" falls
-                    # back to the reference engine, "vectorized" surfaces it.
-                    if chosen == "vectorized":
-                        raise
-                    self._engine = None  # a failed engine must not be cached
-            elif chosen == "vectorized":
-                raise SessionError(
-                    "the vectorized backend cannot run with a custom memory "
-                    "or planner; use backend='reference' (or 'auto')")
+            # A failed engine must not be cached, so "auto" fallback also
+            # invalidates it; "vectorized" surfaces the EngineError.
+            return self._dispatch.call(
+                chosen, vectorized=run_vectorized,
+                reference=lambda: self._run_reference(algorithm, mode,
+                                                      memory, planner),
+                invalidate_on_fallback=True)
+        if chosen == "vectorized":
+            raise SessionError(
+                "the vectorized backend cannot run with a custom memory "
+                "or planner; use backend='reference' (or 'auto')")
+        return self._run_reference(algorithm, mode, memory, planner)
+
+    def _run_reference(self, algorithm: MarchAlgorithm, mode: OperatingMode,
+                       memory: Optional[SRAM],
+                       planner: Optional[PrechargePlanner]) -> TestRunResult:
+        """The cycle-accurate walk over the behavioural memory."""
         algorithm.validate()
         if memory is None:
             memory = self._build_memory(mode, label=f"{algorithm.name} [{mode.value}]")
@@ -255,6 +266,7 @@ class TestSession:
                 faulty_swaps.extend(outcome.faulty_swaps)
 
         ledger = memory.ledger
+        self.last_backend_used = "reference"
         return TestRunResult(
             algorithm=algorithm.name,
             mode=mode.value,

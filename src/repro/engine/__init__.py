@@ -1,5 +1,9 @@
 """Vectorized batch execution backends (power measurement + fault campaigns).
 
+* :mod:`repro.engine.dispatch` — the shared backend-selection seam: the
+  family registry, the :class:`BackendDispatcher` fallback scaffold used by
+  every facade, and the NumPy-free :class:`EngineError` root of the engine
+  exception hierarchy.
 * :mod:`repro.engine.vectorized` — the NumPy power-measurement engine:
   simulates an entire March element over the whole array as array operations
   (background state, pre-charge activity masks, RES stress counters and
@@ -22,26 +26,60 @@ The engines plug into their session APIs through a ``backend`` switch
 ``"auto"``) and are what make the paper-scale 512 x 512 measured
 experiments, the DOF-1 coverage campaigns and the :mod:`repro.sweep`
 scenario grids tractable.
+
+Attribute access is lazy (PEP 562): importing :mod:`repro.engine` — or the
+numpy-free :mod:`repro.engine.dispatch` — never loads the vectorized
+modules, so the scalar layers and the sweep orchestrator can catch
+:class:`EngineError` and consult the backend registry without numpy
+installed.
 """
 
-from .vectorized import (
-    CellStressTotals,
-    EngineError,
-    UnsupportedConfiguration,
-    VectorizedEngine,
-)
-from .fault_campaign import (
-    UnsupportedFaultCampaign,
-    VectorizedFaultCampaign,
-)
-from .power_campaign import VectorizedPowerCampaign
+from importlib import import_module
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "VectorizedEngine",
-    "CellStressTotals",
-    "EngineError",
-    "UnsupportedConfiguration",
-    "VectorizedFaultCampaign",
-    "UnsupportedFaultCampaign",
-    "VectorizedPowerCampaign",
-]
+#: Which submodule provides each lazily-exported name.
+_EXPORTS = {
+    "VectorizedEngine": ".vectorized",
+    "CellStressTotals": ".vectorized",
+    "UnsupportedConfiguration": ".vectorized",
+    "VectorizedFaultCampaign": ".fault_campaign",
+    "UnsupportedFaultCampaign": ".fault_campaign",
+    "VectorizedPowerCampaign": ".power_campaign",
+    # dispatch is numpy-free; resolving these never loads an engine module.
+    "EngineError": ".dispatch",
+    "BackendDispatcher": ".dispatch",
+    "BACKEND_CHOICES": ".dispatch",
+    "register_backend_family": ".dispatch",
+    "backend_families": ".dispatch",
+    "backend_choices": ".dispatch",
+}
+
+__all__ = list(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .dispatch import (
+        BACKEND_CHOICES,
+        BackendDispatcher,
+        EngineError,
+        backend_choices,
+        backend_families,
+        register_backend_family,
+    )
+    from .fault_campaign import UnsupportedFaultCampaign, VectorizedFaultCampaign
+    from .power_campaign import VectorizedPowerCampaign
+    from .vectorized import CellStressTotals, UnsupportedConfiguration, VectorizedEngine
+
+
+def __getattr__(name: str):
+    """Resolve an exported name from its submodule on first access."""
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module, __name__), name)
+    globals()[name] = value  # cache: subsequent access skips __getattr__
+    return value
+
+
+def __dir__():
+    """Advertise the lazy exports alongside the module globals."""
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,169 @@
+"""Shared backend-selection registry and fallback dispatch.
+
+Three facades expose the same execution seam — a ``backend`` switch taking
+``"reference"`` / ``"vectorized"`` / ``"auto"`` — and before this module
+each carried its own copy of the scaffolding behind it: validating the
+switch, lazily building and caching the vectorized engine, and implementing
+the fallback rule (``"auto"`` silently falls back to the reference path
+when the vectorized engine rejects a run, ``"vectorized"`` surfaces the
+error).  :class:`BackendDispatcher` is that scaffolding, written once:
+
+* :class:`repro.core.session.TestSession` (power measurement),
+* :class:`repro.faults.FaultSimulator` (fault campaigns),
+* :class:`repro.bist.BistController` (BIST power campaigns)
+
+each own one dispatcher instance, and the sweep orchestrator
+(:mod:`repro.sweep.runner`) consults the module-level *family registry* —
+:func:`register_backend_family` / :func:`backend_choices` — instead of
+hard-coding per-facade backend tuples.
+
+This module is deliberately NumPy-free: :class:`EngineError` lives here
+(re-exported by :mod:`repro.engine.vectorized`, which subclasses it) so the
+scalar layers and the orchestrator can name the engine's failure mode
+without importing any vectorized code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
+
+
+class EngineError(Exception):
+    """Raised on invalid engine usage (missing numpy, bad arguments).
+
+    The base failure mode of every vectorized engine;
+    :class:`repro.engine.UnsupportedConfiguration` and
+    :class:`repro.engine.UnsupportedFaultCampaign` subclass it.  Defined
+    here (not in :mod:`repro.engine.vectorized`) so catching it never
+    requires numpy.
+    """
+
+
+#: The canonical backend switch values every facade family shares.
+BACKEND_CHOICES: Tuple[str, ...] = ("reference", "vectorized", "auto")
+
+#: Facade families registered through :func:`register_backend_family`.
+_FAMILIES: Dict[str, Tuple[str, ...]] = {}
+
+
+def register_backend_family(family: str,
+                            choices: Sequence[str] = BACKEND_CHOICES
+                            ) -> Tuple[str, ...]:
+    """Register (idempotently) the backend choices of a facade family.
+
+    Returns the registered tuple, so facade modules can spell their public
+    backend constant as one assignment::
+
+        BACKENDS = register_backend_family("session")
+
+    Re-registering a family with the same choices is a no-op; conflicting
+    choices raise :class:`ValueError` (two facades must not disagree about
+    what a family's switch accepts).
+    """
+    registered = tuple(choices)
+    existing = _FAMILIES.get(family)
+    if existing is not None and existing != registered:
+        raise ValueError(
+            f"backend family {family!r} already registered with choices "
+            f"{existing}, cannot re-register with {registered}")
+    _FAMILIES[family] = registered
+    return registered
+
+
+def backend_families() -> Dict[str, Tuple[str, ...]]:
+    """A snapshot of every registered facade family and its choices."""
+    return dict(_FAMILIES)
+
+
+def backend_choices(family: str) -> Tuple[str, ...]:
+    """The backend choices of one registered facade family."""
+    try:
+        return _FAMILIES[family]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend family {family!r}; registered: "
+            f"{sorted(_FAMILIES)}") from None
+
+
+_T = TypeVar("_T")
+
+
+class BackendDispatcher:
+    """One facade's backend-selection state and fallback rule.
+
+    Owns the lazily-built, cached vectorized engine (``factory`` builds it
+    on first use; construction typically imports numpy, which is why it is
+    deferred) and implements the shared dispatch contract of the
+    ``backend`` switch:
+
+    * ``"reference"`` — never touch the vectorized engine;
+    * ``"vectorized"`` — run the vectorized call and surface its errors;
+    * ``"auto"`` — run the vectorized call, and on a *fallback exception*
+      (by default :class:`EngineError`) silently run the reference call
+      instead.
+
+    ``error`` is the facade's own exception class, raised by
+    :meth:`validate` with the uniform unknown-backend message every facade
+    used to spell by hand.
+    """
+
+    def __init__(self, family: str, factory: Callable[[], object],
+                 error: type = ValueError,
+                 choices: Optional[Sequence[str]] = None) -> None:
+        self.family = family
+        self.choices = tuple(choices) if choices is not None \
+            else backend_choices(family)
+        self._factory = factory
+        self._error = error
+        self._engine: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    def validate(self, backend: str) -> str:
+        """Return ``backend`` unchanged, or raise the facade's error."""
+        if backend not in self.choices:
+            raise self._error(
+                f"unknown backend {backend!r}; expected one of {self.choices}")
+        return backend
+
+    @property
+    def engine(self) -> object:
+        """The cached vectorized engine, built by the factory on first use."""
+        if self._engine is None:
+            self._engine = self._factory()
+        return self._engine
+
+    @property
+    def engine_built(self) -> bool:
+        """True when the vectorized engine has been constructed and cached."""
+        return self._engine is not None
+
+    def invalidate(self) -> None:
+        """Drop the cached vectorized engine (rebuilt on next use)."""
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    def call(self, chosen: str, *,
+             vectorized: Callable[[object], _T],
+             reference: Callable[[], _T],
+             fallback: Tuple[type, ...] = (EngineError,),
+             invalidate_on_fallback: bool = False) -> _T:
+        """Dispatch one operation through the fallback rule.
+
+        ``vectorized`` receives the cached engine; ``reference`` takes no
+        arguments.  A ``fallback`` exception from the vectorized call is
+        re-raised when ``chosen == "vectorized"`` and swallowed (running
+        ``reference`` instead) when ``chosen == "auto"``;
+        ``invalidate_on_fallback`` additionally drops the cached engine
+        before falling back, for facades whose engine must not survive a
+        failed run.
+        """
+        chosen = self.validate(chosen)
+        if chosen != "reference":
+            try:
+                return vectorized(self.engine)
+            except fallback:
+                if chosen == "vectorized":
+                    raise
+                if invalidate_on_fallback:
+                    self.invalidate()
+        return reference()

@@ -56,9 +56,7 @@ try:  # numpy is required for this backend only; the scalar path runs without it
 except ImportError:  # pragma: no cover - the container ships numpy
     np = None  # type: ignore[assignment]
 
-
-class EngineError(Exception):
-    """Raised on invalid engine usage (missing numpy, bad arguments)."""
+from .dispatch import EngineError
 
 
 class UnsupportedConfiguration(EngineError):

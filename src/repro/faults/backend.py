@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence
 
+from ..engine.dispatch import register_backend_family
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection
 from ..march.execution import OperationTrace, TraceCache
@@ -35,8 +36,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .simulator import DetectionResult, FaultInjection
 
 
-#: Valid values of the ``backend`` switch of :class:`repro.faults.FaultSimulator`.
-FAULT_BACKENDS = ("reference", "vectorized", "auto")
+#: Valid values of the ``backend`` switch of :class:`repro.faults.FaultSimulator`
+#: (the "faults" family of :mod:`repro.engine.dispatch`).
+FAULT_BACKENDS = register_backend_family("faults")
 
 
 class FaultBackend(Protocol):
@@ -77,11 +79,14 @@ class ReferenceFaultBackend:
     name = "reference"
 
     def __init__(self, geometry: ArrayGeometry,
-                 any_direction: AddressingDirection = AddressingDirection.UP
-                 ) -> None:
+                 any_direction: AddressingDirection = AddressingDirection.UP,
+                 traces: Optional[TraceCache] = None) -> None:
         self.geometry = geometry
         self.any_direction = any_direction
-        self._traces = TraceCache()
+        # Optionally a caller-shared cache (e.g. the sweep orchestrator's
+        # process-local one), so campaigns across simulator instances reuse
+        # compiled traces instead of recompiling per case.
+        self._traces = traces if traces is not None else TraceCache()
 
     # ------------------------------------------------------------------
     def trace_for(self, algorithm: MarchAlgorithm,

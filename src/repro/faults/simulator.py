@@ -23,12 +23,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..engine.dispatch import BackendDispatcher, EngineError
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection
-from ..march.execution import OperationTrace
+from ..march.execution import OperationTrace, TraceCache
 from ..march.ordering import AddressOrder
 from ..sram.geometry import ArrayGeometry
-from .backend import FAULT_BACKENDS, ReferenceFaultBackend
+from .backend import ReferenceFaultBackend
 from .models import CellState, CouplingFault, FaultFree, FaultModel
 
 
@@ -206,28 +207,28 @@ class FaultSimulator:
 
     def __init__(self, geometry: ArrayGeometry,
                  any_direction: AddressingDirection = AddressingDirection.UP,
-                 backend: str = "auto") -> None:
-        if backend not in FAULT_BACKENDS:
-            raise FaultSimulationError(
-                f"unknown backend {backend!r}; expected one of {FAULT_BACKENDS}")
+                 backend: str = "auto",
+                 trace_cache: Optional[TraceCache] = None) -> None:
+        self._dispatch = BackendDispatcher("faults", self._make_engine,
+                                           error=FaultSimulationError)
+        self.backend = self._dispatch.validate(backend)
         self.geometry = geometry
         self.any_direction = any_direction
-        self.backend = backend
-        self._reference = ReferenceFaultBackend(geometry, any_direction)
-        self._vectorized = None
+        # ``trace_cache`` optionally shares compiled traces across
+        # simulators (the sweep orchestrator passes its process-local one).
+        self._reference = ReferenceFaultBackend(geometry, any_direction,
+                                                traces=trace_cache)
         #: name of the engine that executed the most recent simulate call
         #: ("reference"/"vectorized"; None before the first call).
         self.last_backend_used: Optional[str] = None
 
     # ------------------------------------------------------------------
-    def _vectorized_backend(self):
-        """The cached vectorized campaign engine (imported lazily: numpy)."""
-        if self._vectorized is None:
-            from ..engine.fault_campaign import VectorizedFaultCampaign
+    def _make_engine(self):
+        """Build the vectorized campaign engine (imported lazily: numpy)."""
+        from ..engine.fault_campaign import VectorizedFaultCampaign
 
-            self._vectorized = VectorizedFaultCampaign(
-                self.geometry, any_direction=self.any_direction)
-        return self._vectorized
+        return VectorizedFaultCampaign(
+            self.geometry, any_direction=self.any_direction)
 
     def trace_for(self, algorithm: MarchAlgorithm,
                   order: AddressOrder) -> OperationTrace:
@@ -256,24 +257,28 @@ class FaultSimulator:
         """
         injections = list(injections)
         trace = self.trace_for(algorithm, order)
-        if self.backend != "reference" and injections:
-            from ..engine import EngineError  # deferred: numpy optional
 
-            try:
-                results = self._vectorized_backend().simulate_many(
-                    algorithm, order, injections, trace=trace)
-                self.last_backend_used = "vectorized"
-                return results
-            except (EngineError, ImportError):
-                # The engine rejected this batch (unknown fault model,
-                # unsupported geometry, missing numpy); it holds no corrupt
-                # state, so a cached instance stays valid for later batches.
-                if self.backend == "vectorized":
-                    raise
-        results = self._reference.simulate_many(algorithm, order, injections,
-                                                trace=trace)
-        self.last_backend_used = "reference"
-        return results
+        def simulate_vectorized(campaign) -> List[DetectionResult]:
+            results = campaign.simulate_many(algorithm, order, injections,
+                                             trace=trace)
+            self.last_backend_used = "vectorized"
+            return results
+
+        def simulate_reference() -> List[DetectionResult]:
+            results = self._reference.simulate_many(algorithm, order,
+                                                    injections, trace=trace)
+            self.last_backend_used = "reference"
+            return results
+
+        if not injections:
+            return simulate_reference()
+        # A rejected batch (unknown fault model, unsupported geometry,
+        # missing numpy) leaves the engine without corrupt state, so the
+        # cached instance stays valid for later batches — no invalidation.
+        return self._dispatch.call(
+            self.backend, vectorized=simulate_vectorized,
+            reference=simulate_reference,
+            fallback=(EngineError, ImportError))
 
     def fault_free_passes(self, algorithm: MarchAlgorithm, order: AddressOrder) -> bool:
         """Sanity check: the fault-free memory must never flag a mismatch."""

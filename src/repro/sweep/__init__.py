@@ -2,7 +2,10 @@
 
 * :mod:`repro.sweep.runner` — :class:`SweepRunner` and friends: grid
   construction (test-power scenarios *and* fault-coverage campaigns),
-  multiprocessing fan-out, JSON/CSV export;
+  streaming multiprocessing fan-out with pre-warmed workers, deterministic
+  sharding, JSON/CSV export;
+* :mod:`repro.sweep.journal` — the append-only JSONL run journal that
+  makes long campaigns durable and resumable;
 * :mod:`repro.sweep.__main__` — the ``python -m repro.sweep`` command line.
 
 Quickstart::
@@ -11,14 +14,20 @@ Quickstart::
 
     cases = sweep_grid(["64x64", "512x512"], ["March C-", "MATS+"])
     cases += coverage_grid(["64x64"], ["March C-"])
-    result = SweepRunner(cases, processes=4).run()
+    result = SweepRunner(cases, journal="sweep.jsonl").run(progress=True)
     print(result.render())
     result.to_json("sweep.json")
+
+An interrupted campaign resumes with ``run(resume=True)`` (re-executing
+only the cases missing from the journal), and a grid splits across
+machines with ``shard_cases(cases, index, total)``.
 """
 
+from .journal import JournalEntry, JournalError, RunJournal, load_journal
 from .runner import (
     CoverageCase,
     CoverageRecord,
+    DEFAULT_SAMPLE,
     INVARIANCE_ORDERS,
     PRR_BRACKET_SLACK,
     PrrCase,
@@ -28,6 +37,8 @@ from .runner import (
     SweepRecord,
     SweepResult,
     SweepRunner,
+    case_fingerprint,
+    case_kind,
     coverage_grid,
     execute_case,
     paper_coverage_cases,
@@ -38,12 +49,18 @@ from .runner import (
     run_case,
     run_coverage_case,
     run_prr_case,
+    shard_cases,
     sweep_grid,
 )
 
 __all__ = [
+    "JournalEntry",
+    "JournalError",
+    "RunJournal",
+    "load_journal",
     "CoverageCase",
     "CoverageRecord",
+    "DEFAULT_SAMPLE",
     "INVARIANCE_ORDERS",
     "PRR_BRACKET_SLACK",
     "PrrCase",
@@ -53,6 +70,8 @@ __all__ = [
     "SweepRecord",
     "SweepResult",
     "SweepRunner",
+    "case_fingerprint",
+    "case_kind",
     "coverage_grid",
     "execute_case",
     "paper_coverage_cases",
@@ -63,5 +82,6 @@ __all__ = [
     "run_case",
     "run_coverage_case",
     "run_prr_case",
+    "shard_cases",
     "sweep_grid",
 ]

@@ -26,20 +26,32 @@ Examples::
     # A reproducible coverage campaign on a custom geometry:
     python -m repro.sweep --coverage --geometry 128x128 \\
         --algorithm "March C-" --seed 7 --sample 12 --json campaign.json
+
+    # A durable campaign: one fsync'd JSONL line per completed case.  If
+    # the run is interrupted, --resume re-executes only the missing cases:
+    python -m repro.sweep --paper-table1 --processes 4 --journal run.jsonl
+    python -m repro.sweep --paper-table1 --processes 4 --journal run.jsonl \\
+        --resume --json table1.json
+
+    # Split a grid across two machines (disjoint, exhaustive shards):
+    python -m repro.sweep --paper-coverage --shard 1/2 --journal shard1.jsonl
+    python -m repro.sweep --paper-coverage --shard 2/2 --journal shard2.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.session import BACKENDS
 from ..engine import EngineError
 from ..faults import DEFAULT_LOCATION_SEED
 from ..march.library import PAPER_TABLE1_ALGORITHMS
 from ..march.ordering import ORDER_REGISTRY
+from .journal import JournalError
 from .runner import (
+    DEFAULT_SAMPLE,
     INVARIANCE_ORDERS,
     SweepError,
     SweepRunner,
@@ -48,6 +60,7 @@ from .runner import (
     paper_prr_cases,
     paper_table1_cases,
     prr_grid,
+    shard_cases,
     sweep_grid,
 )
 
@@ -74,8 +87,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "pseudo-random for coverage campaigns)")
     parser.add_argument("--backend", default="auto", choices=BACKENDS,
                         help="execution engine (default: auto)")
-    parser.add_argument("--processes", type=int, default=1, metavar="N",
-                        help="worker processes for the fan-out (default: 1)")
+    parser.add_argument("--processes", type=int, default=None, metavar="N",
+                        help="worker processes for the fan-out (default: one "
+                             "per CPU core, clamped to the grid size)")
     parser.add_argument("--paper", action="store_true",
                         help="preset: the paper's 512x512 measured Table 1 "
                              "(overrides --geometry/--algorithm/--order)")
@@ -98,25 +112,75 @@ def build_parser() -> argparse.ArgumentParser:
                              "check on the full 512x512 array (implies "
                              "--coverage; overrides --geometry/--algorithm/"
                              "--order)")
-    parser.add_argument("--seed", type=int, default=DEFAULT_LOCATION_SEED,
-                        metavar="N",
+    parser.add_argument("--seed", type=int, default=None, metavar="N",
                         help="fault-location sampling seed for coverage "
-                             "campaigns, recorded in exports "
-                             f"(default: {DEFAULT_LOCATION_SEED})")
-    parser.add_argument("--sample", type=int, default=6, metavar="N",
+                             "campaigns (recorded verbatim in PRR-campaign "
+                             "exports too), default: "
+                             f"{DEFAULT_LOCATION_SEED}")
+    parser.add_argument("--sample", type=int, default=None, metavar="N",
                         help="pseudo-random victim locations added to the "
-                             "corners/centre spread (default: 6)")
+                             "corners/centre spread of coverage campaigns "
+                             f"(default: {DEFAULT_SAMPLE})")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="export the records to a JSON file")
     parser.add_argument("--csv", metavar="PATH", default=None,
                         help="export the records to a CSV file")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="append one fsync'd JSONL line per completed "
+                             "case to PATH (makes the campaign resumable)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip cases already recorded in --journal PATH; "
+                             "their records are restored verbatim")
+    parser.add_argument("--shard", metavar="I/N", default=None,
+                        help="run only the I-th of N deterministic shards of "
+                             "the grid (1-based), e.g. --shard 1/4; shards "
+                             "are disjoint and their union is the full grid")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the result table and progress lines")
     return parser
 
 
+def parse_shard(spec: str) -> Tuple[int, int]:
+    """Parse a ``--shard I/N`` spec into a (1-based index, total) pair."""
+    parts = spec.split("/")
+    if len(parts) != 2:
+        raise SweepError(f"shard {spec!r} must look like I/N, e.g. 2/4")
+    try:
+        return int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise SweepError(f"shard {spec!r} has non-integer fields") from exc
+
+
+def _warn_ignored_flags(args: argparse.Namespace) -> None:
+    """Tell the user about flags the selected workload silently drops.
+
+    ``--order`` has no effect on BIST PRR campaigns (the BIST address
+    generator fixes the word-line-sequential order) and ``--sample`` only
+    shapes fault-coverage campaigns; passing either where it cannot apply
+    used to be dropped without a word.
+    """
+    if args.order and (args.prr_grid or args.paper_table1):
+        print("warning: --order is ignored by BIST PRR campaigns (the BIST "
+              "address generator fixes the word-line-sequential order)",
+              file=sys.stderr)
+    elif args.order and (args.paper or args.paper_coverage):
+        print("warning: --order is overridden by the --paper/"
+              "--paper-coverage presets (they fix their own address orders)",
+              file=sys.stderr)
+    if args.sample is not None and not (args.coverage or args.paper_coverage):
+        print("warning: --sample only affects fault-coverage campaigns "
+              "(--coverage/--paper-coverage); it is ignored by power and "
+              "PRR sweeps", file=sys.stderr)
+    if args.seed is not None and not (args.coverage or args.paper_coverage
+                                      or args.prr_grid or args.paper_table1):
+        print("warning: --seed only affects coverage and PRR campaigns; it "
+              "is ignored by plain power sweeps", file=sys.stderr)
+
+
 def _build_cases(args: argparse.Namespace):
     """Turn parsed arguments into (cases, report title)."""
+    seed = args.seed if args.seed is not None else DEFAULT_LOCATION_SEED
+    sample = args.sample if args.sample is not None else DEFAULT_SAMPLE
     if args.paper and (args.coverage or args.paper_coverage):
         raise SweepError("--paper measures power; combine coverage runs "
                          "with --paper-coverage instead")
@@ -127,18 +191,18 @@ def _build_cases(args: argparse.Namespace):
                          "--paper/--coverage/--paper-coverage")
     if args.paper_table1:
         backend = "vectorized" if args.backend == "auto" else args.backend
-        cases = paper_prr_cases(backend=backend, seed=args.seed)
+        cases = paper_prr_cases(backend=backend, seed=seed)
         title = ("Paper-scale BIST campaign — measured vs. analytical "
                  "Table 1 on the full 512x512 array")
     elif args.prr_grid:
         geometries = args.geometry or ["64x64"]
         algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
         cases = prr_grid(geometries, algorithms, backend=args.backend,
-                         seed=args.seed)
-        title = f"BIST PRR campaigns ({len(cases)} scenarios)"
+                         seed=seed)
+        title = "BIST PRR campaigns ({count} scenarios)"
     elif args.paper_coverage:
-        cases = paper_coverage_cases(backend=args.backend, seed=args.seed,
-                                     sample=args.sample)
+        cases = paper_coverage_cases(backend=args.backend, seed=seed,
+                                     sample=sample)
         title = ("Paper-scale DOF-1 campaign — fault-detection invariance "
                  "on the full 512x512 array")
     elif args.coverage:
@@ -146,9 +210,9 @@ def _build_cases(args: argparse.Namespace):
         algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
         orders = tuple(args.order) if args.order else INVARIANCE_ORDERS
         cases = coverage_grid(geometries, algorithms, orders=orders,
-                              backend=args.backend, sample=args.sample,
-                              seed=args.seed)
-        title = f"DOF-1 coverage campaigns ({len(cases)} scenarios)"
+                              backend=args.backend, sample=sample,
+                              seed=seed)
+        title = "DOF-1 coverage campaigns ({count} scenarios)"
     elif args.paper:
         backend = "vectorized" if args.backend == "auto" else args.backend
         cases = paper_table1_cases(backend=backend)
@@ -160,8 +224,17 @@ def _build_cases(args: argparse.Namespace):
         orders = args.order or ["row-major"]
         cases = sweep_grid(geometries, algorithms, orders=orders,
                            backends=(args.backend,))
-        title = f"Sweep results ({len(cases)} scenarios)"
-    return cases, title
+        title = "Sweep results ({count} scenarios)"
+    # Sharding applies before the title's scenario count so the report
+    # describes what actually ran, not the full grid.
+    if args.shard is not None:
+        index, total = parse_shard(args.shard)
+        cases = shard_cases(cases, index, total)
+        if not cases:
+            raise SweepError(f"shard {index}/{total} of this grid is empty; "
+                             "use fewer shards")
+        title += f" — shard {index}/{total}"
+    return cases, title.replace("{count}", str(len(cases)))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -169,18 +242,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
     try:
-        cases, title = _build_cases(args)
+        cases, title = _build_cases(args)  # sharding applied inside
+        if args.resume and args.journal is None:
+            raise SweepError("--resume needs --journal PATH (the journal "
+                             "written by the interrupted run)")
     except (SweepError, KeyError, ValueError) as exc:
-        # Bad grid input (geometry syntax, unknown algorithm/order name):
-        # report it as a CLI error instead of a traceback.
+        # Bad grid input (geometry syntax, unknown algorithm/order name,
+        # malformed shard): report it as a CLI error instead of a traceback.
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)
         return 2
 
+    _warn_ignored_flags(args)
+
     try:
-        runner = SweepRunner(cases, processes=args.processes)
-        result = runner.run(progress=not args.quiet)
-    except SweepError as exc:
+        runner = SweepRunner(cases, processes=args.processes,
+                             journal=args.journal)
+        result = runner.run(progress=not args.quiet, resume=args.resume)
+    except (SweepError, JournalError, OSError) as exc:
+        # A mismatched/corrupt journal or an unwritable journal path.
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except EngineError as exc:
@@ -194,14 +274,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.quiet:
         print()
         print(result.render(title=title))
-    if args.json:
-        result.to_json(args.json)
-        if not args.quiet:
-            print(f"\nJSON written to {args.json}")
-    if args.csv:
-        result.to_csv(args.csv)
-        if not args.quiet:
-            print(f"CSV written to {args.csv}")
+    try:
+        if args.json:
+            result.to_json(args.json)
+            if not args.quiet:
+                print(f"\nJSON written to {args.json}")
+        if args.csv:
+            result.to_csv(args.csv)
+            if not args.quiet:
+                print(f"CSV written to {args.csv}")
+    except (SweepError, OSError) as exc:
+        # Export failures (mixed records in a CSV, unwritable paths) are
+        # CLI errors, not tracebacks — the sweep itself already ran.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

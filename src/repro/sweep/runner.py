@@ -29,6 +29,18 @@ Design notes:
 * :func:`run_case` / :func:`run_coverage_case` are module-level functions —
   :func:`execute_case` dispatches on the case type and is the unit of work
   a ``multiprocessing.Pool`` maps over;
+* execution **streams**: the runner consumes ``imap_unordered``, so each
+  completed case is journaled and reported live while the rest of the grid
+  is still running, and the final :class:`SweepResult` restores the stable
+  input order;
+* every worker process owns one :class:`_WorkerState` — memoised address
+  orders, facades and a shared :class:`~repro.march.execution.TraceCache`,
+  pre-warmed by the pool initializer — so the same algorithm x order trace
+  is compiled once per worker instead of once per case;
+* a campaign is durable: ``journal=path`` appends one fsync'd JSONL line
+  per completed case (:mod:`repro.sweep.journal`), ``run(resume=True)``
+  reloads it and re-executes only the missing cases, and
+  :func:`shard_cases` splits a grid deterministically across machines;
 * a :class:`SweepResult` holds one record per scenario and renders through
   :func:`repro.analysis.tables.render_table`, so sweep output matches the
   benchmark tables.  Campaign records carry the victim-sampling ``seed``,
@@ -39,15 +51,27 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
 import time
+from collections import Counter
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..analysis.tables import render_table
 from ..bist import BistController, POWER_BACKENDS
 from ..core.prr import AnalyticalPowerModel
-from ..core.session import BACKENDS, TestSession
+from ..core.session import BACKENDS, ModeComparison, TestSession
 from ..faults import (
     DEFAULT_LOCATION_SEED,
     FAULT_BACKENDS,
@@ -57,9 +81,12 @@ from ..faults import (
     run_campaign,
 )
 from ..march.element import AddressingDirection
+from ..march.execution import TraceCache
 from ..march.library import PAPER_TABLE1_ALGORITHMS, get_algorithm
 from ..march.ordering import ORDER_REGISTRY, make_order
 from ..sram.geometry import ArrayGeometry
+from ..sram.memory import OperatingMode
+from .journal import JournalEntry, RunJournal
 
 
 class SweepError(Exception):
@@ -143,7 +170,9 @@ class SweepRecord:
     order: str
     any_direction: str
     backend: str            # requested backend
-    backend_used: str       # engine that actually ran ("vectorized"/"reference")
+    backend_used: str       # engine(s) that actually ran: "vectorized",
+                            # "reference", or "reference+vectorized" when
+                            # "auto" fell back for only one of the two modes
     cycles_per_mode: int
     functional_power_w: float
     low_power_power_w: float
@@ -191,34 +220,27 @@ class SweepRecord:
 def run_case(case: SweepCase) -> SweepRecord:
     """Execute one scenario: both modes, measured and analytical PRR.
 
-    This is the multiprocessing work unit.  A requested ``"vectorized"`` or
-    ``"auto"`` backend first tries the batch engine; ``"auto"`` falls back
-    to the reference engine for configurations the engine rejects, and the
-    record's ``backend_used`` reports which engine actually ran.
+    This is the multiprocessing work unit.  Backend selection and fallback
+    are the session facade's own (the shared
+    :class:`repro.engine.dispatch.BackendDispatcher` contract): a requested
+    ``"vectorized"`` backend surfaces engine errors, ``"auto"`` falls back
+    to the reference engine per run, and the record's ``backend_used``
+    reports which engine(s) actually measured the comparison.
     """
-    from ..engine import EngineError  # deferred: numpy optional
-
     geometry = case.geometry()
     algorithm = get_algorithm(case.algorithm)
-    order = make_order(case.order, geometry)
-    any_direction = AddressingDirection(case.any_direction)
-    session = TestSession(geometry, order=order, any_direction=any_direction,
-                          detailed=False)
+    session = _session_for_case(case)
 
     started = time.perf_counter()
-    backend_used = "reference"
-    if case.backend in ("vectorized", "auto"):
-        try:
-            comparison = session.compare_modes(algorithm, backend="vectorized")
-            backend_used = "vectorized"
-        except EngineError:
-            # Unsupported scenario or numpy unavailable: "auto" falls back.
-            if case.backend == "vectorized":
-                raise
-            comparison = session.compare_modes(algorithm, backend="reference")
-    else:
-        comparison = session.compare_modes(algorithm, backend="reference")
+    functional = session.run(algorithm, OperatingMode.FUNCTIONAL)
+    backends_used = {session.last_backend_used}
+    low_power = session.run(algorithm, OperatingMode.LOW_POWER_TEST)
+    backends_used.add(session.last_backend_used)
     elapsed = time.perf_counter() - started
+    comparison = ModeComparison(algorithm=algorithm.name,
+                                functional=functional, low_power=low_power)
+    backend_used = "+".join(sorted(backend for backend in backends_used
+                                   if backend is not None))
 
     analytical = AnalyticalPowerModel(geometry)
     prediction = analytical.predict(algorithm)
@@ -252,6 +274,11 @@ def run_case(case: SweepCase) -> SweepRecord:
 #: legacy fast-row order, and an arbitrary permutation.
 INVARIANCE_ORDERS: Tuple[str, ...] = ("row-major", "column-major", "pseudo-random")
 
+#: Pseudo-random victim locations added to the corners/centre spread of a
+#: coverage campaign when no ``sample`` is given (one spelling, shared by
+#: the case default, the grid builders and the CLI).
+DEFAULT_SAMPLE = 6
+
 
 @dataclass(frozen=True)
 class CoverageCase:
@@ -273,7 +300,7 @@ class CoverageCase:
     backend: str = "auto"
     include_single: bool = True
     include_coupling: bool = True
-    sample: int = 6
+    sample: int = DEFAULT_SAMPLE
     seed: int = DEFAULT_LOCATION_SEED
 
     def __post_init__(self) -> None:
@@ -372,15 +399,13 @@ def run_coverage_case(case: CoverageCase) -> CoverageRecord:
     """
     geometry = case.geometry()
     algorithm = get_algorithm(case.algorithm)
-    orders = [make_order(name, geometry) for name in case.orders]
+    orders = [_order_for(name, geometry) for name in case.orders]
     locations = default_fault_locations(geometry, sample=case.sample,
                                         seed=case.seed)
     injections = build_fault_list(geometry, locations=locations,
                                   include_single=case.include_single,
                                   include_coupling=case.include_coupling)
-    simulator = FaultSimulator(geometry,
-                               any_direction=AddressingDirection(case.any_direction),
-                               backend=case.backend)
+    simulator = _simulator_for_case(case)
 
     started = time.perf_counter()
     campaign = run_campaign(algorithm, orders, geometry, injections,
@@ -414,7 +439,7 @@ def coverage_grid(geometries: Iterable[GeometryLike],
                   orders: Sequence[str] = INVARIANCE_ORDERS,
                   backend: str = "auto",
                   any_direction: str = "up",
-                  sample: int = 6,
+                  sample: int = DEFAULT_SAMPLE,
                   seed: int = DEFAULT_LOCATION_SEED) -> List["CoverageCase"]:
     """Build a grid of coverage campaigns: one case per geometry x algorithm."""
     cases: List[CoverageCase] = []
@@ -434,7 +459,7 @@ def coverage_grid(geometries: Iterable[GeometryLike],
 
 
 def paper_coverage_cases(backend: str = "auto",
-                         sample: int = 6,
+                         sample: int = DEFAULT_SAMPLE,
                          seed: int = DEFAULT_LOCATION_SEED
                          ) -> List["CoverageCase"]:
     """The paper-scale DOF-1 check: the full 512 x 512 array, three orders.
@@ -587,7 +612,7 @@ def run_prr_case(case: PrrCase) -> PrrRecord:
     """
     geometry = case.geometry()
     algorithm = get_algorithm(case.algorithm)
-    controller = BistController(geometry, backend=case.backend)
+    controller = _controller_for_case(case)
 
     started = time.perf_counter()
     functional = controller.run(algorithm, low_power=False)
@@ -664,12 +689,37 @@ _RECORD_KINDS: Dict[str, type] = {"power": SweepRecord, "coverage": CoverageReco
                                   "prr": PrrRecord}
 
 
+#: JSON ``kind`` tags per case class (matching the record tags).
+_CASE_KINDS: Dict[str, type] = {"power": SweepCase, "coverage": CoverageCase,
+                                "prr": PrrCase}
+
+
 def _record_kind(record: AnyRecord) -> str:
     """The JSON ``kind`` tag of a record instance."""
     for kind, cls in _RECORD_KINDS.items():
         if isinstance(record, cls):
             return kind
     raise SweepError(f"unknown sweep record type {type(record).__name__}")
+
+
+def case_kind(case: AnyCase) -> str:
+    """The ``kind`` tag of a case instance (``"power"/"coverage"/"prr"``)."""
+    for kind, cls in _CASE_KINDS.items():
+        if isinstance(case, cls):
+            return kind
+    raise SweepError(f"unknown sweep case type {type(case).__name__}")
+
+
+def case_fingerprint(case: AnyCase) -> Dict[str, object]:
+    """The kind-tagged, JSON-normalised flat form of a case.
+
+    This is what the run journal stores next to each record and what
+    resume matches against: two fingerprints are equal exactly when the
+    cases describe the same scenario (tuples are normalised to lists, so a
+    fingerprint round-trips through JSON unchanged).
+    """
+    return json.loads(json.dumps({"kind": case_kind(case), **asdict(case)},
+                                 sort_keys=True))
 
 
 def _record_from_dict(cls, data: Dict[str, object]):
@@ -698,6 +748,214 @@ def execute_case(case: AnyCase) -> AnyRecord:
     if isinstance(case, SweepCase):
         return run_case(case)
     raise SweepError(f"unknown sweep case type {type(case).__name__}")
+
+
+def _execute_indexed(item: Tuple[int, AnyCase]) -> Tuple[int, AnyRecord]:
+    """Pool work unit for the streaming runner: keep the case's index with
+    its record so ``imap_unordered`` completions can be re-ordered."""
+    index, case = item
+    return index, execute_case(case)
+
+
+# ----------------------------------------------------------------------
+# Process-local worker state (orders, facades, compiled traces)
+# ----------------------------------------------------------------------
+class _WorkerState:
+    """Caches one sweep worker shares across every case it executes.
+
+    Cases are plain names, so the naive work unit rebuilds every object per
+    case — in particular it recompiles the same algorithm x order
+    :class:`~repro.march.execution.OperationTrace` over and over, because
+    the trace caches inside the facades key on *object identity* and each
+    case used to construct fresh orders and facades.  The worker state
+    fixes both halves: address orders are memoised by (name, geometry), and
+    facades (:class:`TestSession` / :class:`FaultSimulator` /
+    :class:`BistController`) are memoised by their configuration axes with
+    one shared :class:`~repro.march.execution.TraceCache` threaded through,
+    so identities are stable and every compile happens once per worker.
+
+    :meth:`warm` is the pool initializer's pre-warming pass: it memoises
+    the grid's orders and facades and compiles the traces that several
+    pending cases *share* (e.g. a seed sweep repeating one
+    algorithm x order) before the first case arrives.  Traces only one
+    case needs are left to compile lazily on first use — pre-building
+    them in every worker would multiply the compile work by the worker
+    count for zero extra cache hits.  Warming is best-effort: a scenario
+    the engine rejects warms nothing and surfaces its real error during
+    execution.
+    """
+
+    def __init__(self) -> None:
+        #: compiled traces shared by every facade of this worker.
+        self.traces = TraceCache()
+        self._orders: Dict[Tuple[str, int, int, int], object] = {}
+        self._sessions: Dict[Tuple, TestSession] = {}
+        self._simulators: Dict[Tuple, FaultSimulator] = {}
+        self._controllers: Dict[Tuple, BistController] = {}
+
+    # ------------------------------------------------------------------
+    def order_for(self, name: str, geometry: ArrayGeometry):
+        """The memoised :class:`AddressOrder` for ``name`` on ``geometry``."""
+        key = (name, geometry.rows, geometry.columns, geometry.bits_per_word)
+        order = self._orders.get(key)
+        if order is None:
+            order = make_order(name, geometry)
+            self._orders[key] = order
+        return order
+
+    def session_for(self, case: "SweepCase") -> TestSession:
+        """The memoised power-measurement session for ``case``'s axes."""
+        key = (case.rows, case.columns, case.bits_per_word, case.order,
+               case.any_direction, case.backend)
+        session = self._sessions.get(key)
+        if session is None:
+            geometry = case.geometry()
+            session = TestSession(
+                geometry, order=self.order_for(case.order, geometry),
+                any_direction=AddressingDirection(case.any_direction),
+                detailed=False, backend=case.backend)
+            self._sessions[key] = session
+        return session
+
+    def simulator_for(self, case: "CoverageCase") -> FaultSimulator:
+        """The memoised fault simulator for ``case``'s axes."""
+        key = (case.rows, case.columns, case.any_direction, case.backend)
+        simulator = self._simulators.get(key)
+        if simulator is None:
+            simulator = FaultSimulator(
+                case.geometry(),
+                any_direction=AddressingDirection(case.any_direction),
+                backend=case.backend, trace_cache=self.traces)
+            self._simulators[key] = simulator
+        return simulator
+
+    def controller_for(self, case: "PrrCase") -> BistController:
+        """The memoised BIST controller for ``case``'s axes."""
+        key = (case.rows, case.columns, case.bits_per_word, case.backend)
+        controller = self._controllers.get(key)
+        if controller is None:
+            controller = BistController(case.geometry(), backend=case.backend,
+                                        trace_cache=self.traces)
+            self._controllers[key] = controller
+        return controller
+
+    # ------------------------------------------------------------------
+    def warm_case(self, case: AnyCase,
+                  shared: Optional[frozenset] = None) -> None:
+        """Memoise one scenario's facade and compile its (shared) traces.
+
+        With ``shared`` given (the initializer's pass), only traces whose
+        spec appears in it — i.e. traces several pending cases reuse —
+        are compiled eagerly; the rest compile lazily on first use.
+        Without it (a direct call), every trace the case needs is built.
+        """
+        algorithm = get_algorithm(case.algorithm)
+        specs = _trace_warm_specs(case)
+        wanted = specs if shared is None else \
+            [spec for spec in specs if spec in shared]
+        if isinstance(case, CoverageCase):
+            simulator = self.simulator_for(case)
+            for spec, name in zip(specs, case.orders):
+                if spec in wanted:
+                    simulator.trace_for(algorithm,
+                                        self.order_for(name, case.geometry()))
+        elif isinstance(case, PrrCase):
+            controller = self.controller_for(case)
+            if wanted:
+                controller.warm(algorithm)
+        elif isinstance(case, SweepCase):
+            self.session_for(case)  # the engine itself builds lazily
+
+    def warm(self, cases: Sequence[AnyCase]) -> None:
+        """Best-effort pre-warm for a grid: facades for every scenario,
+        eager trace compiles only for specs shared by multiple cases."""
+        counts = Counter(spec for case in cases
+                         for spec in _trace_warm_specs(case))
+        shared = frozenset(spec for spec, count in counts.items()
+                           if count > 1)
+        for case in cases:
+            try:
+                self.warm_case(case, shared)
+            except Exception:
+                # Warming must never kill a worker; a genuinely broken
+                # scenario reports its error when it executes.
+                continue
+
+
+def _trace_warm_specs(case: AnyCase) -> List[Tuple]:
+    """Hashable descriptions of the compiled traces a case will need.
+
+    Two cases with a common spec replay the same
+    :class:`~repro.march.execution.OperationTrace`; the worker pre-warm
+    compiles exactly the specs with multiplicity > 1.  Power cases compile
+    no trace (the vectorized test engine works from the order's coordinate
+    arrays directly), so they contribute none.
+    """
+    if isinstance(case, CoverageCase):
+        return [("coverage", case.algorithm, order, case.rows, case.columns,
+                 case.any_direction)
+                for order in case.orders]
+    if isinstance(case, PrrCase):
+        return [("prr", case.algorithm, case.rows, case.columns,
+                 case.bits_per_word, case.backend)]
+    return []
+
+
+#: The process-local worker state (``None`` until a sweep initializes it).
+_WORKER_STATE: Optional[_WorkerState] = None
+
+
+def _init_worker(cases: Sequence[AnyCase]) -> None:
+    """``multiprocessing.Pool`` initializer: fresh pre-warmed worker state."""
+    global _WORKER_STATE
+    state = _WorkerState()
+    _WORKER_STATE = state
+    state.warm(cases)
+
+
+def _set_worker_state(state: Optional[_WorkerState]) -> None:
+    """Install (or clear) the process-local worker state.
+
+    Sequential runs scope their state to the run — installed before the
+    first case, restored afterwards — so a long-lived process executing
+    many sweeps does not accumulate facades and compiled traces forever;
+    pool workers die with their pool, which bounds theirs naturally.
+    """
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _order_for(name: str, geometry: ArrayGeometry):
+    """Resolve an address order, through the worker state when present."""
+    if _WORKER_STATE is not None:
+        return _WORKER_STATE.order_for(name, geometry)
+    return make_order(name, geometry)
+
+
+def _session_for_case(case: "SweepCase") -> TestSession:
+    """Resolve the session facade, through the worker state when present."""
+    if _WORKER_STATE is not None:
+        return _WORKER_STATE.session_for(case)
+    geometry = case.geometry()
+    return TestSession(geometry, order=make_order(case.order, geometry),
+                       any_direction=AddressingDirection(case.any_direction),
+                       detailed=False, backend=case.backend)
+
+
+def _simulator_for_case(case: "CoverageCase") -> FaultSimulator:
+    """Resolve the fault simulator, through the worker state when present."""
+    if _WORKER_STATE is not None:
+        return _WORKER_STATE.simulator_for(case)
+    return FaultSimulator(case.geometry(),
+                          any_direction=AddressingDirection(case.any_direction),
+                          backend=case.backend)
+
+
+def _controller_for_case(case: "PrrCase") -> BistController:
+    """Resolve the BIST controller, through the worker state when present."""
+    if _WORKER_STATE is not None:
+        return _WORKER_STATE.controller_for(case)
+    return BistController(case.geometry(), backend=case.backend)
 
 
 @dataclass
@@ -851,45 +1109,187 @@ def paper_table1_cases(backend: str = "vectorized") -> List[SweepCase]:
                       backends=(backend,))
 
 
-class SweepRunner:
-    """Executes a list of sweep scenarios, optionally in parallel.
+def shard_cases(cases: Sequence[AnyCase], index: int,
+                total: int) -> List[AnyCase]:
+    """Deterministic round-robin shard ``index`` of ``total`` (1-based).
 
-    Accepts any mix of :class:`SweepCase` and :class:`CoverageCase`
-    scenarios (dispatched through :func:`execute_case`).  ``processes``
-    selects the fan-out: ``1`` (or ``None`` with one case) runs
+    Splitting a grid across machines: shard ``i`` takes cases
+    ``i-1, i-1+total, i-1+2*total, ...`` of the input order.  The shards
+    of one grid are pairwise disjoint, exhaustive (their union is the
+    grid) and deterministic (the same spec always yields the same slice),
+    and round-robin keeps the geometry-major clustering of
+    :func:`sweep_grid` balanced across shards.  Each shard is an ordinary
+    case list — journal and resume apply per shard.
+    """
+    if total < 1:
+        raise SweepError(f"shard count must be >= 1, got {total}")
+    if not 1 <= index <= total:
+        raise SweepError(
+            f"shard index must be in 1..{total} (1-based), got {index}")
+    return list(cases)[index - 1::total]
+
+
+class SweepRunner:
+    """Executes a list of sweep scenarios, streaming and optionally parallel.
+
+    Accepts any mix of :class:`SweepCase`, :class:`CoverageCase` and
+    :class:`PrrCase` scenarios (dispatched through :func:`execute_case`).
+    ``processes`` selects the fan-out: ``None`` (the default) uses one
+    worker per CPU core, clamped to the number of cases; ``1`` runs
     in-process; anything larger maps the cases over a
     ``multiprocessing.Pool`` of that size.  Workers rebuild every object
-    from the case's names, so only plain data crosses process boundaries.
+    from the case's names (only plain data crosses process boundaries) and
+    are pre-warmed by an initializer that compiles the grid's
+    algorithm x order traces into a process-local cache once, instead of
+    once per case.
+
+    Execution streams: completions are consumed as they happen
+    (``imap_unordered``), so progress lines appear live and each finished
+    case is journaled immediately; the returned :class:`SweepResult`
+    restores the stable input order.  ``journal`` names an append-only
+    JSONL file (:class:`repro.sweep.journal.RunJournal`) that makes the
+    campaign resumable: ``run(resume=True)`` reloads it, keeps the
+    already-measured records verbatim and re-executes only the missing
+    cases.
     """
 
     def __init__(self, cases: Sequence[AnyCase],
-                 processes: Optional[int] = None) -> None:
+                 processes: Optional[int] = None,
+                 journal: Union[str, Path, None] = None) -> None:
         if not cases:
             raise SweepError("a sweep needs at least one case")
         if processes is not None and processes < 1:
             raise SweepError(f"processes must be >= 1, got {processes}")
         self.cases = list(cases)
         self.processes = processes
+        self.journal = Path(journal) if journal is not None else None
 
-    def run(self, progress: bool = False) -> SweepResult:
+    # ------------------------------------------------------------------
+    def resolved_processes(self, pending: Optional[int] = None) -> int:
+        """The worker count a run will actually use.
+
+        ``processes=None`` resolves to ``os.cpu_count()``; either way the
+        count is clamped to the number of cases still to execute
+        (``pending``, defaulting to the full grid) — a pool larger than
+        its work list is pure startup cost.
+        """
+        count = len(self.cases) if pending is None else pending
+        workers = self.processes if self.processes is not None \
+            else (os.cpu_count() or 1)
+        return max(1, min(workers, count))
+
+    # ------------------------------------------------------------------
+    def _restore_from_journal(self) -> Dict[int, AnyRecord]:
+        """Load the journal and rebuild one record per completed case.
+
+        Entries must belong to *this* grid: an index outside the case list
+        or a case fingerprint that disagrees with the case at that index
+        means the journal was written for a different grid (or a different
+        shard of it) and resuming would silently mis-assign measurements —
+        that is an error, not a skip.
+        """
+        restored: Dict[int, AnyRecord] = {}
+        for index, entry in RunJournal(self.journal).latest_by_index().items():
+            if not 0 <= index < len(self.cases):
+                raise SweepError(
+                    f"journal {self.journal} records case index {index}, "
+                    f"outside this {len(self.cases)}-case grid; was it "
+                    "written for a different grid or shard?")
+            expected = case_fingerprint(self.cases[index])
+            if entry.case != expected:
+                raise SweepError(
+                    f"journal {self.journal} entry for case {index} does not "
+                    "match this grid; resume requires the journal's original "
+                    "grid and shard")
+            record_cls = _RECORD_KINDS.get(entry.kind)
+            if record_cls is None:
+                raise SweepError(
+                    f"journal {self.journal} contains unknown record kind "
+                    f"{entry.kind!r}")
+            restored[index] = record_cls.from_dict(entry.record)
+        return restored
+
+    def _completions(self, pending: Sequence[Tuple[int, AnyCase]]
+                     ) -> Iterator[Tuple[int, AnyRecord]]:
+        """Yield ``(index, record)`` as cases complete.
+
+        Sequential mode executes in input order in-process (warming the
+        local state first); parallel mode streams ``imap_unordered``
+        completions out of a pre-warmed pool, so the slowest case never
+        gates reporting of the others.
+        """
+        if not pending:
+            return
+        workers = self.resolved_processes(len(pending))
+        cases = [case for _, case in pending]
+        if workers <= 1:
+            state = _WorkerState()
+            state.warm(cases)
+            previous = _WORKER_STATE
+            _set_worker_state(state)
+            try:
+                for index, case in pending:
+                    yield index, execute_case(case)
+            finally:
+                _set_worker_state(previous)
+            return
+        with multiprocessing.get_context().Pool(
+                processes=workers, initializer=_init_worker,
+                initargs=(cases,)) as pool:
+            for index, record in pool.imap_unordered(_execute_indexed,
+                                                     list(pending)):
+                yield index, record
+
+    def run(self, progress: bool = False, resume: bool = False,
+            progress_sink: Optional[Callable[[str], None]] = None
+            ) -> SweepResult:
         """Execute every case and return the collected :class:`SweepResult`.
 
-        With ``progress`` true, a one-line status is printed per completed
-        case (sequential mode) or per chunk (parallel mode).
+        With ``progress`` true, a one-line status is emitted per completed
+        case *as it completes* — live in both sequential and parallel mode
+        — to ``progress_sink`` (default: ``print``).  With ``resume`` true
+        (requires a ``journal``), cases already recorded in the journal are
+        restored verbatim instead of re-executed.  Records are returned in
+        case order regardless of completion order.
         """
-        workers = self.processes or 1
-        workers = min(workers, len(self.cases))
-        if workers <= 1:
-            records = []
-            for case in self.cases:
-                record = execute_case(case)
+        emit = progress_sink if progress_sink is not None else print
+        records: List[Optional[AnyRecord]] = [None] * len(self.cases)
+        if resume:
+            if self.journal is None:
+                raise SweepError(
+                    "resume needs a journal: SweepRunner(..., journal=path)")
+            restored = self._restore_from_journal()
+            for index, record in restored.items():
+                records[index] = record
+            if progress and restored:
+                emit(f"[sweep] resumed {len(restored)} of {len(self.cases)} "
+                     f"cases from {self.journal}")
+        elif self.journal is not None and self.journal.exists() \
+                and self.journal.stat().st_size > 0:
+            # Appending a fresh campaign onto another run's journal would
+            # poison any later resume (stale indices/fingerprints from the
+            # old grid survive last-wins merging) — refuse up front.
+            raise SweepError(
+                f"journal {self.journal} already exists; resume it "
+                "(run(resume=True) / --resume) or remove the file to start "
+                "a fresh campaign")
+        pending = [(index, case) for index, case in enumerate(self.cases)
+                   if records[index] is None]
+        journal = RunJournal(self.journal) if self.journal is not None else None
+        if journal is not None:
+            journal.open()  # an unwritable path must fail before any work
+        try:
+            for index, record in self._completions(pending):
+                records[index] = record
+                if journal is not None:
+                    journal.append(JournalEntry(
+                        case_index=index, kind=_record_kind(record),
+                        case=case_fingerprint(self.cases[index]),
+                        record=record.as_dict()))
                 if progress:
-                    print(f"[sweep] {record.progress_line()}")
-                records.append(record)
-            return SweepResult(records)
-        with multiprocessing.get_context().Pool(processes=workers) as pool:
-            records = pool.map(execute_case, self.cases)
-        if progress:
-            for record in records:
-                print(f"[sweep] {record.progress_line()}")
-        return SweepResult(records)
+                    emit(f"[sweep] {record.progress_line()}")
+        finally:
+            if journal is not None:
+                journal.close()
+        assert all(record is not None for record in records)
+        return SweepResult(list(records))
