@@ -131,6 +131,54 @@ class BistController:
             self._address_order_key = key
         return self._address_order
 
+    def address_order(self):
+        """The :class:`~repro.march.ordering.AddressOrder` of the current
+        generator configuration (one shared instance per configuration, so
+        trace caches keyed by order identity hit across runs)."""
+        return self._current_order()
+
+    def measure_batch(self, requests, collect_errors: bool = True):
+        """Measure several ``(algorithm, low_power)`` runs in one stacked pass.
+
+        The grid-batched campaign seam: every request replays its compiled
+        trace through one trip of the vectorized power campaign's flat
+        kernel (:meth:`repro.engine.power_campaign.VectorizedPowerCampaign
+        .measure_batch`), sharing this controller's background, comparator
+        log limit and trace cache — each returned
+        :class:`BistResult` is bit-identical to what ``run(algorithm,
+        low_power=..., backend="vectorized")`` measures for that request
+        alone.  With ``collect_errors=True`` (the default) a request the
+        bulk replay cannot represent yields its
+        :class:`~repro.engine.EngineError` in its result slot, so the
+        caller can reroute just that run to the reference path.  Unlike
+        :meth:`run`, the controller's comparator and
+        :attr:`last_backend_used` are left untouched.
+
+        This is a vectorized-campaign API: a ``backend="reference"``
+        controller has no bulk kernel to stack and raises
+        :class:`BistError` (measure reference runs one at a time through
+        :meth:`run`); ``"auto"`` and ``"vectorized"`` behave identically
+        here, with per-unit fallback left to the caller via
+        ``collect_errors``.
+        """
+        if self.backend == "reference":
+            raise BistError(
+                "measure_batch stacks runs on the vectorized power "
+                "campaign; this controller is configured for the "
+                "reference backend — use run() per algorithm instead")
+        order = self._current_order()
+        for algorithm, low_power in requests:
+            algorithm.validate()
+            if low_power and not self.address_generator.supports_low_power_mode():
+                raise BistError(
+                    "the low-power test mode requires the word-line-"
+                    "sequential address order; the generator is configured "
+                    f"for {self.address_generator.order}")
+        return self._dispatch.engine.measure_batch(
+            requests, order, background=self.background,
+            log_limit=self.comparator.log_limit,
+            collect_errors=collect_errors)
+
     # ------------------------------------------------------------------
     def build_memory(self, low_power: bool) -> SRAM:
         """A fresh fault-free memory in the requested mode (reference substrate)."""

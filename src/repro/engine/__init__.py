@@ -18,6 +18,11 @@
   activity, comparator outcomes and all five Section 5 power sources in
   closed vector form, for both pre-charge planners (the measured Table 1
   workload).
+* :mod:`repro.engine.grid` — the grid-batched evaluation layer:
+  per-geometry groups of sweep scenarios (all algorithms, orders and both
+  planners) evaluated through one stacked flat-kernel pass sharing one
+  compiled-trace cache, with records bit-identical to the per-case path
+  (the ``strategy="batched"`` seam of :class:`repro.sweep.SweepRunner`).
 
 The engines plug into their session APIs through a ``backend`` switch
 (:class:`repro.core.session.TestSession`,
@@ -45,6 +50,7 @@ _EXPORTS = {
     "VectorizedFaultCampaign": ".fault_campaign",
     "UnsupportedFaultCampaign": ".fault_campaign",
     "VectorizedPowerCampaign": ".power_campaign",
+    "BatchedGridEngine": ".grid",
     # dispatch is numpy-free; resolving these never loads an engine module.
     "EngineError": ".dispatch",
     "BackendDispatcher": ".dispatch",
@@ -66,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
         register_backend_family,
     )
     from .fault_campaign import UnsupportedFaultCampaign, VectorizedFaultCampaign
+    from .grid import BatchedGridEngine
     from .power_campaign import VectorizedPowerCampaign
     from .vectorized import CellStressTotals, UnsupportedConfiguration, VectorizedEngine
 

@@ -349,21 +349,19 @@ class VectorizedFaultCampaign:
                 "(bits_per_word == 1), matching the logical fault simulator")
         self.geometry = geometry
         self.any_direction = any_direction
-        #: rank-in-ascending-sequence array per order (strong ref keeps ids valid).
-        self._ranks: Dict[int, Tuple[AddressOrder, "np.ndarray"]] = {}
 
     # ------------------------------------------------------------------
-    def _rank_for(self, order: AddressOrder) -> "np.ndarray":
-        """``rank[linear_address] = position`` in the ascending sequence."""
-        entry = self._ranks.get(id(order))
-        if entry is not None:
-            return entry[1]
-        rows, words = order.coordinate_arrays()
-        linear = rows * order.geometry.words_per_row + words
-        rank = np.empty(order.geometry.word_count, dtype=np.int64)
-        rank[linear] = np.arange(linear.size, dtype=np.int64)
-        self._ranks[id(order)] = (order, rank)
-        return rank
+    @staticmethod
+    def _rank_for(order: AddressOrder) -> "np.ndarray":
+        """``rank[linear_address] = position`` in the ascending sequence.
+
+        Memoised on the order instance itself
+        (:meth:`~repro.march.ordering.AddressOrder.rank_array`), so every
+        campaign — and every tool sharing that order object, e.g. through
+        the sweep orchestrator's per-worker order memo — pays the
+        inversion once instead of once per engine instance.
+        """
+        return order.rank_array()
 
     def _linear(self, coordinate: Tuple[int, int]) -> int:
         row, word = coordinate

@@ -93,7 +93,7 @@ class VectorizedPowerCampaign:
         if entry is None:
             engine = VectorizedEngine(self.geometry, tech=self.tech, order=order,
                                       any_direction=self.any_direction,
-                                      detailed=False)
+                                      detailed=False, trace_cache=self.traces)
             self._engines[id(order)] = (order, engine)
             return engine
         return entry[1]
@@ -119,14 +119,67 @@ class VectorizedPowerCampaign:
         :class:`~repro.engine.vectorized.UnsupportedConfiguration` when the
         run cannot be replayed in bulk.
         """
-        from ..bist.controller import BistResult  # deferred: avoids an import cycle
-
         trace = self.trace_for(algorithm, order)
         engine = self._engine_for(order)
         mode = (OperatingMode.LOW_POWER_TEST if low_power
                 else OperatingMode.FUNCTIONAL)
         by_source, _, cycles, _ = engine.run_aggregates(
-            algorithm, mode, walks=trace.element_walks())
+            algorithm, mode, trace=trace)
+        return self._assemble_result(
+            engine, algorithm, trace, low_power, (by_source, cycles),
+            background, log_limit)
+
+    def measure_batch(self, requests, order: AddressOrder,
+                      background: Optional[BackgroundFunction] = None,
+                      log_limit: int = 64, collect_errors: bool = False):
+        """Measure a stack of BIST runs in one flat kernel pass.
+
+        ``requests`` is a sequence of ``(algorithm, low_power)`` pairs —
+        e.g. both operating modes of every algorithm of a sweep axis.  All
+        units share one compiled-trace cache and one stacked trip through
+        :meth:`~repro.engine.vectorized.VectorizedEngine.run_aggregates_batch`,
+        and each unit's :class:`~repro.bist.controller.BistResult` is
+        bit-identical to what :meth:`measure` returns for it alone.  With
+        ``collect_errors=True`` an unsupported unit yields its
+        :class:`~repro.engine.vectorized.UnsupportedConfiguration` in its
+        result slot instead of failing the whole batch.
+        """
+        engine = self._engine_for(order)
+        units = []
+        for algorithm, low_power in requests:
+            mode = (OperatingMode.LOW_POWER_TEST if low_power
+                    else OperatingMode.FUNCTIONAL)
+            units.append((algorithm, mode, self.trace_for(algorithm, order)))
+        outcomes = engine.run_aggregates_batch(units,
+                                               collect_errors=collect_errors)
+        results = []
+        for (algorithm, low_power), (_, _, trace), outcome in zip(
+                requests, units, outcomes):
+            if isinstance(outcome, Exception):
+                results.append(outcome)
+                continue
+            by_source, _, cycles, _ = outcome
+            results.append(self._assemble_result(
+                engine, algorithm, trace, low_power, (by_source, cycles),
+                background, log_limit))
+        return results
+
+    def _assemble_result(self, engine: VectorizedEngine,
+                         algorithm: MarchAlgorithm, trace: OperationTrace,
+                         low_power: bool, aggregates,
+                         background: Optional[BackgroundFunction],
+                         log_limit: int) -> "BistResult":
+        """Build the :class:`BistResult` of one measured unit.
+
+        Shared verbatim by :meth:`measure` and :meth:`measure_batch`, so
+        the two paths cannot drift in how they derive comparator verdicts
+        or energy ledgers from the raw aggregates.
+        """
+        from ..bist.controller import BistResult  # deferred: avoids an import cycle
+
+        by_source, cycles = aggregates
+        mode = (OperatingMode.LOW_POWER_TEST if low_power
+                else OperatingMode.FUNCTIONAL)
         failures, failure_log = self.comparator_outcomes(
             trace, background, log_limit=log_limit)
         ledger = EnergyLedger.from_aggregates(

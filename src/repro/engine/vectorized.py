@@ -39,7 +39,12 @@ from ..circuit.technology import TechnologyParameters, default_technology
 from ..core.lowpower import traversal_neighbour_delta
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection, MarchElement
-from ..march.execution import resolve_direction
+from ..march.execution import (
+    OperationTrace,
+    SegmentWalk,
+    TraceCache,
+    resolve_direction,
+)
 from ..march.ordering import AddressOrder, RowMajorOrder
 from ..power.accounting import EnergyLedger
 from ..power.model import PowerModel
@@ -76,6 +81,56 @@ def _require_numpy() -> None:
             "the vectorized backend requires numpy; install numpy or use "
             "backend='reference'"
         )
+
+
+#: Execution kernels of the vectorized backend.  ``"flat"`` (the default)
+#: evaluates the whole run as flat NumPy reductions over the compiled
+#: segment structure (:meth:`repro.march.execution.OperationTrace.segment_walk`)
+#: with closed-form decay sums — no per-row/per-segment Python loop on the
+#: hot path.  ``"segmented"`` is the original one-row-segment-at-a-time
+#: evaluation, retained as the differential oracle for the flat kernel and
+#: as the measured baseline of the grid benchmarks.
+KERNELS = ("flat", "segmented")
+
+#: Process-wide default kernel; see :func:`default_kernel`.
+_DEFAULT_KERNEL = "flat"
+
+
+class default_kernel:
+    """Context manager pinning the process-wide default execution kernel.
+
+    Benchmarks use this to measure the pre-flat-kernel baseline end to end
+    (facades construct their engines internally, so a constructor argument
+    cannot reach them)::
+
+        with default_kernel("segmented"):
+            SweepRunner(cases, strategy="percase").run()
+    """
+
+    def __init__(self, kernel: str) -> None:
+        if kernel not in KERNELS:
+            raise EngineError(f"unknown kernel {kernel!r}; expected one of {KERNELS}")
+        self.kernel = kernel
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "default_kernel":
+        global _DEFAULT_KERNEL
+        self._previous = _DEFAULT_KERNEL
+        _DEFAULT_KERNEL = self.kernel
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _DEFAULT_KERNEL
+        _DEFAULT_KERNEL = self._previous
+
+
+#: Segments evaluated per flat-kernel tile; bounds the size of the
+#: per-segment temporaries on degenerate orders (column-major visits one
+#: word per segment, so a 4096 x 4096 campaign holds ~100 M segments).
+#: Tiles are unit-local — chunk boundaries depend only on the run itself —
+#: so results are bit-identical whether a run is evaluated alone or
+#: stacked into a grid batch.
+DEFAULT_SEGMENT_CHUNK = 1 << 19
 
 
 @dataclass(frozen=True)
@@ -127,8 +182,14 @@ class VectorizedEngine:
                  tech: TechnologyParameters | None = None,
                  order: Optional[AddressOrder] = None,
                  any_direction: AddressingDirection = AddressingDirection.UP,
-                 detailed: Optional[bool] = None) -> None:
+                 detailed: Optional[bool] = None,
+                 trace_cache: Optional[TraceCache] = None,
+                 kernel: Optional[str] = None,
+                 segment_chunk: Optional[int] = None) -> None:
         _require_numpy()
+        if kernel is not None and kernel not in KERNELS:
+            raise EngineError(
+                f"unknown kernel {kernel!r}; expected one of {KERNELS}")
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.order = order or RowMajorOrder(geometry)
@@ -136,6 +197,16 @@ class VectorizedEngine:
         self.clock = ClockCycle.from_technology(self.tech)
         detailed_default = geometry.cell_count <= SRAM.DETAILED_CELL_LIMIT
         self.track_cell_stress = detailed_default if detailed is None else detailed
+        #: execution kernel; ``None`` follows the process default
+        #: (see :class:`default_kernel`).
+        self.kernel = kernel
+        #: flat-kernel tile size (segments per tile, unit-local).
+        self.segment_chunk = segment_chunk or DEFAULT_SEGMENT_CHUNK
+        #: compiled traces of this engine's own runs (shared when the
+        #: caller passes one, e.g. the batched grid engine or a facade
+        #: that already owns a cache) — the walks and segment structure a
+        #: run needs are memoised here instead of being re-derived per run.
+        self.traces = trace_cache if trace_cache is not None else TraceCache()
         self._tau = self.tech.floating_discharge_tau(geometry.rows)
         self._k = self._derive_constants()
         #: Per-cell stress totals of the most recent :meth:`run` (``None``
@@ -207,16 +278,32 @@ class VectorizedEngine:
         aggregate reductions.  Raises :class:`UnsupportedConfiguration` when
         the run cannot be replayed in bulk.
         """
+        by_source, counters, cycles, _ = self.run_aggregates(algorithm, mode)
+        return self.result_from_aggregates(algorithm, mode, by_source,
+                                           counters, cycles)
+
+    def result_from_aggregates(self, algorithm: MarchAlgorithm,
+                               mode: OperatingMode, by_source, counters,
+                               cycles: int,
+                               order_name: Optional[str] = None
+                               ) -> "TestRunResult":
+        """Assemble the session-shaped result of one measured run.
+
+        Shared by :meth:`run` and the batched grid engine, which measures
+        aggregates for a whole sweep axis in one stacked pass and then
+        assembles each case's result identically to the per-case path.
+        ``order_name`` overrides the engine's own order label when the
+        aggregates were measured over an explicitly supplied trace.
+        """
         from ..core.session import TestRunResult  # deferred: avoids an import cycle
 
-        by_source, counters, cycles, _ = self.run_aggregates(algorithm, mode)
         label = f"{algorithm.name} [{mode.value}] (vectorized)"
         ledger = EnergyLedger.from_aggregates(
             self.clock.period, by_source, cycles=cycles, label=label)
         return TestRunResult(
             algorithm=algorithm.name,
             mode=mode.value,
-            order=self.order.name,
+            order=order_name if order_name is not None else self.order.name,
             geometry=self.geometry.describe(),
             cycles=cycles,
             total_energy=ledger.total_energy(),
@@ -231,29 +318,108 @@ class VectorizedEngine:
             floating_column_cycles=counters["floating_column_cycles"],
         )
 
+    def resolved_kernel(self, kernel: Optional[str] = None) -> str:
+        """The execution kernel a run will use (explicit > engine > default)."""
+        chosen = kernel if kernel is not None else self.kernel
+        chosen = chosen if chosen is not None else _DEFAULT_KERNEL
+        if chosen not in KERNELS:
+            raise EngineError(
+                f"unknown kernel {chosen!r}; expected one of {KERNELS}")
+        return chosen
+
+    def trace_for(self, algorithm: MarchAlgorithm) -> OperationTrace:
+        """The memoised compiled trace of ``algorithm`` over this engine's
+        order — walks and segment structure compile once per (algorithm,
+        order, direction) and are shared by every run and both modes."""
+        return self.traces.get(algorithm, self.order, self.any_direction)
+
     def run_aggregates(self, algorithm: MarchAlgorithm, mode: OperatingMode,
-                       walks=None):
+                       walks=None, trace: Optional[OperationTrace] = None,
+                       kernel: Optional[str] = None):
         """Measure one run and return raw ``(by_source, counters, cycles, stress)``.
 
         The aggregate core behind :meth:`run`, also consumed by
         :class:`repro.engine.power_campaign.VectorizedPowerCampaign` (which
-        assembles BIST results instead of session results).  ``walks``
-        optionally supplies the per-element ``(direction, rows, words)``
-        coordinate arrays — e.g. a compiled trace's
-        :meth:`repro.march.execution.OperationTrace.element_walks` — instead
-        of deriving them from the engine's own address order; the arrays
-        must describe the same traversal the order would produce.
+        assembles BIST results instead of session results).  ``trace``
+        optionally supplies the compiled
+        :class:`~repro.march.execution.OperationTrace` to replay (it must
+        describe this engine's traversal); by default the engine compiles
+        and memoises its own.  ``walks`` is the legacy hook for raw
+        per-element ``(direction, rows, words)`` coordinate arrays and
+        forces the segmented kernel (the flat kernel needs the compiled
+        segment structure a bare walk list does not carry).  ``kernel``
+        overrides the engine's execution kernel for this run.
         """
         algorithm.validate()
-        if walks is None:
-            walks = [self._element_walk(element) for element in algorithm.elements]
-        if mode is OperatingMode.LOW_POWER_TEST:
-            by_source, counters, cycles, stress = self._run_low_power(algorithm, walks)
+        chosen = self.resolved_kernel(kernel)
+        if walks is not None and trace is None:
+            chosen = "segmented"
+        if chosen == "flat":
+            if trace is None:
+                trace = self.trace_for(algorithm)
+            result = self.run_aggregates_batch([(algorithm, mode, trace)])[0]
+            by_source, counters, cycles, stress = result
         else:
-            by_source, counters, cycles, stress = self._run_functional(algorithm, walks)
+            if walks is None:
+                if trace is not None:
+                    walks = trace.element_walks()
+                else:
+                    walks = [self._element_walk(element)
+                             for element in algorithm.elements]
+            if mode is OperatingMode.LOW_POWER_TEST:
+                by_source, counters, cycles, stress = \
+                    self._run_low_power(algorithm, walks)
+            else:
+                by_source, counters, cycles, stress = \
+                    self._run_functional(algorithm, walks)
         self.last_stress = stress
         self.last_counters = counters
         return by_source, counters, cycles, stress
+
+    def run_aggregates_batch(self, requests, collect_errors: bool = False):
+        """Measure a stack of runs in one flat pass over shared structures.
+
+        ``requests`` is a sequence of ``(algorithm, mode, trace)`` units —
+        any mix of algorithms, operating modes and (same-geometry) address
+        orders; ``trace`` may be ``None`` to use the engine's own memoised
+        trace.  All low-power units are evaluated together: their compiled
+        segment arrays are concatenated and reduced per (unit, element)
+        slot in a single stacked NumPy pass, so a whole sweep axis shares
+        one trip through the kernel.  Per-slot reductions are sequential
+        within each slot's own segments, which makes every unit's result
+        **bit-identical** to running it alone — the property the batched
+        sweep strategy relies on.
+
+        Returns one ``(by_source, counters, cycles, stress)`` tuple per
+        request, in order.  A unit the exact replay cannot represent
+        raises :class:`UnsupportedConfiguration` — or, with
+        ``collect_errors=True``, yields the exception instance in its
+        result slot so a grid driver can reroute just that unit to a
+        fallback backend.
+        """
+        prepared = []
+        for algorithm, mode, trace in requests:
+            algorithm.validate()
+            if trace is None:
+                trace = self.trace_for(algorithm)
+            prepared.append((algorithm, mode, trace))
+
+        results: List[object] = [None] * len(prepared)
+        low_power_units = []
+        for index, (algorithm, mode, trace) in enumerate(prepared):
+            if mode is OperatingMode.LOW_POWER_TEST:
+                low_power_units.append(index)
+            else:
+                # Functional mode has no support constraints: every
+                # traversal replays exactly, so nothing to collect here.
+                results[index] = self._functional_flat(algorithm, trace)
+        if low_power_units:
+            units = [prepared[index] for index in low_power_units]
+            for index, outcome in zip(low_power_units,
+                                      self._low_power_flat(units,
+                                                           collect_errors)):
+                results[index] = outcome
+        return results
 
     def compare_modes(self, algorithm: MarchAlgorithm) -> "ModeComparison":
         """Vectorized functional vs. low-power comparison (the PRR measurement)."""
@@ -515,6 +681,430 @@ class VectorizedEngine:
                 writes_per_cell=algorithm.write_count,
             )
         return by_source, counters, cycle, stress
+
+    # ------------------------------------------------------------------
+    # Flat kernel: whole-run NumPy reductions over the compiled segments
+    # ------------------------------------------------------------------
+    def _functional_flat(self, algorithm: MarchAlgorithm,
+                         trace: OperationTrace):
+        """Functional mode from the compiled segment structure alone.
+
+        Same per-element closed forms as :meth:`_run_functional`, but the
+        only sequence-dependent quantity — word-line recharges at row
+        transitions — now comes from the memoised segment counts instead
+        of an O(accesses) diff per element per run, so a functional
+        measurement costs O(elements) once the trace is compiled.
+        """
+        segwalk = trace.segment_walk()
+        geo, k = self.geometry, self._k
+        bits = geo.bits_per_word
+        per_access_decode = k.row_decode + k.col_decode
+        unselected = geo.columns - bits
+
+        by_source: Dict[PowerSource, float] = {}
+        counters = {"row_transitions": 0, "full_restores": 0,
+                    "full_res_column_cycles": 0, "floating_column_cycles": 0,
+                    "partial_res_column_cycles": 0}
+        track = self.track_cell_stress and geo.columns <= 128
+        stress_uniform = 0
+        prev_row: Optional[int] = None
+        cycles = 0
+
+        for element, compiled, (lo, hi) in zip(
+                algorithm.elements, trace.elements, segwalk.element_slices):
+            n_addr = len(compiled.coordinates)
+            ops = element.operation_count
+            n_access = n_addr * ops
+
+            self._add(by_source, PowerSource.OPERATION_READ,
+                      n_addr * element.read_count
+                      * (per_access_decode + bits * k.read_col))
+            self._add(by_source, PowerSource.OPERATION_WRITE,
+                      n_addr * element.write_count
+                      * (per_access_decode + bits * k.write_col))
+
+            changes = (hi - lo) - 1
+            first_row = int(segwalk.row[lo])
+            new_row_at_boundary = prev_row is None or first_row != prev_row
+            counters["row_transitions"] += changes
+            if new_row_at_boundary and prev_row is not None:
+                counters["row_transitions"] += 1
+            recharges = changes + (1 if new_row_at_boundary else 0)
+            wl_source = (PowerSource.OPERATION_READ if element.operations[0].is_read
+                         else PowerSource.OPERATION_WRITE)
+            self._add(by_source, wl_source, recharges * k.wordline)
+            prev_row = int(segwalk.row[hi - 1])
+
+            res_energy = n_access * unselected * k.res_per_column
+            self._add(by_source, PowerSource.PRECHARGE_UNSELECTED, res_energy)
+            self._add(by_source, PowerSource.CELL_RES, res_energy * CELL_RES_RATIO)
+            counters["full_res_column_cycles"] += n_access * unselected
+
+            self._add(by_source, PowerSource.LEAKAGE, n_access * k.leakage)
+            if track:
+                stress_uniform += ops * (geo.words_per_row - 1)
+            cycles += n_access
+
+        stress = None
+        if self.track_cell_stress:
+            shape = (geo.rows, geo.words_per_row)
+            full = np.zeros(shape, dtype=np.int64)
+            if track:
+                full += stress_uniform
+            stress = CellStressTotals(
+                full_res=full,
+                partial_res=np.zeros(shape, dtype=np.int64),
+                reads_per_cell=algorithm.read_count,
+                writes_per_cell=algorithm.write_count,
+            )
+        return by_source, counters, cycles, stress
+
+    def _walk_chains(self, trace: OperationTrace, segwalk: SegmentWalk,
+                     walks, stress_partial):
+        """Evaluate the state-dependent parts of the carried-over chains.
+
+        Chains — runs of segments joined by a skipped end-of-row
+        restoration, which only happens when an element boundary stays on
+        one word line — are the one place where floating-column state
+        crosses a segment, so their decayed-recharge energies cannot be
+        closed-form per segment.  There are at most ``element_count - 1``
+        of them per run; this walker replays just those segments with the
+        exact per-segment state machine.  Returns the ordered
+        ``(source, energy)`` additions and the chains' partial-RES cycle
+        count; raises :class:`UnsupportedConfiguration` when a chain
+        selects a word whose bit lines are floating.  All
+        state-independent quantities of chain segments (operation/RES
+        energies, word-line and control events, counters) are covered by
+        the flat pass and deliberately not re-counted here.
+        """
+        adds: List[Tuple[PowerSource, float]] = []
+        partial_res_cycles = 0
+        if not segwalk.chains:
+            return adds, partial_res_cycles
+        geo = self.geometry
+        bits = geo.bits_per_word
+        n_words = geo.words_per_row
+        track = stress_partial is not None
+
+        for lo, hi in segwalk.chains:
+            float_start = np.full(n_words, -1, dtype=np.int64)
+            for index in range(lo, hi):
+                element = int(segwalk.element[index])
+                ops = trace.elements[element].operation_count
+                delta = segwalk.deltas[element]
+                start = int(segwalk.start[index])
+                m = int(segwalk.length[index])
+                seg = walks[element][2][start:start + m]
+                row = int(segwalk.row[index])
+                base = int(segwalk.base_cycle[index])
+
+                first_word = int(seg[0])
+                if float_start[first_word] >= 0:
+                    raise UnsupportedConfiguration(
+                        "selected word's bit lines are floating at selection "
+                        "time; use the reference backend")
+                neighbours = seg + delta
+                valid = (neighbours >= 0) & (neighbours < n_words)
+
+                newly = float_start < 0
+                newly[first_word] = False
+                if bool(valid[0]):
+                    newly[int(neighbours[0])] = False
+                n_newly = int(np.count_nonzero(newly))
+                partial_res_cycles += (n_newly + (m - 1)) * bits
+                if track:
+                    stress_partial[row][newly] += 1
+                float_start[newly] = base
+
+                enabled_words = neighbours[valid]
+                if enabled_words.size:
+                    visit_cycles = base + np.flatnonzero(valid) * ops
+                    floated = float_start[enabled_words]
+                    floating = floated >= 0
+                    if np.any(floating):
+                        adds.append((PowerSource.PRECHARGE_UNSELECTED,
+                                     self._decayed_restore_energy(
+                                         visit_cycles[floating]
+                                         - floated[floating])))
+
+                if m > 1:
+                    float_start[seg[:-1]] = base + np.arange(1, m) * ops
+                float_start[int(seg[-1])] = -1
+                if bool(valid[-1]):
+                    float_start[int(neighbours[-1])] = -1
+
+                if bool(segwalk.restore[index]):
+                    last_cycle = base + m * ops - 1
+                    floating = float_start >= 0
+                    if np.any(floating):
+                        adds.append((PowerSource.ROW_TRANSITION_RESTORE,
+                                     self._decayed_restore_energy(
+                                         last_cycle - float_start[floating])))
+                        float_start[floating] = -1
+        return adds, partial_res_cycles
+
+    def _low_power_flat(self, units, collect_errors: bool = False):
+        """Low-power test mode for a stack of units in one flat pass.
+
+        Every quantity of :meth:`_run_low_power` re-derived as per-segment
+        closed forms over the compiled segment arrays: the within-segment
+        decayed-recharge and end-of-row restoration sums are geometric
+        series in ``exp(-ops * T / tau)``, so no per-word or per-segment
+        Python iteration remains — only the rare carried-over chains walk
+        (:meth:`_walk_chains`).  Per-(unit, element) slot reductions use
+        ``np.bincount``, whose per-bin sums run sequentially over that
+        slot's own segments: a unit's result is bit-identical whether it
+        is evaluated alone or stacked with an entire grid, and tiles
+        (:attr:`segment_chunk`) are unit-local so chunking preserves the
+        same property on degenerate segment-per-access orders.
+        """
+        geo, k = self.geometry, self._k
+        bits = geo.bits_per_word
+        n_words = geo.words_per_row
+        unselected_bits = geo.columns - bits
+        per_access_decode = k.row_decode + k.col_decode
+        ratio = self.clock.period / self._tau     # per-cycle decay exponent
+        boundary_gain = float(np.exp(ratio))      # the "-1 cycle" correction
+        coeff = k.restore_coeff * bits
+        track = self.track_cell_stress
+
+        outcomes: List[object] = [None] * len(units)
+        active = []
+        for position, (algorithm, _, trace) in enumerate(units):
+            try:
+                segwalk = trace.segment_walk()
+                if not all(segwalk.neighbour_ok):
+                    raise UnsupportedConfiguration(
+                        f"order {trace.order.name!r} does not follow the "
+                        "pre-charged traversal neighbour within a row; use "
+                        "the reference backend")
+                walks = trace.element_walks()
+                stress_partial = stress_full = None
+                if track:
+                    shape = (geo.rows, n_words)
+                    stress_full = np.zeros(shape, dtype=np.int64)
+                    stress_partial = np.zeros(shape, dtype=np.int64)
+                chain_adds, chain_prc = self._walk_chains(
+                    trace, segwalk, walks, stress_partial)
+            except EngineError as error:
+                if not collect_errors:
+                    raise
+                outcomes[position] = error
+                continue
+            active.append({
+                "position": position, "algorithm": algorithm, "trace": trace,
+                "segwalk": segwalk, "walks": walks,
+                "stress_full": stress_full, "stress_partial": stress_partial,
+                "chain_adds": chain_adds, "chain_prc": chain_prc,
+            })
+        if not active:
+            return outcomes
+
+        # ---- per-slot constants (slot = one element of one unit) -------
+        slot_ops: List[int] = []
+        slot_delta: List[int] = []
+        for unit in active:
+            unit["offset"] = len(slot_ops)
+            trace = unit["trace"]
+            for element_index, element in enumerate(trace.elements):
+                slot_ops.append(element.operation_count)
+                slot_delta.append(unit["segwalk"].deltas[element_index])
+        total_slots = len(slot_ops)
+        ops_arr = np.asarray(slot_ops, dtype=np.int64)
+        delta_arr = np.asarray(slot_delta, dtype=np.int64)
+        x_arr = ops_arr * ratio                   # decay exponent per slot
+
+        # ---- stacked per-segment pass ---------------------------------
+        wl_count = np.zeros(total_slots, dtype=np.int64)
+        enabled_sum = np.zeros(total_slots, dtype=np.int64)
+        prc_flat = np.zeros(total_slots, dtype=np.int64)
+        recharge = np.zeros(total_slots, dtype=np.float64)
+        restore_energy = np.zeros(total_slots, dtype=np.float64)
+
+        def reduce_piece(unit, lo, hi):
+            """Accumulate one unit-local tile of segments into the slots."""
+            segwalk = unit["segwalk"]
+            slots = unit["offset"] + segwalk.element[lo:hi]
+            m = segwalk.length[lo:hi]
+            first = segwalk.first_word[lo:hi]
+            last = segwalk.last_word[lo:hi]
+            carry = segwalk.carry_in[lo:hi]
+            chained = segwalk.in_chain[lo:hi]
+            ops_seg = ops_arr[slots]
+            delta_seg = delta_arr[slots]
+            x = x_arr[slots]
+
+            out_word = last + delta_seg
+            valid_out = ((out_word >= 0) & (out_word < n_words)).astype(np.int64)
+            first_neighbour = first + delta_seg
+            valid_first = ((first_neighbour >= 0)
+                           & (first_neighbour < n_words)).astype(np.int64)
+            enabled = (m - 1) + valid_out
+
+            wl_count[:] += np.bincount(slots, weights=~carry,
+                                       minlength=total_slots).astype(np.int64)
+            enabled_sum[:] += np.bincount(slots, weights=enabled,
+                                          minlength=total_slots).astype(np.int64)
+
+            # State-dependent closed forms apply to chain-free segments
+            # only (they start from the all-attached state and restore).
+            free = ~chained
+            if not np.any(free):
+                return
+            slots_f = slots[free]
+            m_f = m[free]
+            x_f = x[free]
+            n_newly = n_words - 1 - valid_first[free]
+            prc_flat[:] += np.bincount(
+                slots_f, weights=(n_newly + (m_f - 1)) * bits,
+                minlength=total_slots).astype(np.int64)
+
+            # Within-segment neighbour recharges: the neighbour of visit j
+            # (j >= 1) floated at the segment's first cycle, so the decay
+            # sum over j = 1..J is a geometric series in q = exp(-ops*T/tau).
+            decay_unit = -np.expm1(-x_f)          # 1 - q, per segment
+            series_j = np.where(m_f >= 2, m_f - 2 + valid_out[free], 0)
+            series = (series_j
+                      - np.exp(-x_f) * -np.expm1(-series_j * x_f) / decay_unit)
+            recharge[:] += np.bincount(slots_f, weights=coeff * series,
+                                       minlength=total_slots)
+
+            # End-of-row restoration: visited words refloated one visit
+            # after their own selection (elapsed t*ops - 1 for t=1..m-1)
+            # plus the never-visited words floating since the first cycle.
+            visited = ((m_f - 1)
+                       - boundary_gain * np.exp(-x_f)
+                       * -np.expm1(-(m_f - 1) * x_f) / decay_unit)
+            untouched = ((n_words - m_f - valid_out[free])
+                         * -(boundary_gain * np.exp(-m_f * x_f) - 1.0))
+            restore_energy[:] += np.bincount(
+                slots_f, weights=coeff * (visited + untouched),
+                minlength=total_slots)
+
+        chunk = max(1, int(self.segment_chunk))
+        for unit in active:
+            total = unit["segwalk"].segment_count
+            for lo in range(0, total, chunk):
+                reduce_piece(unit, lo, min(lo + chunk, total))
+
+        # ---- per-unit assembly ----------------------------------------
+        for unit in active:
+            algorithm = unit["algorithm"]
+            trace = unit["trace"]
+            segwalk = unit["segwalk"]
+            offset = unit["offset"]
+            by_source: Dict[PowerSource, float] = {}
+            counters = {"row_transitions": 0, "full_restores": 0,
+                        "full_res_column_cycles": 0,
+                        "floating_column_cycles": 0}
+
+            carry = segwalk.carry_in
+            counters["row_transitions"] = int(np.count_nonzero(~carry[1:]))
+            restores = int(np.count_nonzero(segwalk.restore))
+            counters["full_restores"] = restores
+            # Control elements switch on every within-segment word change
+            # plus every segment boundary that lands on a different word
+            # (and once for the very first cycle of the run).
+            visits = sum(len(element.coordinates)
+                         for element in trace.elements)
+            control_events = (visits - segwalk.segment_count) + 1
+            if segwalk.segment_count > 1:
+                control_events += int(np.count_nonzero(
+                    segwalk.first_word[1:] != segwalk.last_word[:-1]))
+
+            for element, compiled in zip(algorithm.elements, trace.elements):
+                slot = offset + compiled.index
+                ops = compiled.operation_count
+                n_addr = len(compiled.coordinates)
+                wl_source = (PowerSource.OPERATION_READ
+                             if element.operations[0].is_read
+                             else PowerSource.OPERATION_WRITE)
+                self._add(by_source, PowerSource.OPERATION_READ,
+                          n_addr * element.read_count
+                          * (per_access_decode + bits * k.read_col))
+                self._add(by_source, PowerSource.OPERATION_WRITE,
+                          n_addr * element.write_count
+                          * (per_access_decode + bits * k.write_col))
+                self._add(by_source, wl_source, int(wl_count[slot]) * k.wordline)
+                sustain = int(enabled_sum[slot]) * ops * bits * k.res_per_column
+                self._add(by_source, PowerSource.PRECHARGE_UNSELECTED, sustain)
+                self._add(by_source, PowerSource.CELL_RES,
+                          sustain * CELL_RES_RATIO)
+                self._add(by_source, PowerSource.LEAKAGE,
+                          n_addr * ops * k.leakage)
+                self._add(by_source, PowerSource.PRECHARGE_UNSELECTED,
+                          float(recharge[slot]))
+                self._add(by_source, PowerSource.ROW_TRANSITION_RESTORE,
+                          float(restore_energy[slot]))
+                counters["full_res_column_cycles"] += \
+                    int(enabled_sum[slot]) * ops * bits
+                counters["floating_column_cycles"] += ops * (
+                    n_addr * unselected_bits - int(enabled_sum[slot]) * bits)
+
+            for source, energy in unit["chain_adds"]:
+                self._add(by_source, source, energy)
+            self._add(by_source, PowerSource.CONTROL_LOGIC,
+                      control_events * k.control_element)
+            self._add(by_source, PowerSource.LPTEST_DRIVER,
+                      restores * k.lptest_line)
+            counters["partial_res_column_cycles"] = (
+                int(np.sum(prc_flat[offset:offset + len(trace.elements)]))
+                + unit["chain_prc"])
+
+            stress = None
+            if track:
+                self._flat_stress(unit, delta_arr)
+                stress = CellStressTotals(
+                    full_res=unit["stress_full"],
+                    partial_res=unit["stress_partial"],
+                    reads_per_cell=algorithm.read_count,
+                    writes_per_cell=algorithm.write_count,
+                )
+            outcomes[unit["position"]] = (
+                by_source, counters, trace.step_count, stress)
+        return outcomes
+
+    def _flat_stress(self, unit, delta_arr) -> None:
+        """Accumulate the per-cell RES stress of one unit, flat.
+
+        State-independent parts (the pre-charged neighbour's full RES, the
+        refloat of every visited-but-last word) run over the whole visit
+        arrays; the newly-floating mask of chain-free segments is the
+        segment's whole row minus the selected word and its held
+        neighbour.  Chain segments' newly-floating words were already
+        added by :meth:`_walk_chains`.
+        """
+        geo = self.geometry
+        n_words = geo.words_per_row
+        trace = unit["trace"]
+        segwalk = unit["segwalk"]
+        walks = unit["walks"]
+        stress_full = unit["stress_full"]
+        stress_partial = unit["stress_partial"]
+
+        for element, (lo, hi) in zip(trace.elements, segwalk.element_slices):
+            _, rows, words = walks[element.index]
+            delta = segwalk.deltas[element.index]
+            neighbours = words + delta
+            valid = (neighbours >= 0) & (neighbours < n_words)
+            if np.any(valid):
+                np.add.at(stress_full, (rows[valid], neighbours[valid]),
+                          element.operation_count)
+            not_last = np.ones(rows.size, dtype=bool)
+            not_last[segwalk.start[lo:hi] + segwalk.length[lo:hi] - 1] = False
+            if np.any(not_last):
+                np.add.at(stress_partial, (rows[not_last], words[not_last]), 1)
+
+        free = ~segwalk.in_chain
+        rows_free = segwalk.row[free]
+        stress_partial += np.bincount(
+            rows_free, minlength=geo.rows).astype(np.int64)[:, None]
+        np.add.at(stress_partial, (rows_free, segwalk.first_word[free]), -1)
+        delta_seg = delta_arr[unit["offset"] + segwalk.element]
+        held = segwalk.first_word + delta_seg
+        held_free = free & (held >= 0) & (held < n_words)
+        np.add.at(stress_partial,
+                  (segwalk.row[held_free], held[held_free]), -1)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -17,13 +17,66 @@ fault-simulation backends, so they cannot drift apart on what a run *is*).
 
 from __future__ import annotations
 
+from collections.abc import Sequence as SequenceABC
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .algorithm import MarchAlgorithm
 from .element import AddressingDirection, MarchElement
 from .operations import MarchOperation
 from .ordering import AddressOrder
+
+
+class LazyCoordinates(SequenceABC):
+    """A traversal's coordinate list, materialised on first element access.
+
+    Compiling a trace used to walk the address order position by position
+    to build the Python ``(row, word)`` list — the single most expensive
+    step of a paper-scale vectorized campaign, even though that backend
+    only ever consumes the *numpy* coordinate arrays.  This sequence keeps
+    the list's interface (length, iteration, indexing, equality against
+    plain lists) but defers building the tuples until a scalar consumer —
+    the reference backend's replay — actually touches them.  ``len`` never
+    materialises.  The descending instance reuses the ascending list
+    reversed, preserving the one-expansion-per-direction sharing.
+    """
+
+    def __init__(self, order: AddressOrder, ascending: bool = True,
+                 source: Optional["LazyCoordinates"] = None) -> None:
+        self._order = order
+        self._ascending = ascending
+        self._source = source
+        self._items: Optional[List[Tuple[int, int]]] = None
+
+    def _materialised(self) -> List[Tuple[int, int]]:
+        if self._items is None:
+            if self._source is not None:
+                self._items = self._source._materialised()[::-1]
+            else:
+                self._items = self._order.sequence(ascending=self._ascending)
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index):
+        return self._materialised()[index]
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._materialised())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, LazyCoordinates):
+            return self._materialised() == other._materialised()
+        if isinstance(other, list):
+            return self._materialised() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        state = "materialised" if self._items is not None else "lazy"
+        direction = "ascending" if self._ascending else "descending"
+        return (f"LazyCoordinates({self._order.name!r}, {direction}, "
+                f"{len(self)} coordinates, {state})")
 
 
 @dataclass(frozen=True)
@@ -162,7 +215,7 @@ class TraceElement:
     index: int
     direction: AddressingDirection
     operations: Tuple[MarchOperation, ...]
-    coordinates: List[Tuple[int, int]]
+    coordinates: Sequence  # List[Tuple[int, int]] or LazyCoordinates
     base_step: int
 
     @property
@@ -196,8 +249,8 @@ class OperationTrace:
         self.algorithm = algorithm
         self.order = order
         self.any_direction = any_direction
-        ascending = order.sequence(ascending=True)
-        descending: Optional[List[Tuple[int, int]]] = None
+        ascending: Sequence = LazyCoordinates(order, ascending=True)
+        descending: Optional[Sequence] = None
         elements: List[TraceElement] = []
         base = 0
         for index, element in enumerate(algorithm.elements):
@@ -206,7 +259,8 @@ class OperationTrace:
                 coordinates = ascending
             else:
                 if descending is None:
-                    descending = ascending[::-1]
+                    descending = LazyCoordinates(order, ascending=False,
+                                                 source=ascending)
                 coordinates = descending
             compiled = TraceElement(index=index, direction=direction,
                                     operations=element.operations,
@@ -218,6 +272,7 @@ class OperationTrace:
         #: total primitive accesses of one run.
         self.step_count: int = base
         self._walks: Optional[List[Tuple[AddressingDirection, object, object]]] = None
+        self._segment_walk: Optional["SegmentWalk"] = None
 
     # ------------------------------------------------------------------
     def element_walks(self):
@@ -245,6 +300,26 @@ class OperationTrace:
                 walks.append((element.direction, rows, words))
             self._walks = walks
         return self._walks
+
+    # ------------------------------------------------------------------
+    def segment_walk(self) -> "SegmentWalk":
+        """The run's compiled row-segment structure (cached, numpy).
+
+        The flat execution kernel (:mod:`repro.engine.vectorized`) works
+        over *segments* — maximal runs of consecutive accesses on one word
+        line within one element — instead of individual accesses.  This
+        compiles the whole run's segment description once per trace:
+        per-segment coordinate/length/base-cycle arrays, the paper's
+        end-of-row restoration flags, the carry-over chains that span
+        element boundaries staying on one row, and the per-element
+        traversal-neighbour certification.  Cached on the trace, so a
+        :class:`TraceCache` amortises the compilation exactly once per
+        (algorithm, order, direction) — every campaign run and both
+        operating modes replay the same structure.  Requires ``numpy``.
+        """
+        if self._segment_walk is None:
+            self._segment_walk = SegmentWalk.compile(self)
+        return self._segment_walk
 
     # ------------------------------------------------------------------
     def iter_accesses(self) -> Iterator[Tuple[int, int, int, MarchOperation]]:
@@ -293,6 +368,137 @@ def compile_trace(algorithm: MarchAlgorithm, order: AddressOrder,
                   ) -> OperationTrace:
     """Compile ``algorithm`` over ``order`` into an :class:`OperationTrace`."""
     return OperationTrace(algorithm, order, any_direction)
+
+
+class SegmentWalk:
+    """Per-segment numpy description of one compiled March run.
+
+    A *segment* is a maximal run of consecutive accesses on one word line
+    within one element — the granularity at which the low-power test mode
+    makes pre-charge decisions (the end-of-row restoration closes a
+    segment whose successor sits on a different row).  All arrays are
+    parallel over the ``segment_count`` segments of the whole run, in
+    execution order, concatenated across elements:
+
+    ``element``
+        index of the owning element.
+    ``row`` / ``first_word`` / ``last_word`` / ``length``
+        word-line index, first/last visited word and visit count of each
+        segment.
+    ``start``
+        offset of the segment's first visit inside its element's
+        coordinate arrays (:meth:`OperationTrace.element_walks`).
+    ``base_cycle``
+        global clock cycle of the segment's first access.
+    ``restore``
+        True when the paper's one functional-mode restoration cycle fires
+        at the end of this segment (the traversal leaves the row, or the
+        test ends).
+    ``carry_in``
+        True when the segment begins on the row the previous segment
+        ended on (only possible across an element boundary), i.e. the
+        previous segment did *not* restore and its floating-column state
+        carries over.
+
+    ``chains`` lists the half-open segment-index ranges connected by
+    carried-over state (each ends with its restoring segment); every
+    segment outside a chain starts from the all-attached state and is
+    closed-form for the flat kernel.  ``neighbour_ok[e]`` certifies that
+    element ``e`` steps through each row strictly by the pre-charged
+    traversal-neighbour offset (+1 ascending / -1 descending), the
+    support condition of the exact bulk replay.
+    """
+
+    def __init__(self, element, row, first_word, last_word, length, start,
+                 base_cycle, restore, carry_in, in_chain, chains,
+                 element_slices, neighbour_ok, deltas) -> None:
+        self.element = element
+        self.row = row
+        self.first_word = first_word
+        self.last_word = last_word
+        self.length = length
+        self.start = start
+        self.base_cycle = base_cycle
+        self.restore = restore
+        self.carry_in = carry_in
+        self.in_chain = in_chain
+        self.chains: List[Tuple[int, int]] = chains
+        self.element_slices: List[Tuple[int, int]] = element_slices
+        self.neighbour_ok: List[bool] = neighbour_ok
+        self.deltas: List[int] = deltas
+
+    @property
+    def segment_count(self) -> int:
+        return int(self.element.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def compile(cls, trace: OperationTrace) -> "SegmentWalk":
+        """Build the segment description of ``trace`` (one numpy pass)."""
+        import numpy as np
+
+        # Deferred: core.lowpower imports this module (planner AccessStep).
+        from ..core.lowpower import traversal_neighbour_delta
+
+        walks = trace.element_walks()
+        per_element = []
+        neighbour_ok: List[bool] = []
+        deltas: List[int] = []
+        for element, (direction, rows, words) in zip(trace.elements, walks):
+            delta = traversal_neighbour_delta(direction)
+            deltas.append(delta)
+            n = int(rows.size)
+            same_row = rows[1:] == rows[:-1]
+            boundaries = np.flatnonzero(~same_row) + 1
+            starts = np.concatenate(
+                (np.zeros(1, dtype=np.int64), boundaries))
+            ends = np.concatenate((boundaries, np.asarray([n], dtype=np.int64)))
+            neighbour_ok.append(bool(np.all(
+                words[1:][same_row] == words[:-1][same_row] + delta)))
+            per_element.append((
+                np.full(starts.size, element.index, dtype=np.int64),
+                rows[starts],
+                words[starts],
+                words[ends - 1],
+                ends - starts,
+                starts,
+                element.base_step + starts * element.operation_count,
+            ))
+
+        element_ids = np.concatenate([fields[0] for fields in per_element])
+        row = np.concatenate([fields[1] for fields in per_element])
+        first_word = np.concatenate([fields[2] for fields in per_element])
+        last_word = np.concatenate([fields[3] for fields in per_element])
+        length = np.concatenate([fields[4] for fields in per_element])
+        start = np.concatenate([fields[5] for fields in per_element])
+        base_cycle = np.concatenate([fields[6] for fields in per_element])
+
+        total = int(row.size)
+        carry_in = np.zeros(total, dtype=bool)
+        restore = np.ones(total, dtype=bool)
+        if total > 1:
+            carry_in[1:] = row[1:] == row[:-1]
+            restore[:-1] = ~carry_in[1:]
+        in_chain = carry_in | ~restore
+        # A chain starts at a non-restoring segment with no carried state
+        # and runs to (including) the first restoring segment after it.
+        chains: List[Tuple[int, int]] = []
+        restoring = np.flatnonzero(restore)
+        for chain_start in np.flatnonzero(~restore & ~carry_in).tolist():
+            position = int(np.searchsorted(restoring, chain_start))
+            chain_end = int(restoring[position]) if position < restoring.size \
+                else total - 1
+            chains.append((chain_start, chain_end + 1))
+
+        element_slices: List[Tuple[int, int]] = []
+        cursor = 0
+        for fields in per_element:
+            element_slices.append((cursor, cursor + int(fields[0].size)))
+            cursor += int(fields[0].size)
+
+        return cls(element_ids, row, first_word, last_word, length, start,
+                   base_cycle, restore, carry_in, in_chain, chains,
+                   element_slices, neighbour_ok, deltas)
 
 
 class TraceCache:

@@ -22,6 +22,15 @@ from typing import Iterator, List, Sequence, Tuple
 from ..sram.geometry import ArrayGeometry
 
 
+def _numpy():
+    """Import numpy on demand; ``None`` when unavailable (scalar fallback)."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - the container ships numpy
+        return None
+    return np
+
+
 class OrderingError(Exception):
     """Raised for malformed address orders."""
 
@@ -55,7 +64,30 @@ class AddressOrder:
             yield self.coordinate_at(position)
 
     def sequence(self, ascending: bool = True) -> List[Coordinate]:
+        """The full coordinate list of the chosen traversal direction.
+
+        Orders with a closed-form :meth:`_build_coordinate_arrays` (every
+        registry order) materialise the list from the cached numpy arrays
+        in bulk — two orders of magnitude faster than walking
+        :meth:`coordinate_at` position by position on paper-scale
+        geometries; other subclasses (and numpy-free installs) keep the
+        scalar walk.
+        """
+        bulk = self._bulk_expansion_available()
+        if bulk:
+            rows, words = self.coordinate_arrays()
+            coordinates = list(zip(rows.tolist(), words.tolist()))
+            if not ascending:
+                coordinates.reverse()
+            return coordinates
         return list(self.ascending() if ascending else self.descending())
+
+    def _bulk_expansion_available(self) -> bool:
+        """True when :meth:`coordinate_arrays` does not itself need
+        :meth:`sequence` (a closed-form override exists) and numpy loads."""
+        closed_form = (type(self)._build_coordinate_arrays
+                       is not AddressOrder._build_coordinate_arrays)
+        return closed_form and _numpy() is not None
 
     def coordinate_arrays(self):
         """The ascending sequence as two parallel ``numpy`` integer arrays.
@@ -85,14 +117,58 @@ class AddressOrder:
                 np.ascontiguousarray(coords[:, 1]))
 
     # ------------------------------------------------------------------
+    def rank_array(self):
+        """``rank[linear_address] = position`` in the ascending sequence.
+
+        The inverse permutation of :meth:`coordinate_arrays`, used by the
+        vectorized fault-campaign engine to locate every victim/aggressor
+        in one gather.  Materialised lazily and cached on the order
+        instance (like the coordinate arrays), so campaigns sharing one
+        order object — e.g. through the sweep orchestrator's per-worker
+        order memo — pay the inversion exactly once.  Requires ``numpy``.
+        """
+        cached = getattr(self, "_rank_array_cache", None)
+        if cached is None:
+            import numpy as np
+
+            rows, words = self.coordinate_arrays()
+            linear = rows * self.geometry.words_per_row + words
+            cached = np.empty(self.geometry.word_count, dtype=np.int64)
+            cached[linear] = np.arange(linear.size, dtype=np.int64)
+            self._rank_array_cache = cached
+        return cached
+
+    # ------------------------------------------------------------------
     def is_wordline_sequential(self) -> bool:
         """True when consecutive positions stay on a row until it is exhausted.
 
         This is the property the low-power test mode needs: the next access
         is either the next word of the same row or the first word of an
         adjacent traversal step, so only the selected column and its
-        successor require pre-charge.
+        successor require pre-charge.  The verdict is cached on the order
+        instance (orders are immutable permutations) and, with numpy
+        available, computed as two array reductions instead of a
+        per-position Python walk — the check guards *every* low-power BIST
+        run, so on paper-scale geometries the scalar walk used to cost
+        more than the measurement itself.
         """
+        cached = getattr(self, "_wordline_sequential_cache", None)
+        if cached is None:
+            cached = self._compute_wordline_sequential()
+            self._wordline_sequential_cache = cached
+        return cached
+
+    def _compute_wordline_sequential(self) -> bool:
+        np = _numpy()
+        if np is not None:
+            rows, _ = self.coordinate_arrays()
+            if rows.size == 0:
+                return True
+            # Rows at which the traversal switches word line, including the
+            # very first: sequential means no row ever appears twice there.
+            switches = rows[np.concatenate(
+                ([True], rows[1:] != rows[:-1]))]
+            return int(np.unique(switches).size) == int(switches.size)
         previous_row: int | None = None
         seen_rows: set[int] = set()
         for row, _ in self.ascending():
@@ -145,6 +221,14 @@ class ColumnMajorOrder(AddressOrder):
         word, row = divmod(position, self.geometry.rows)
         return (row, word)
 
+    def _build_coordinate_arrays(self):
+        """Closed-form bulk expansion (no per-position Python loop)."""
+        import numpy as np
+
+        positions = np.arange(len(self), dtype=np.int64)
+        words, rows = np.divmod(positions, self.geometry.rows)
+        return rows, words
+
 
 class PseudoRandomOrder(AddressOrder):
     """A fixed pseudo-random permutation of the address space.
@@ -168,6 +252,13 @@ class PseudoRandomOrder(AddressOrder):
             raise OrderingError(f"position {position} out of range [0, {len(self)})")
         return self.geometry.coordinates_of(self._permutation[position])
 
+    def _build_coordinate_arrays(self):
+        """Bulk expansion of the stored permutation (one divmod pass)."""
+        import numpy as np
+
+        addresses = np.asarray(self._permutation, dtype=np.int64)
+        return np.divmod(addresses, self.geometry.words_per_row)
+
 
 class AddressComplementOrder(AddressOrder):
     """Address-complement order (2^i jumps), common in decoder-delay testing.
@@ -190,6 +281,15 @@ class AddressComplementOrder(AddressOrder):
             address = (count - 1) - base
         return self.geometry.coordinates_of(address)
 
+    def _build_coordinate_arrays(self):
+        """Closed-form bulk expansion (no per-position Python loop)."""
+        import numpy as np
+
+        positions = np.arange(len(self), dtype=np.int64)
+        base = positions // 2
+        addresses = np.where(positions % 2 == 0, base, len(self) - 1 - base)
+        return np.divmod(addresses, self.geometry.words_per_row)
+
 
 class RowMajorSnakeOrder(AddressOrder):
     """Row-major order with alternating column direction on each row.
@@ -209,6 +309,16 @@ class RowMajorSnakeOrder(AddressOrder):
         if row % 2 == 1:
             offset = words_per_row - 1 - offset
         return (row, offset)
+
+    def _build_coordinate_arrays(self):
+        """Closed-form bulk expansion (no per-position Python loop)."""
+        import numpy as np
+
+        positions = np.arange(len(self), dtype=np.int64)
+        words_per_row = self.geometry.words_per_row
+        rows, offsets = np.divmod(positions, words_per_row)
+        words = np.where(rows % 2 == 1, words_per_row - 1 - offsets, offsets)
+        return rows, words
 
 
 #: Registry of the named orders, for CLI-style lookups in benches/examples.

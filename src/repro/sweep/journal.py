@@ -38,20 +38,35 @@ class JournalError(Exception):
 
 #: The ``format`` tag every journal line carries.
 JOURNAL_FORMAT = "repro-sweep-journal"
+#: The ``format`` tag of the optional first-line header (run metadata:
+#: the execution strategy actually used, grid size, ...).  Loaders skip
+#: header lines when collecting entries, so journals with and without a
+#: header resume identically.
+JOURNAL_HEADER_FORMAT = "repro-sweep-journal-header"
 #: The journal schema version this module writes.
 JOURNAL_VERSION = 1
 
-#: How every line this module writes begins (:meth:`JournalEntry.to_line`
+#: How every entry line this module writes begins (:meth:`JournalEntry.to_line`
 #: serialises with ``sort_keys``, so ``"case"`` is always the first key).
 #: A torn final write cut at *any* byte is prefix-consistent with this,
 #: which is how it is told apart from a foreign file.
 _LINE_PREFIX = '{"case"'
+#: How a header line begins (``sort_keys`` puts ``"format"`` first).
+_HEADER_PREFIX = f'{{"format": "{JOURNAL_HEADER_FORMAT}"'
 
 
 def _looks_torn(fragment: str) -> bool:
     """True when a decode-failing tail is a plausible torn journal line."""
-    head = fragment[:len(_LINE_PREFIX)]
-    return head == _LINE_PREFIX or _LINE_PREFIX.startswith(head)
+    for prefix in (_LINE_PREFIX, _HEADER_PREFIX):
+        head = fragment[:len(prefix)]
+        if head == prefix or prefix.startswith(head):
+            return True
+    return False
+
+
+def _is_header_line(line: str) -> bool:
+    """True when ``line`` is a journal header (never an entry)."""
+    return line.lstrip().startswith(_HEADER_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -156,6 +171,47 @@ class RunJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def write_header(self, meta: Dict[str, object]) -> None:
+        """Durably write the run-metadata header line.
+
+        Meant for the very start of a fresh journal (the orchestrator
+        writes it right after probing writability); carries free-form run
+        metadata such as the execution strategy that actually ran.
+        Loaders skip it when collecting entries, so resume semantics are
+        unchanged.
+        """
+        self.open()
+        self._handle.write(json.dumps({
+            "format": JOURNAL_HEADER_FORMAT,
+            "version": JOURNAL_VERSION,
+            "meta": meta,
+        }, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def read_header(self) -> Optional[Dict[str, object]]:
+        """The ``meta`` of the journal's header line, or ``None``.
+
+        Scans only the leading lines (headers are written before any
+        entry); a malformed header raises :class:`JournalError` like any
+        other corrupt line would on :meth:`load`.
+        """
+        if not self.path.exists():
+            return None
+        with self.path.open(encoding="utf-8") as handle:
+            for line in handle:
+                if not line.strip():
+                    continue
+                if not _is_header_line(line):
+                    return None
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise JournalError(
+                        f"journal header is not valid JSON: {exc}") from exc
+                return dict(payload.get("meta") or {})
+        return None
+
     def close(self) -> None:
         """Close the underlying file (no-op when nothing was appended)."""
         if self._handle is not None:
@@ -192,6 +248,8 @@ class RunJournal:
         for lineno, line in enumerate(complete, start=1):
             if not line.strip():
                 continue
+            if _is_header_line(line):
+                continue  # run metadata, not a completed case
             entries.append(JournalEntry.from_line(line, lineno=lineno))
         if torn_tail.strip():
             try:

@@ -227,7 +227,6 @@ def run_case(case: SweepCase) -> SweepRecord:
     to the reference engine per run, and the record's ``backend_used``
     reports which engine(s) actually measured the comparison.
     """
-    geometry = case.geometry()
     algorithm = get_algorithm(case.algorithm)
     session = _session_for_case(case)
 
@@ -237,10 +236,24 @@ def run_case(case: SweepCase) -> SweepRecord:
     low_power = session.run(algorithm, OperatingMode.LOW_POWER_TEST)
     backends_used.add(session.last_backend_used)
     elapsed = time.perf_counter() - started
-    comparison = ModeComparison(algorithm=algorithm.name,
-                                functional=functional, low_power=low_power)
     backend_used = "+".join(sorted(backend for backend in backends_used
                                    if backend is not None))
+    return power_record(case, functional, low_power, backend_used, elapsed)
+
+
+def power_record(case: SweepCase, functional, low_power, backend_used: str,
+                 elapsed: float) -> SweepRecord:
+    """Assemble the :class:`SweepRecord` of one measured power scenario.
+
+    Shared by :func:`run_case` and the batched grid engine
+    (:class:`repro.engine.grid.BatchedGridEngine`), so the two execution
+    strategies derive records from raw mode measurements identically —
+    the field-for-field equivalence the batched strategy guarantees.
+    """
+    geometry = case.geometry()
+    algorithm = get_algorithm(case.algorithm)
+    comparison = ModeComparison(algorithm=algorithm.name,
+                                functional=functional, low_power=low_power)
 
     analytical = AnalyticalPowerModel(geometry)
     prediction = analytical.predict(algorithm)
@@ -610,7 +623,6 @@ def run_prr_case(case: PrrCase) -> PrrRecord:
     campaign's compiled trace is shared between them) and the record keeps
     the raw energy totals alongside the measured and predicted PRR.
     """
-    geometry = case.geometry()
     algorithm = get_algorithm(case.algorithm)
     controller = _controller_for_case(case)
 
@@ -618,6 +630,19 @@ def run_prr_case(case: PrrCase) -> PrrRecord:
     functional = controller.run(algorithm, low_power=False)
     low_power = controller.run(algorithm, low_power=True)
     elapsed = time.perf_counter() - started
+    return prr_record(case, functional, low_power, elapsed)
+
+
+def prr_record(case: PrrCase, functional, low_power,
+               elapsed: float) -> PrrRecord:
+    """Assemble the :class:`PrrRecord` of one measured BIST campaign.
+
+    Shared by :func:`run_prr_case` and the batched grid engine, so both
+    execution strategies derive records from the two
+    :class:`~repro.bist.controller.BistResult` measurements identically.
+    """
+    geometry = case.geometry()
+    algorithm = get_algorithm(case.algorithm)
     backends_used = {functional.backend, low_power.backend}
     backend_used = "+".join(sorted(backends_used))
 
@@ -1129,40 +1154,109 @@ def shard_cases(cases: Sequence[AnyCase], index: int,
     return list(cases)[index - 1::total]
 
 
+#: Valid values of the :class:`SweepRunner` ``strategy`` switch.
+STRATEGIES = ("auto", "batched", "percase")
+
+
+def _batchable(case: AnyCase) -> bool:
+    """True when the batched grid engine can stack this scenario.
+
+    Power and PRR scenarios on a vectorizable backend stack; the
+    reference backend (no bulk kernel) and coverage campaigns (a
+    different engine family) execute per case either way.
+    """
+    return isinstance(case, (SweepCase, PrrCase)) and \
+        case.backend != "reference"
+
+
 class SweepRunner:
     """Executes a list of sweep scenarios, streaming and optionally parallel.
 
     Accepts any mix of :class:`SweepCase`, :class:`CoverageCase` and
     :class:`PrrCase` scenarios (dispatched through :func:`execute_case`).
-    ``processes`` selects the fan-out: ``None`` (the default) uses one
-    worker per CPU core, clamped to the number of cases; ``1`` runs
-    in-process; anything larger maps the cases over a
+
+    ``strategy`` selects how the grid is evaluated:
+
+    * ``"percase"`` — one scenario at a time (the multiprocessing work
+      unit), optionally fanned out over worker processes;
+    * ``"batched"`` — the grid-batched engine
+      (:class:`repro.engine.grid.BatchedGridEngine`): per-geometry groups
+      share one compiled-trace cache and one stacked flat-kernel pass for
+      all algorithms, orders and both planners, in-process.  Records are
+      bit-identical to the per-case path (``elapsed_s`` aside); journal,
+      resume and shard semantics are unchanged.  Requires numpy — without
+      it the runner falls back to ``"percase"`` (the CLI warns, and the
+      journal header records what actually ran);
+    * ``"auto"`` (default) — ``"batched"`` when numpy is available and no
+      multi-process fan-out was requested (``processes`` of ``None`` with
+      an all-stackable grid, or an explicit ``1``), else ``"percase"``.
+
+    ``processes`` selects the per-case fan-out: ``None`` (the default)
+    uses one worker per CPU core, clamped to the number of cases; ``1``
+    runs in-process; anything larger maps the cases over a
     ``multiprocessing.Pool`` of that size.  Workers rebuild every object
     from the case's names (only plain data crosses process boundaries) and
     are pre-warmed by an initializer that compiles the grid's
     algorithm x order traces into a process-local cache once, instead of
-    once per case.
+    once per case.  The batched strategy is in-process and ignores
+    ``processes``.
 
-    Execution streams: completions are consumed as they happen
-    (``imap_unordered``), so progress lines appear live and each finished
-    case is journaled immediately; the returned :class:`SweepResult`
-    restores the stable input order.  ``journal`` names an append-only
-    JSONL file (:class:`repro.sweep.journal.RunJournal`) that makes the
-    campaign resumable: ``run(resume=True)`` reloads it, keeps the
+    Execution streams in both strategies: completions are consumed as
+    they happen, so progress lines appear live and each finished case is
+    journaled immediately; the returned :class:`SweepResult` restores the
+    stable input order.  ``journal`` names an append-only JSONL file
+    (:class:`repro.sweep.journal.RunJournal`) that makes the campaign
+    resumable: ``run(resume=True)`` reloads it, keeps the
     already-measured records verbatim and re-executes only the missing
     cases.
     """
 
     def __init__(self, cases: Sequence[AnyCase],
                  processes: Optional[int] = None,
-                 journal: Union[str, Path, None] = None) -> None:
+                 journal: Union[str, Path, None] = None,
+                 strategy: str = "auto") -> None:
         if not cases:
             raise SweepError("a sweep needs at least one case")
         if processes is not None and processes < 1:
             raise SweepError(f"processes must be >= 1, got {processes}")
+        if strategy not in STRATEGIES:
+            raise SweepError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
         self.cases = list(cases)
         self.processes = processes
         self.journal = Path(journal) if journal is not None else None
+        self.strategy = strategy
+        #: strategy that actually executed the most recent :meth:`run`
+        #: (``None`` before the first run).
+        self.strategy_used: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def resolve_strategy(self, cases: Optional[Sequence[AnyCase]] = None
+                         ) -> str:
+        """The execution strategy a run over ``cases`` will actually use.
+
+        An explicit ``"batched"`` request degrades to ``"percase"`` only
+        when numpy is unavailable (the clean fallback the CLI warns
+        about); ``"auto"`` additionally respects a requested
+        multi-process fan-out and keeps grids with per-case-only
+        scenarios on the parallel path.
+        """
+        if self.strategy == "percase":
+            return "percase"
+        from importlib.util import find_spec
+
+        numpy_available = find_spec("numpy") is not None
+        if self.strategy == "batched":
+            return "batched" if numpy_available else "percase"
+        if not numpy_available:
+            return "percase"
+        if self.processes == 1:
+            return "batched"
+        if self.processes is None:
+            pending = self.cases if cases is None else cases
+            if all(_batchable(case) for case in pending):
+                return "batched"
+        return "percase"
 
     # ------------------------------------------------------------------
     def resolved_processes(self, pending: Optional[int] = None) -> int:
@@ -1209,16 +1303,28 @@ class SweepRunner:
             restored[index] = record_cls.from_dict(entry.record)
         return restored
 
-    def _completions(self, pending: Sequence[Tuple[int, AnyCase]]
+    def _completions(self, pending: Sequence[Tuple[int, AnyCase]],
+                     strategy: str = "percase"
                      ) -> Iterator[Tuple[int, AnyRecord]]:
         """Yield ``(index, record)`` as cases complete.
 
-        Sequential mode executes in input order in-process (warming the
-        local state first); parallel mode streams ``imap_unordered``
-        completions out of a pre-warmed pool, so the slowest case never
-        gates reporting of the others.
+        The batched strategy streams the grid engine's stacked-group
+        completions.  Per-case sequential mode executes in input order
+        in-process (warming the local state first); parallel mode streams
+        ``imap_unordered`` completions out of a pre-warmed pool, so the
+        slowest case never gates reporting of the others.
         """
         if not pending:
+            return
+        if strategy == "batched":
+            # Deferred import: the grid engine needs numpy, the runner
+            # must not (resolve_strategy already verified availability).
+            from ..engine.grid import BatchedGridEngine
+
+            engine = BatchedGridEngine([case for _, case in pending])
+            indices = [index for index, _ in pending]
+            for position, record in engine.completions():
+                yield indices[position], record
             return
         workers = self.resolved_processes(len(pending))
         cases = [case for _, case in pending]
@@ -1275,11 +1381,24 @@ class SweepRunner:
                 "a fresh campaign")
         pending = [(index, case) for index, case in enumerate(self.cases)
                    if records[index] is None]
+        strategy_used = self.resolve_strategy([case for _, case in pending])
+        self.strategy_used = strategy_used
         journal = RunJournal(self.journal) if self.journal is not None else None
         if journal is not None:
             journal.open()  # an unwritable path must fail before any work
+            if not self.journal.exists() or self.journal.stat().st_size == 0:
+                # A fresh journal opens with a run-metadata header: which
+                # strategy actually executes (e.g. a batched request that
+                # fell back to per-case without numpy) is recorded next to
+                # the measurements it produced.
+                journal.write_header({
+                    "strategy_requested": self.strategy,
+                    "strategy_used": strategy_used,
+                    "cases": len(self.cases),
+                    "pending": len(pending),
+                })
         try:
-            for index, record in self._completions(pending):
+            for index, record in self._completions(pending, strategy_used):
                 records[index] = record
                 if journal is not None:
                     journal.append(JournalEntry(

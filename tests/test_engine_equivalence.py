@@ -244,3 +244,127 @@ def test_auto_uses_custom_memory_on_reference_path():
         MARCH_CM, OperatingMode.FUNCTIONAL, memory=memory)
     assert result.passed
     assert memory.cycle == result.cycles  # the supplied memory really ran
+
+
+# ----------------------------------------------------------------------
+# Flat kernel vs. the segmented oracle
+# ----------------------------------------------------------------------
+# The flat kernel re-derives every segmented quantity as closed-form
+# reductions over the compiled segment structure; the original segmented
+# evaluation is retained as its differential oracle.  Counters and stress
+# arrays must agree exactly, energies to summation order.
+
+KERNEL_ORDERS = (None, ColumnMajorOrder, RowMajorSnakeOrder, PseudoRandomOrder)
+
+
+def _kernel_pair(geometry, order_cls, any_direction, detailed):
+    order = order_cls(geometry) if order_cls is not None else None
+    return tuple(
+        VectorizedEngine(geometry, order=order, any_direction=any_direction,
+                         detailed=detailed, kernel=kernel)
+        for kernel in ("segmented", "flat"))
+
+
+@pytest.mark.parametrize("order_cls", KERNEL_ORDERS)
+@pytest.mark.parametrize("mode", list(OperatingMode))
+@pytest.mark.parametrize("any_direction",
+                         [AddressingDirection.UP, AddressingDirection.DOWN])
+def test_flat_kernel_matches_segmented(order_cls, mode, any_direction):
+    geometry = ArrayGeometry(rows=16, columns=32)
+    segmented, flat = _kernel_pair(geometry, order_cls, any_direction,
+                                   detailed=True)
+    for algorithm in PAPER_TABLE1_ALGORITHMS:
+        try:
+            expected = segmented.run_aggregates(algorithm, mode)
+        except UnsupportedConfiguration:
+            with pytest.raises(UnsupportedConfiguration):
+                flat.run_aggregates(algorithm, mode)
+            continue
+        observed = flat.run_aggregates(algorithm, mode)
+        by_source_e, counters_e, cycles_e, stress_e = expected
+        by_source_o, counters_o, cycles_o, stress_o = observed
+        assert cycles_o == cycles_e
+        assert counters_o == counters_e, (algorithm.name, mode)
+        assert set(by_source_o) == set(by_source_e)
+        for source in by_source_e:
+            assert by_source_o[source] == pytest.approx(
+                by_source_e[source], rel=REL_TOL), (algorithm.name, source)
+        assert np.array_equal(stress_o.full_res, stress_e.full_res)
+        assert np.array_equal(stress_o.partial_res, stress_e.partial_res)
+
+
+def test_flat_kernel_handles_single_row_chains():
+    """A one-row geometry never restores mid-run: the whole run is one
+    carried-over chain, the flat kernel's worst case."""
+    from repro.march.parser import parse_march
+
+    # Bouncing traversal: each element resumes exactly where the previous
+    # one parked (and kept pre-charged), so the single-row run stays
+    # replayable — a chain spanning every element.
+    bounce = parse_march("{⇑(w0); ⇓(r0,w1); ⇑(r1,w0); ⇓(r0)}", name="bounce")
+    bounce.validate()
+    geometry = ArrayGeometry(rows=1, columns=16)
+    segmented, flat = _kernel_pair(geometry, None, AddressingDirection.UP,
+                                   detailed=True)
+    for mode in OperatingMode:
+        expected = segmented.run_aggregates(bounce, mode)
+        observed = flat.run_aggregates(bounce, mode)
+        assert observed[1] == expected[1]
+        assert observed[2] == expected[2]
+        assert set(observed[0]) == set(expected[0])
+        for source, energy in expected[0].items():
+            assert observed[0][source] == pytest.approx(energy, rel=REL_TOL)
+        assert np.array_equal(observed[3].partial_res, expected[3].partial_res)
+    # March C-'s up→up element boundary parks on the last row's far edge
+    # and restarts on its first word, which floats mid-chain: both kernels
+    # must refuse identically.
+    for engine in (segmented, flat):
+        with pytest.raises(UnsupportedConfiguration):
+            engine.run_aggregates(MARCH_CM, OperatingMode.LOW_POWER_TEST)
+
+
+def test_stacked_batch_is_bit_identical_to_single_runs():
+    """run_aggregates_batch stacks a whole grid into one pass; every unit's
+    energies must equal the stand-alone evaluation bit for bit (the
+    guarantee the batched sweep strategy builds on)."""
+    geometry = ArrayGeometry(rows=16, columns=64)
+    engine = VectorizedEngine(geometry, detailed=False)
+    requests = [(algorithm, mode, None)
+                for algorithm in PAPER_TABLE1_ALGORITHMS
+                for mode in OperatingMode]
+    stacked = engine.run_aggregates_batch(requests)
+    for (algorithm, mode, _), batch_result in zip(requests, stacked):
+        by_source_b, counters_b, cycles_b, _ = batch_result
+        by_source_s, counters_s, cycles_s, _ = engine.run_aggregates(
+            algorithm, mode)
+        assert cycles_b == cycles_s and counters_b == counters_s
+        assert by_source_b == by_source_s  # bit-identical, not approx
+
+
+def test_batch_collects_unsupported_units():
+    """collect_errors=True isolates the unsupported unit instead of
+    failing the whole stack."""
+    geometry = ArrayGeometry(rows=8, columns=16)
+    snake = RowMajorSnakeOrder(geometry)
+    engine = VectorizedEngine(geometry, order=snake, detailed=False)
+    requests = [(MARCH_CM, OperatingMode.FUNCTIONAL, None),
+                (MARCH_CM, OperatingMode.LOW_POWER_TEST, None)]
+    outcomes = engine.run_aggregates_batch(requests, collect_errors=True)
+    assert not isinstance(outcomes[0], Exception)   # functional always replays
+    assert isinstance(outcomes[1], UnsupportedConfiguration)
+    with pytest.raises(UnsupportedConfiguration):
+        engine.run_aggregates_batch(requests)
+
+
+def test_engine_memoises_traces_across_runs_and_modes():
+    """Both modes of a compare share one compiled trace (and its segment
+    structure), through the engine's own cache."""
+    geometry = ArrayGeometry(rows=8, columns=16)
+    engine = VectorizedEngine(geometry, detailed=False)
+    engine.run_aggregates(MARCH_CM, OperatingMode.FUNCTIONAL)
+    trace = engine.trace_for(MARCH_CM)
+    walk = trace.segment_walk()
+    engine.run_aggregates(MARCH_CM, OperatingMode.LOW_POWER_TEST)
+    assert engine.trace_for(MARCH_CM) is trace
+    assert trace.segment_walk() is walk
+    assert len(engine.traces) == 1

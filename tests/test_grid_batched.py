@@ -1,0 +1,222 @@
+"""The batched grid strategy: record equivalence, resolution, fallbacks.
+
+``strategy="batched"`` evaluates a sweep grid through per-geometry stacked
+flat-kernel passes (:class:`repro.engine.grid.BatchedGridEngine`) instead
+of per-case work units.  Its contract is strict: **every** record — power,
+PRR and coverage alike — must be field-for-field identical to what
+``strategy="percase"`` measures for the same grid (``elapsed_s``, a
+wall-clock observation, is the one exempt field).  These tests pin that
+contract across the full standard library, both planners (both operating
+modes of every scenario), several array sizes and all three record kinds,
+plus the strategy-resolution rules, the journal's run-metadata header and
+the per-case fallback for scenarios the stacked pass cannot represent.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.march.library import PAPER_TABLE1_ALGORITHMS
+from repro.sweep.journal import RunJournal, load_journal
+from repro.sweep.runner import (
+    CoverageCase,
+    PrrCase,
+    SweepCase,
+    SweepError,
+    SweepRunner,
+    coverage_grid,
+    prr_grid,
+    sweep_grid,
+)
+
+ALGORITHMS = [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS]
+SIZES = ["8x16", "16x64"]
+
+
+def drop_elapsed(record) -> dict:
+    row = record.as_dict()
+    row.pop("elapsed_s")
+    return row
+
+
+def assert_identical_records(percase_result, batched_result):
+    assert len(percase_result) == len(batched_result)
+    for expected, observed in zip(percase_result, batched_result):
+        assert type(observed) is type(expected)
+        assert drop_elapsed(observed) == drop_elapsed(expected)
+
+
+def run_both(cases):
+    percase = SweepRunner(cases, processes=1, strategy="percase").run()
+    batched = SweepRunner(cases, strategy="batched").run()
+    return percase, batched
+
+
+# ----------------------------------------------------------------------
+# Field-for-field record equivalence, per record kind
+# ----------------------------------------------------------------------
+def test_power_records_identical_across_strategies():
+    """The whole library x two orders x two sizes, both planners per case."""
+    cases = sweep_grid(SIZES, ALGORITHMS,
+                       orders=("row-major", "column-major"),
+                       backends=("vectorized",))
+    assert_identical_records(*run_both(cases))
+
+
+def test_prr_records_identical_across_strategies():
+    """The whole library through the BIST path on two sizes."""
+    cases = prr_grid(SIZES, ALGORITHMS, backend="vectorized", seed=3)
+    assert_identical_records(*run_both(cases))
+
+
+def test_coverage_records_identical_across_strategies():
+    """Coverage campaigns ride the batched strategy per-case, records
+    unchanged."""
+    cases = coverage_grid(["8x8", "16x16"], ["MATS+", "March C-"], sample=2)
+    assert_identical_records(*run_both(cases))
+
+
+def test_mixed_grid_identical_and_in_input_order():
+    """A grid mixing all three kinds and both backends: identical records,
+    emitted (and journaled) in input order despite group stacking."""
+    cases = [
+        PrrCase(rows=8, columns=64, algorithm="MATS+", backend="vectorized"),
+        SweepCase(rows=8, columns=16, algorithm="March C-",
+                  backend="vectorized"),
+        CoverageCase(rows=8, columns=8, algorithm="MATS+",
+                     include_coupling=False, sample=2),
+        SweepCase(rows=8, columns=16, algorithm="MATS+", backend="auto"),
+        PrrCase(rows=8, columns=64, algorithm="March G", backend="auto"),
+        SweepCase(rows=8, columns=16, algorithm="MATS+", backend="reference"),
+    ]
+    percase, batched = run_both(cases)
+    assert_identical_records(percase, batched)
+
+
+def test_unsupported_low_power_falls_back_per_case():
+    """The snake order's low-power run is not bulk-replayable: under
+    backend='auto' the per-case path measures it reference+vectorized, and
+    the batched strategy must reroute and report exactly the same."""
+    cases = sweep_grid(["8x16"], ["March C-", "MATS+"], orders=("snake",),
+                       backends=("auto",))
+    percase, batched = run_both(cases)
+    assert_identical_records(percase, batched)
+    assert {record.backend_used for record in batched} == \
+        {"reference+vectorized"}
+
+
+# ----------------------------------------------------------------------
+# Strategy resolution
+# ----------------------------------------------------------------------
+def _vectorized_cases(count: int = 2):
+    return sweep_grid(["8x8"], ALGORITHMS[:count], backends=("vectorized",))
+
+
+def test_strategy_validation():
+    with pytest.raises(SweepError, match="unknown strategy"):
+        SweepRunner(_vectorized_cases(), strategy="turbo")
+
+
+def test_auto_resolution_rules():
+    cases = _vectorized_cases()
+    assert SweepRunner(cases).resolve_strategy() == "batched"
+    assert SweepRunner(cases, processes=1).resolve_strategy() == "batched"
+    assert SweepRunner(cases, processes=4).resolve_strategy() == "percase"
+    assert SweepRunner(cases, strategy="percase").resolve_strategy() == \
+        "percase"
+    # A grid with per-case-only scenarios keeps the parallel default...
+    mixed = cases + coverage_grid(["8x8"], ["MATS+"], sample=2)
+    assert SweepRunner(mixed).resolve_strategy() == "percase"
+    # ...unless the caller pinned sequential execution.
+    assert SweepRunner(mixed, processes=1).resolve_strategy() == "batched"
+    # Reference-backend power cases are not stackable either.
+    reference = sweep_grid(["8x8"], ["MATS+"], backends=("reference",))
+    assert SweepRunner(reference).resolve_strategy() == "percase"
+
+
+def test_batched_without_numpy_falls_back(monkeypatch):
+    import importlib.util
+
+    real_find_spec = importlib.util.find_spec
+    monkeypatch.setattr(importlib.util, "find_spec",
+                        lambda name, *args: None if name == "numpy"
+                        else real_find_spec(name, *args))
+    runner = SweepRunner(_vectorized_cases(), strategy="batched")
+    assert runner.resolve_strategy() == "percase"
+    assert SweepRunner(_vectorized_cases()).resolve_strategy() == "percase"
+
+
+def test_run_records_strategy_used(tmp_path):
+    runner = SweepRunner(_vectorized_cases(), strategy="batched")
+    assert runner.strategy_used is None
+    runner.run()
+    assert runner.strategy_used == "batched"
+
+
+# ----------------------------------------------------------------------
+# Journal header
+# ----------------------------------------------------------------------
+def test_fresh_journal_records_strategy_header(tmp_path):
+    path = tmp_path / "run.jsonl"
+    cases = _vectorized_cases()
+    SweepRunner(cases, strategy="batched", journal=path).run()
+    header = RunJournal(path).read_header()
+    assert header == {"strategy_requested": "batched",
+                      "strategy_used": "batched",
+                      "cases": len(cases), "pending": len(cases)}
+    # The header is metadata: entry loading and resume ignore it.
+    assert len(load_journal(path)) == len(cases)
+    resumed = SweepRunner(cases, strategy="batched",
+                          journal=path).run(resume=True)
+    assert len(resumed) == len(cases)
+
+
+def test_resume_keeps_the_original_header(tmp_path):
+    path = tmp_path / "run.jsonl"
+    cases = _vectorized_cases()
+    SweepRunner(cases, journal=path).run()
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:2]) + "\n")  # header + first case
+    SweepRunner(cases, strategy="percase", processes=1,
+                journal=path).run(resume=True)
+    header = RunJournal(path).read_header()
+    assert header is not None and header["cases"] == len(cases)
+    assert len(load_journal(path)) == len(cases)
+    # Exactly one header line, still the leading one.
+    body = path.read_text().splitlines()
+    headers = [line for line in body
+               if line.startswith('{"format": "repro-sweep-journal-header"')]
+    assert headers == [body[0]]
+
+
+def test_headerless_journals_still_resume(tmp_path):
+    """Journals written before the header existed resume unchanged."""
+    path = tmp_path / "run.jsonl"
+    cases = _vectorized_cases()
+    SweepRunner(cases, journal=path).run()
+    lines = [line for line in path.read_text().splitlines()
+             if not line.startswith('{"format": "repro-sweep-journal-header"')]
+    path.write_text("\n".join(lines) + "\n")
+    assert RunJournal(path).read_header() is None
+    resumed = SweepRunner(cases, journal=path).run(resume=True)
+    assert len(resumed) == len(cases)
+    records = [json.loads(line)["record"]
+               for line in path.read_text().splitlines()
+               if line.startswith('{"case"')]
+    assert len(records) == len(cases)
+
+
+def test_measure_batch_requires_a_vectorized_controller():
+    """measure_batch is the stacked vectorized API: a reference-backend
+    controller must refuse instead of silently running the vectorized
+    campaign behind the dispatch contract's back."""
+    from repro.bist import BistController
+    from repro.bist.controller import BistError
+    from repro.march.library import get_algorithm
+    from repro.sram import ArrayGeometry
+
+    controller = BistController(ArrayGeometry(8, 16), backend="reference")
+    with pytest.raises(BistError, match="reference backend"):
+        controller.measure_batch([(get_algorithm("MATS+"), True)])

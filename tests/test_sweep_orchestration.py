@@ -177,9 +177,9 @@ def test_resume_reexecutes_only_missing_cases(tmp_path):
     full = SweepRunner(cases, processes=1, journal=path).run()
 
     # Simulate a kill after the first two completed cases: truncate the
-    # journal, then resume into a fresh runner.
+    # journal (keeping its header line), then resume into a fresh runner.
     lines = path.read_text().splitlines()
-    path.write_text("\n".join(lines[:2]) + "\n")
+    path.write_text("\n".join(lines[:3]) + "\n")
     resumed = SweepRunner(cases, processes=1, journal=path).run(resume=True)
 
     assert len(resumed) == len(full) == 3
@@ -321,7 +321,9 @@ def test_torn_tail_is_only_dropped_from_a_valid_journal(tmp_path):
     # look like the start of a journal line is foreign or corrupt, not a
     # torn journal — it must fail loudly.
     path = tmp_path / "fragment.jsonl"
-    path.write_text('{"format": "repro-sweep-jour')  # not a line prefix
+    # Not a prefix of an entry line ('{"case"...') nor of the header line
+    # ('{"format": "repro-sweep-journal-header"...').
+    path.write_text('{"format": "foreign-file')
     with pytest.raises(JournalError):
         load_journal(path)
     # A decodable-but-foreign final line (wrong format tag) also fails.
@@ -500,12 +502,12 @@ def test_cli_journal_then_resume_completes_the_campaign(tmp_path, capsys):
     out = tmp_path / "out.json"
     assert sweep_main(_cli_grid("--journal", str(journal))) == 0
     lines = journal.read_text().splitlines()
-    assert len(lines) == 2
+    assert len(lines) == 3  # run-metadata header + one line per case
     # Kill simulation: drop the second completed case, then resume.
-    journal.write_text(lines[0] + "\n")
+    journal.write_text(lines[0] + "\n" + lines[1] + "\n")
     assert sweep_main(_cli_grid("--journal", str(journal), "--resume",
                                 "--json", str(out))) == 0
-    assert len(journal.read_text().splitlines()) == 2
+    assert len(journal.read_text().splitlines()) == 3
     assert len(SweepResult.from_json(out)) == 2
     capsys.readouterr()
 
