@@ -128,3 +128,81 @@ def test_batched_grid_speedup_over_percase_segmented(benchmark, once,
         geometry=geometry,
         baseline="percase strategy + segmented kernel (PR 4)",
     )
+
+
+# ----------------------------------------------------------------------
+# Banked variant: the beyond-paper 4-bank grid through the same layers
+# ----------------------------------------------------------------------
+def _banked_grid_cases():
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        return (prr_grid(["64x512"], ALGORITHMS, backend="vectorized",
+                         banks=(4,)), "64x512")
+    return (prr_grid(["512x512"], ALGORITHMS, backend="vectorized",
+                     banks=(4,)), "512x512")
+
+
+@pytest.mark.benchmark(group="grid-batched")
+def test_banked_batched_grid_speedup_over_percase_segmented(benchmark, once,
+                                                            bench_record):
+    """The 4-bank Table 1 grid: per-bank pre-charge accounting (bank-select
+    transition counting, bank-height bit lines) must ride the stacked flat
+    kernel at the same speedup class as the monolithic grid, with records
+    identical to the per-case strategy."""
+    cases, geometry = _banked_grid_cases()
+
+    started = time.perf_counter()
+    with default_kernel("segmented"):
+        baseline = SweepRunner(cases, processes=1, strategy="percase").run()
+    baseline_s = time.perf_counter() - started
+
+    timing = {}
+
+    def run_batched():
+        started = time.perf_counter()
+        result = SweepRunner(cases, strategy="batched").run()
+        timing["batched"] = time.perf_counter() - started
+        return result
+
+    batched = once(benchmark, run_batched)
+    batched_s = timing["batched"]
+    speedup = baseline_s / batched_s
+
+    print()
+    print(render_table(
+        [{"Path": "percase + segmented kernel",
+          "Wall clock (s)": f"{baseline_s:.3f}", "Cases": len(cases)},
+         {"Path": "batched grid (stacked flat kernel)",
+          "Wall clock (s)": f"{batched_s:.3f}", "Cases": len(cases)}],
+        title=f"Banked (4-bank) grid on {geometry} — batched speedup "
+              f"{speedup:.1f}x"))
+
+    assert len(batched) == len(baseline)
+    for expected, observed in zip(baseline, batched):
+        left, right = _drop_elapsed(expected), _drop_elapsed(observed)
+        assert set(left) == set(right)
+        for field, value in left.items():
+            if isinstance(value, float):
+                assert right[field] == pytest.approx(value, rel=1e-9), field
+            else:
+                assert right[field] == value, field
+        assert left["banks"] == 4
+    percase_flat = SweepRunner(cases, processes=1, strategy="percase").run()
+    for expected, observed in zip(percase_flat, batched):
+        assert _drop_elapsed(observed) == _drop_elapsed(expected)
+
+    minimum = (MINIMUM_QUICK_SPEEDUP if os.environ.get("REPRO_BENCH_QUICK")
+               else MINIMUM_GRID_SPEEDUP)
+    assert speedup >= minimum, (
+        f"banked batched grid speedup {speedup:.1f}x under the {minimum}x "
+        f"bar (baseline {baseline_s:.3f}s, batched {batched_s:.3f}s)")
+
+    bench_record(
+        f"paper-grid-batched[{geometry},banks=4]",
+        wall_clock_s=batched_s,
+        baseline_s=baseline_s,
+        speedup=speedup,
+        cases=len(cases),
+        geometry=geometry,
+        banks=4,
+        baseline="percase strategy + segmented kernel",
+    )

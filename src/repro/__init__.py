@@ -112,7 +112,7 @@ from .sweep import (
     sweep_grid,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Engine classes resolved lazily (PEP 562) so that importing :mod:`repro`
 #: (or any scalar subsystem) never loads numpy; the vectorized modules load

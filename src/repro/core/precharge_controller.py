@@ -66,11 +66,20 @@ class ModifiedPrechargeController:
 
     def __init__(self, columns: int,
                  tech: TechnologyParameters | None = None,
-                 support_descending: bool = False) -> None:
+                 support_descending: bool = False,
+                 banks: int = 1) -> None:
         if columns <= 0:
             raise ControllerError(f"columns must be positive, got {columns}")
+        if banks <= 0:
+            raise ControllerError(f"banks must be positive, got {banks}")
         self.tech = tech or default_technology()
         self.columns = columns
+        #: Number of sub-array banks the control logic is replicated over
+        #: (beyond-paper: the paper's array is monolithic).  Each bank owns
+        #: its own bit-line segments and pre-charge circuits, hence its own
+        #: copy of the per-column control elements; the gate-level network
+        #: models one bank and the transistor accounting scales by ``banks``.
+        self.banks = banks
         self.support_descending = support_descending
         self.network = self._build_network()
 
@@ -127,7 +136,8 @@ class ModifiedPrechargeController:
         return per_column
 
     def total_transistors(self) -> int:
-        return self.transistors_per_column() * self.columns
+        """Whole-memory transistor overhead (all banks)."""
+        return self.transistors_per_column() * self.columns * self.banks
 
     def added_delay_on_pr_path(self) -> float:
         """Extra delay the mux inserts on the functional ``Pr_j`` path.

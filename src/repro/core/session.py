@@ -74,6 +74,7 @@ class TestRunResult:
     full_restores: int = 0
     full_res_column_cycles: int = 0
     floating_column_cycles: int = 0
+    bank_transitions: int = 0
 
     @property
     def passed(self) -> bool:
@@ -283,6 +284,7 @@ class TestSession:
             full_restores=memory.counters.full_restores,
             full_res_column_cycles=memory.counters.full_res_column_cycles,
             floating_column_cycles=memory.counters.floating_column_cycles,
+            bank_transitions=memory.counters.bank_transitions,
         )
 
     # ------------------------------------------------------------------

@@ -142,6 +142,9 @@ class _SingleKernel:
     retention: Optional[int] = None
     #: value a retention fault decays to.
     leak_to: int = 0
+    #: True when reads need back-to-back adjacency context
+    #: (:meth:`read_dynamic` is called instead of :meth:`read`).
+    dynamic = False
 
     def write(self, val: "np.ndarray", value: int) -> "np.ndarray":
         """Apply a functional write of ``value`` to every lane."""
@@ -233,6 +236,62 @@ class _RetentionKernel(_SingleKernel):
 
 
 # ----------------------------------------------------------------------
+# Dynamic two-operation fault kernels
+# ----------------------------------------------------------------------
+class _DynamicKernelBase(_SingleKernel):
+    """Shared sensitisation logic of the dynamic (two-operation) kernels.
+
+    ``read_dynamic`` receives the per-lane adjacency mask (the victim was
+    accessed in the immediately preceding clock cycle) plus the kind of
+    that access — a *scalar* (``"w"``/``"r"``), because every lane of a
+    campaign executes the same operation sequence and only the global
+    step numbers differ per lane.
+    """
+
+    dynamic = True
+
+    def __init__(self, after: str) -> None:
+        self.after = after
+
+    def _sensitised(self, adjacent: "np.ndarray", prev_kind: str) -> "np.ndarray":
+        if self.after != "any" and prev_kind != self.after:
+            return np.zeros(adjacent.shape, dtype=bool)
+        return adjacent
+
+    def read_dynamic(self, val: "np.ndarray", adjacent: "np.ndarray",
+                     prev_kind: str):
+        """Return ``(new_state, stored_observation, bus_mask)`` per lane."""
+        raise NotImplementedError
+
+
+class _DynamicReadDestructiveKernel(_DynamicKernelBase):
+    """dRDF: the back-to-back read flips the cell and returns the flip."""
+
+    def read_dynamic(self, val, adjacent, prev_kind):
+        sens = self._sensitised(adjacent, prev_kind) & (val != _NONE)
+        flipped = np.where(sens, 1 - val, val).astype(np.int8)
+        return flipped, flipped, val == _NONE
+
+
+class _DynamicDeceptiveReadDestructiveKernel(_DynamicKernelBase):
+    """dDRDF: the back-to-back read flips the cell, returns the original."""
+
+    def read_dynamic(self, val, adjacent, prev_kind):
+        sens = self._sensitised(adjacent, prev_kind) & (val != _NONE)
+        flipped = np.where(sens, 1 - val, val).astype(np.int8)
+        return flipped, val, val == _NONE
+
+
+class _DynamicIncorrectReadKernel(_DynamicKernelBase):
+    """dIRF: the back-to-back read returns the complement; state kept."""
+
+    def read_dynamic(self, val, adjacent, prev_kind):
+        sens = self._sensitised(adjacent, prev_kind) & (val != _NONE)
+        stored = np.where(sens, 1 - val, val).astype(np.int8)
+        return val, stored, val == _NONE
+
+
+# ----------------------------------------------------------------------
 # Coupling fault kernels
 # ----------------------------------------------------------------------
 class _CouplingKernel:
@@ -321,6 +380,95 @@ class _DisturbCouplingKernel(_CouplingKernel):
 
 
 # ----------------------------------------------------------------------
+# Neighbourhood (NPSF) fault kernels
+# ----------------------------------------------------------------------
+class _NeighbourhoodKernel:
+    """Vector form of a neighbourhood pattern sensitive fault's hooks.
+
+    Neighbourhood cells are fault-free, so within one element each of
+    them jumps from the element's background value to its after-visit
+    value exactly at its own position — the value neighbour ``j`` holds
+    while neighbour ``m`` is being visited is a closed-form two-way
+    select on their positions.  ``apply_visits`` replays the forcing
+    caused by the neighbour visits in ``phase`` (before or after the
+    victim's own visit; forcing writes a constant, so ordering within a
+    phase is immaterial); ``on_victim_access`` is the per-access state
+    hook (SNPSF only) given each neighbour's current value.
+    """
+
+    def __init__(self, pattern, victim_value: int) -> None:
+        self.pattern = tuple(pattern)
+        self.victim_value = victim_value
+
+    def apply_visits(self, val: "np.ndarray", events, bg: int, after: int,
+                     pos_n: "np.ndarray", phase: "np.ndarray") -> "np.ndarray":
+        """Replay the neighbour visits selected by ``phase`` (k x lanes)."""
+        return val
+
+    def on_victim_access(self, val: "np.ndarray", neighbour_now: "np.ndarray"
+                         ) -> "np.ndarray":
+        """State hook applied before every victim access (SNPSF only)."""
+        return val
+
+    def _others_match(self, m: int, bg: int, after: int,
+                      pos_n: "np.ndarray") -> "np.ndarray":
+        """Lanes where every neighbour j != m matches pattern[j] at the
+        moment neighbour m is visited."""
+        ok = np.ones(pos_n.shape[1], dtype=bool)
+        for j, bit in enumerate(self.pattern):
+            if j == m:
+                continue
+            value_j = np.where(pos_n[j] < pos_n[m], np.int8(after), np.int8(bg))
+            ok &= value_j == bit
+        return ok
+
+
+class _StaticNeighbourhoodKernel(_NeighbourhoodKernel):
+    """SNPSF: while all neighbours hold the pattern the victim is forced."""
+
+    def apply_visits(self, val, events, bg, after, pos_n, phase):
+        for m, bit in enumerate(self.pattern):
+            # A write during m's visit leaves m at the written value; the
+            # full-pattern check then only involves the other neighbours.
+            if not any(kind == "w" and new == bit for kind, _old, new in events):
+                continue
+            forced = phase[m] & self._others_match(m, bg, after, pos_n)
+            val = np.where(forced, np.int8(self.victim_value), val)
+        return val
+
+    def on_victim_access(self, val, neighbour_now):
+        match = np.ones(val.shape, dtype=bool)
+        for j, bit in enumerate(self.pattern):
+            match &= neighbour_now[j] == bit
+        return np.where(match, np.int8(self.victim_value), val)
+
+
+class _ActiveNeighbourhoodKernel(_NeighbourhoodKernel):
+    """ANPSF: a neighbour's write transition with the rest in pattern forces."""
+
+    def __init__(self, rising: bool, pattern, victim_value: int) -> None:
+        super().__init__(pattern, victim_value)
+        self.rising = rising
+
+    def _transitions(self, events) -> bool:
+        for kind, old, new in events:
+            if kind != "w" or old == _NONE:
+                continue
+            if (self.rising and old == 0 and new == 1) or \
+                    (not self.rising and old == 1 and new == 0):
+                return True
+        return False
+
+    def apply_visits(self, val, events, bg, after, pos_n, phase):
+        if not self._transitions(events):
+            return val
+        for m in range(len(self.pattern)):
+            forced = phase[m] & self._others_match(m, bg, after, pos_n)
+            val = np.where(forced, np.int8(self.victim_value), val)
+        return val
+
+
+# ----------------------------------------------------------------------
 # The campaign engine
 # ----------------------------------------------------------------------
 class VectorizedFaultCampaign:
@@ -400,6 +548,10 @@ class VectorizedFaultCampaign:
         groups: Dict[tuple, Tuple[object, List[int]]] = {}
         for index, injection in enumerate(injections):
             key, kernel = _kernel_for(injection.fault)
+            if isinstance(kernel, _NeighbourhoodKernel):
+                # Lanes of one group share the (k, lanes) position matrix,
+                # so the neighbourhood size is part of the group identity.
+                key = key + (len(injection.neighbourhood),)
             entry = groups.get(key)
             if entry is None:
                 groups[key] = (kernel, [index])
@@ -418,6 +570,12 @@ class VectorizedFaultCampaign:
                                        for i in indices], dtype=np.int64)
                 mismatches, first = _run_coupling_group(
                     contexts, rank, word_count, kernel, victims, aggressors)
+            elif isinstance(kernel, _NeighbourhoodKernel):
+                neighbours = np.array(
+                    [[self._linear(cell) for cell in injections[i].neighbourhood]
+                     for i in indices], dtype=np.int64).T
+                mismatches, first = _run_neighbourhood_group(
+                    contexts, rank, word_count, kernel, victims, neighbours)
             else:
                 mismatches, first = _run_single_group(
                     contexts, rank, word_count, kernel, victims)
@@ -458,6 +616,10 @@ def _run_single_group(contexts: List[_ElementContext], rank: "np.ndarray",
     mismatches = np.zeros(lanes, dtype=np.int64)
     first = np.full(lanes, -1, dtype=np.int64)
     victim_rank = rank[victims]
+    # Kind of the victim's most recent access.  Every lane executes the
+    # same operation sequence (only the global step differs), so this is
+    # a plain scalar; adjacency (last_step == step - 1) stays per-lane.
+    last_kind = "w"
 
     for ctx in contexts:
         position = victim_rank if ctx.up else (word_count - 1) - victim_rank
@@ -477,13 +639,19 @@ def _run_single_group(contexts: List[_ElementContext], rank: "np.ndarray",
             if operation.is_write:
                 val = kernel.write(val, operation.value)
                 observed = np.full(lanes, operation.value, dtype=np.int8)
+                last_kind = "w"
             else:
-                val, stored, bus_mask = kernel.read(val)
+                if kernel.dynamic:
+                    val, stored, bus_mask = kernel.read_dynamic(
+                        val, last_step == step - 1, last_kind)
+                else:
+                    val, stored, bus_mask = kernel.read(val)
                 bus = np.where(last_step == step - 1, last_obs, ff_prev)
                 observed = np.where(bus_mask, bus, stored).astype(np.int8)
                 bad = observed != operation.value
                 mismatches += bad
                 first = np.where(bad & (first < 0), step, first)
+                last_kind = "r"
             last_obs = observed
             last_step = step
     return mismatches, first
@@ -554,6 +722,74 @@ def _run_coupling_group(contexts: List[_ElementContext], rank: "np.ndarray",
     return mismatches, first
 
 
+def _run_neighbourhood_group(contexts: List[_ElementContext], rank: "np.ndarray",
+                             word_count: int, kernel: _NeighbourhoodKernel,
+                             victims: "np.ndarray", neighbours: "np.ndarray"):
+    """Simulate all neighbourhood injections of one fault class in parallel.
+
+    ``neighbours`` is a (k, lanes) matrix of linear cell addresses.  Like
+    the coupling runner, every neighbourhood cell is fault-free, so its
+    per-element value trajectory is the shared scalar event list; each
+    element is replayed in three phases — neighbour visits preceding the
+    victim's, the victim's own operations (with every neighbour's current
+    value a closed-form position select), then the remaining neighbour
+    visits.  NPSF forcing writes a constant, so the visit order *within*
+    a phase never changes the outcome.
+    """
+    lanes = victims.size
+    val = np.full(lanes, _NONE, dtype=np.int8)
+    last_step = np.full(lanes, -2, dtype=np.int64)
+    last_obs = np.zeros(lanes, dtype=np.int8)
+    mismatches = np.zeros(lanes, dtype=np.int64)
+    first = np.full(lanes, -1, dtype=np.int64)
+    victim_rank = rank[victims]
+    neigh_rank = rank[neighbours]  # (k, lanes)
+
+    for ctx in contexts:
+        if ctx.up:
+            pos_victim, pos_neigh = victim_rank, neigh_rank
+        else:
+            pos_victim = (word_count - 1) - victim_rank
+            pos_neigh = (word_count - 1) - neigh_rank
+        base = ctx.base_step + pos_victim * ctx.k
+        before_victim = pos_neigh < pos_victim[None, :]
+
+        # The fault-free visit of any cell: one scalar event list.
+        events = []
+        current = ctx.bg_before
+        for operation in ctx.operations:
+            if operation.is_write:
+                events.append(("w", current, operation.value))
+                current = operation.value
+            else:
+                events.append(("r", current, None))
+        after_value = current
+
+        val = kernel.apply_visits(val, events, ctx.bg_before, after_value,
+                                  pos_neigh, before_victim)
+        neighbour_now = np.where(before_victim, np.int8(after_value),
+                                 np.int8(ctx.bg_before))  # (k, lanes)
+        ff_prev = np.where(pos_victim == 0, np.int8(ctx.prev_value),
+                           np.int8(ctx.last_op_value))
+        for op_index, operation in enumerate(ctx.operations):
+            step = base + op_index
+            val = kernel.on_victim_access(val, neighbour_now)
+            if operation.is_write:
+                val = np.full(lanes, operation.value, dtype=np.int8)
+                observed = val
+            else:
+                bus = np.where(last_step == step - 1, last_obs, ff_prev)
+                observed = np.where(val == _NONE, bus, val).astype(np.int8)
+                bad = observed != operation.value
+                mismatches += bad
+                first = np.where(bad & (first < 0), step, first)
+            last_obs = observed
+            last_step = step
+        val = kernel.apply_visits(val, events, ctx.bg_before, after_value,
+                                  pos_neigh, ~before_victim)
+    return mismatches, first
+
+
 # ----------------------------------------------------------------------
 # Kernel registry — exact-type matching against repro.faults.models
 # ----------------------------------------------------------------------
@@ -587,6 +823,20 @@ def _kernel_for(model) -> Tuple[tuple, object]:
     if kind is models.DataRetentionFault:
         return (("DRF", model.leak_to, model.retention_cycles),
                 _RetentionKernel(model.leak_to, model.retention_cycles))
+    if kind is models.DynamicReadDestructiveFault:
+        return ("dRDF", model.after), _DynamicReadDestructiveKernel(model.after)
+    if kind is models.DynamicDeceptiveReadDestructiveFault:
+        return (("dDRDF", model.after),
+                _DynamicDeceptiveReadDestructiveKernel(model.after))
+    if kind is models.DynamicIncorrectReadFault:
+        return ("dIRF", model.after), _DynamicIncorrectReadKernel(model.after)
+    if kind is models.StaticNeighbourhoodPatternFault:
+        return (("SNPSF", model.pattern, model.victim_value),
+                _StaticNeighbourhoodKernel(model.pattern, model.victim_value))
+    if kind is models.ActiveNeighbourhoodPatternFault:
+        return (("ANPSF", model.rising, model.pattern, model.victim_value),
+                _ActiveNeighbourhoodKernel(model.rising, model.pattern,
+                                           model.victim_value))
     if kind is models.StateCouplingFault:
         return (("CFst", model.aggressor_state, model.victim_value),
                 _StateCouplingKernel(model.aggressor_state, model.victim_value))

@@ -132,12 +132,12 @@ class BatchedGridEngine:
         for position, case in enumerate(self.cases):
             if isinstance(case, runner.PrrCase) and case.backend != "reference":
                 key = (case.rows, case.columns, case.bits_per_word,
-                       case.backend)
+                       case.backend, case.banks, case.bank_interleave)
                 prr_groups.setdefault(key, []).append((position, case))
             elif isinstance(case, runner.SweepCase) \
                     and case.backend != "reference":
                 key = (case.rows, case.columns, case.bits_per_word,
-                       case.any_direction)
+                       case.any_direction, case.banks, case.bank_interleave)
                 power_groups.setdefault(key, []).append((position, case))
             else:
                 percase.append((position, case))

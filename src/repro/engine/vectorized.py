@@ -147,6 +147,7 @@ class _EnergyConstants:
     control_element: float     # one added control element switching
     lptest_line: float         # one LPtest mode-selection line transition
     leakage: float             # whole-array leakage per cycle
+    bank_select: float         # one bank-select line transition (banked arrays)
 
 
 @dataclass
@@ -207,7 +208,9 @@ class VectorizedEngine:
         #: that already owns a cache) — the walks and segment structure a
         #: run needs are memoised here instead of being re-derived per run.
         self.traces = trace_cache if trace_cache is not None else TraceCache()
-        self._tau = self.tech.floating_discharge_tau(geometry.rows)
+        # Bit lines are bank-local: their capacitance (hence floating decay)
+        # scales with the bank height, not the whole array.
+        self._tau = self.tech.floating_discharge_tau(geometry.rows_per_bank)
         self._k = self._derive_constants()
         #: Per-cell stress totals of the most recent :meth:`run` (``None``
         #: when stress tracking is off).
@@ -225,7 +228,7 @@ class VectorizedEngine:
     # ------------------------------------------------------------------
     def _derive_constants(self) -> _EnergyConstants:
         tech, geo = self.tech, self.geometry
-        c_bl = tech.bitline_capacitance(geo.rows)
+        c_bl = tech.bitline_capacitance(geo.rows_per_bank)
         overhead = 1.0 + tech.precharge_overhead_factor
         model = PowerModel(geo, tech=tech)
         return _EnergyConstants(
@@ -239,7 +242,15 @@ class VectorizedEngine:
             control_element=model.control_element_energy(),
             lptest_line=model.lptest_line_energy(),
             leakage=model.leakage_energy_per_cycle(),
+            bank_select=model.bank_select_energy(),
         )
+
+    def _bank_of(self, rows_arr: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`ArrayGeometry.bank_of_row` over a row array."""
+        geo = self.geometry
+        if geo.bank_interleave == "blocked":
+            return rows_arr // geo.rows_per_bank
+        return rows_arr % geo.banks
 
     # ------------------------------------------------------------------
     # Walk expansion helpers
@@ -316,6 +327,7 @@ class VectorizedEngine:
             full_restores=counters["full_restores"],
             full_res_column_cycles=counters["full_res_column_cycles"],
             floating_column_cycles=counters["floating_column_cycles"],
+            bank_transitions=counters.get("bank_transitions", 0),
         )
 
     def resolved_kernel(self, kernel: Optional[str] = None) -> str:
@@ -442,10 +454,12 @@ class VectorizedEngine:
         by_source: Dict[PowerSource, float] = {}
         counters = {"row_transitions": 0, "full_restores": 0,
                     "full_res_column_cycles": 0, "floating_column_cycles": 0,
-                    "partial_res_column_cycles": 0}
+                    "partial_res_column_cycles": 0, "bank_transitions": 0}
         track = self.track_cell_stress and geo.columns <= 128
         stress_uniform = 0
         prev_row: Optional[int] = None
+        prev_bank: Optional[int] = None
+        banked = geo.is_banked
         cycles = 0
 
         for element, (_, rows_arr, _) in zip(algorithm.elements, walks):
@@ -477,6 +491,16 @@ class VectorizedEngine:
             self._add(by_source, wl_source, recharges * k.wordline)
             prev_row = int(rows_arr[-1])
 
+            # Bank-select transitions (banked arrays only): one per access
+            # whose row lives in a different bank than the previous access's.
+            if banked:
+                banks_arr = self._bank_of(rows_arr)
+                bank_changes = int(np.count_nonzero(np.diff(banks_arr)))
+                if prev_bank is not None and int(banks_arr[0]) != prev_bank:
+                    bank_changes += 1
+                counters["bank_transitions"] += bank_changes
+                prev_bank = int(banks_arr[-1])
+
             # Every unselected column keeps its pre-charge ON: aggregate RES.
             res_energy = n_access * unselected * k.res_per_column
             self._add(by_source, PowerSource.PRECHARGE_UNSELECTED, res_energy)
@@ -487,6 +511,11 @@ class VectorizedEngine:
             if track:
                 stress_uniform += ops * (geo.words_per_row - 1)
             cycles += n_access
+
+        # Booked once as count x constant (not per element) so both kernels
+        # compute the identical floating-point sum.
+        self._add(by_source, PowerSource.BANK_SELECT,
+                  counters["bank_transitions"] * k.bank_select)
 
         stress = None
         if self.track_cell_stress:
@@ -514,10 +543,13 @@ class VectorizedEngine:
 
         by_source: Dict[PowerSource, float] = {}
         counters = {"row_transitions": 0, "full_restores": 0,
-                    "full_res_column_cycles": 0, "floating_column_cycles": 0}
+                    "full_res_column_cycles": 0, "floating_column_cycles": 0,
+                    "bank_transitions": 0}
         partial_res_cycles = 0
         control_events = 0
         lptest_toggles = 0
+        banked = geo.is_banked
+        prev_bank: Optional[int] = None
 
         shape = (geo.rows, n_words)
         stress_full = np.zeros(shape, dtype=np.int64) if track else None
@@ -578,6 +610,11 @@ class VectorizedEngine:
                     if prev_row is not None:
                         counters["row_transitions"] += 1
                     self._add(by_source, wl_source, k.wordline)
+                    if banked:
+                        bank = geo.bank_of_row(row)
+                        if prev_bank is not None and bank != prev_bank:
+                            counters["bank_transitions"] += 1
+                        prev_bank = bank
                 prev_row = row
 
                 # -- control elements: one switching event per column change
@@ -670,6 +707,8 @@ class VectorizedEngine:
                   control_events * k.control_element)
         self._add(by_source, PowerSource.LPTEST_DRIVER,
                   lptest_toggles * k.lptest_line)
+        self._add(by_source, PowerSource.BANK_SELECT,
+                  counters["bank_transitions"] * k.bank_select)
         counters["partial_res_column_cycles"] = partial_res_cycles
 
         stress = None
@@ -704,11 +743,22 @@ class VectorizedEngine:
         by_source: Dict[PowerSource, float] = {}
         counters = {"row_transitions": 0, "full_restores": 0,
                     "full_res_column_cycles": 0, "floating_column_cycles": 0,
-                    "partial_res_column_cycles": 0}
+                    "partial_res_column_cycles": 0, "bank_transitions": 0}
         track = self.track_cell_stress and geo.columns <= 128
         stress_uniform = 0
         prev_row: Optional[int] = None
         cycles = 0
+
+        # Segments are maximal same-row runs, so the per-segment row array
+        # is exactly the run's row-change sequence; bank transitions are
+        # its bank-value changes (equal rows across an element boundary
+        # contribute a zero diff, matching the reference's "no transition").
+        if geo.is_banked:
+            banks_seg = self._bank_of(segwalk.row)
+            counters["bank_transitions"] = int(
+                np.count_nonzero(banks_seg[1:] != banks_seg[:-1]))
+            self._add(by_source, PowerSource.BANK_SELECT,
+                      counters["bank_transitions"] * self._k.bank_select)
 
         for element, compiled, (lo, hi) in zip(
                 algorithm.elements, trace.elements, segwalk.element_slices):
@@ -996,10 +1046,17 @@ class VectorizedEngine:
             by_source: Dict[PowerSource, float] = {}
             counters = {"row_transitions": 0, "full_restores": 0,
                         "full_res_column_cycles": 0,
-                        "floating_column_cycles": 0}
+                        "floating_column_cycles": 0,
+                        "bank_transitions": 0}
 
             carry = segwalk.carry_in
             counters["row_transitions"] = int(np.count_nonzero(~carry[1:]))
+            if geo.is_banked:
+                banks_seg = self._bank_of(segwalk.row)
+                counters["bank_transitions"] = int(
+                    np.count_nonzero(banks_seg[1:] != banks_seg[:-1]))
+                self._add(by_source, PowerSource.BANK_SELECT,
+                          counters["bank_transitions"] * k.bank_select)
             restores = int(np.count_nonzero(segwalk.restore))
             counters["full_restores"] = restores
             # Control elements switch on every within-segment word change

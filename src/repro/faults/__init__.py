@@ -7,24 +7,33 @@ word-line-after-word-line order of the low-power test mode.
 """
 
 from .models import (
+    ActiveNeighbourhoodPatternFault,
     CellState,
     CouplingFault,
     DataRetentionFault,
     DeceptiveReadDestructiveFault,
     DisturbCouplingFault,
+    DynamicDeceptiveReadDestructiveFault,
+    DynamicFault,
+    DynamicIncorrectReadFault,
+    DynamicReadDestructiveFault,
     FaultFree,
     FaultModel,
     FaultModelError,
     IdempotentCouplingFault,
     IncorrectReadFault,
     InversionCouplingFault,
+    NeighbourhoodFault,
     ReadDestructiveFault,
     StateCouplingFault,
+    StaticNeighbourhoodPatternFault,
     StuckAtFault,
     StuckOpenFault,
     TransitionFault,
     WriteDestructiveFault,
     coupling_fault_models,
+    dynamic_fault_models,
+    neighbourhood_fault_models,
     single_cell_fault_models,
 )
 from .backend import FAULT_BACKENDS, FaultBackend, ReferenceFaultBackend
@@ -34,6 +43,7 @@ from .simulator import (
     FaultSimulationError,
     FaultSimulator,
     LogicalMemory,
+    type1_neighbourhood,
 )
 from .coverage import (
     CampaignResult,
@@ -55,10 +65,15 @@ __all__ = [
     "StuckOpenFault", "DataRetentionFault",
     "StateCouplingFault", "IdempotentCouplingFault", "InversionCouplingFault",
     "DisturbCouplingFault",
+    "DynamicFault", "DynamicReadDestructiveFault",
+    "DynamicDeceptiveReadDestructiveFault", "DynamicIncorrectReadFault",
+    "NeighbourhoodFault", "StaticNeighbourhoodPatternFault",
+    "ActiveNeighbourhoodPatternFault",
     "single_cell_fault_models", "coupling_fault_models",
+    "dynamic_fault_models", "neighbourhood_fault_models",
     "FAULT_BACKENDS", "FaultBackend", "ReferenceFaultBackend",
     "DetectionResult", "FaultInjection", "FaultSimulationError", "FaultSimulator",
-    "LogicalMemory",
+    "LogicalMemory", "type1_neighbourhood",
     "CampaignResult", "CoverageReport", "InvarianceReport",
     "DEFAULT_LOCATION_SEED", "build_fault_list",
     "check_order_invariance", "default_fault_locations", "neighbour_of",

@@ -26,6 +26,19 @@ Two-cell coupling faults (aggressor → victim)
     * disturb coupling fault (CFdst) — a read or write of the aggressor
       disturbs the victim to a fixed value
 
+Dynamic two-operation faults (beyond-paper extension)
+    * dynamic read destructive fault (dRDF) and its deceptive variant
+      (dDRDF) — a read in the clock cycle *immediately after* another
+      access to the same cell corrupts it
+    * dynamic incorrect read fault (dIRF) — the back-to-back read returns
+      the complement without corrupting the cell
+
+Neighbourhood pattern sensitive faults (beyond-paper extension)
+    * static NPSF (SNPSF) — while the neighbourhood cells hold a given
+      pattern the victim is forced to a fixed value
+    * active NPSF (ANPSF) — a write transition on one neighbourhood cell,
+      with the remaining cells holding the pattern, forces the victim
+
 Every fault model implements small hooks called by the logical fault
 simulator; the fault-free behaviour is a plain stored bit.
 """
@@ -66,6 +79,12 @@ class FaultModel:
     name = "fault"
     #: True when the fault involves an aggressor cell.
     is_coupling = False
+    #: True when the fault is sensitised by two back-to-back operations
+    #: on the victim (the simulator then calls :meth:`on_dynamic_read`).
+    is_dynamic = False
+    #: True when the fault involves a neighbourhood of cells around the
+    #: victim (the injection must then carry a ``neighbourhood``).
+    is_neighbourhood = False
 
     # -- single-cell hooks -------------------------------------------------
     def on_write(self, state: CellState, value: int) -> None:
@@ -80,6 +99,17 @@ class FaultModel:
         """
         return state.value
 
+    def on_dynamic_read(self, state: CellState,
+                        prev_kind: Optional[str]) -> Optional[int]:
+        """Read hook for dynamic (two-operation) faults.
+
+        ``prev_kind`` is ``"w"`` or ``"r"`` when the clock cycle
+        immediately before this read accessed the *same* cell with that
+        operation, ``None`` otherwise.  The default delegates to the
+        plain read hook (no dynamic behaviour).
+        """
+        return self.on_read(state)
+
     def on_idle(self, state: CellState, idle_cycles: int) -> None:
         """Model time-dependent effects (data retention) between accesses."""
 
@@ -93,6 +123,21 @@ class FaultModel:
 
     def on_aggressor_state(self, victim: CellState, aggressor_value: Optional[int]) -> None:
         """Called whenever the victim is read/written, given the aggressor state."""
+
+    # -- neighbourhood hooks -----------------------------------------------
+    def on_neighbourhood_write(self, victim: CellState, index: int,
+                               old_value: Optional[int], new_value: int,
+                               neighbour_values: Tuple[Optional[int], ...]) -> None:
+        """Called after every write to neighbourhood cell ``index``.
+
+        ``neighbour_values`` holds the current value of every
+        neighbourhood cell, in injection order, with entry ``index``
+        already reflecting the just-written value.
+        """
+
+    def on_neighbourhood_state(self, victim: CellState,
+                               neighbour_values: Tuple[Optional[int], ...]) -> None:
+        """Called before every victim access, given the neighbourhood values."""
 
     def describe(self) -> str:
         return self.name
@@ -216,6 +261,85 @@ class DataRetentionFault(FaultModel):
 
 
 # ----------------------------------------------------------------------
+# Dynamic two-operation faults (beyond-paper)
+# ----------------------------------------------------------------------
+class DynamicFault(FaultModel):
+    """Base class of two-operation dynamic faults.
+
+    A dynamic fault is sensitised by a read performed in the clock cycle
+    *immediately after* another access to the same cell; any other read
+    behaves fault-free.  ``after`` restricts the kind of the sensitising
+    first operation: ``"w"`` (write then read), ``"r"`` (read then read)
+    or ``"any"`` (either).  March elements with several operations per
+    address (e.g. the ``r0, r0`` pairs of March SS) produce exactly such
+    back-to-back accesses, which is why those tests exist.
+    """
+
+    is_dynamic = True
+
+    _AFTER = ("w", "r", "any")
+
+    def __init__(self, after: str = "any") -> None:
+        if after not in self._AFTER:
+            raise FaultModelError(
+                f"after must be one of {self._AFTER}, got {after!r}")
+        self.after = after
+
+    def _sensitised(self, prev_kind: Optional[str]) -> bool:
+        if prev_kind is None:
+            return False
+        return self.after == "any" or prev_kind == self.after
+
+    def _suffix(self) -> str:
+        return "*" if self.after == "any" else self.after
+
+
+class DynamicReadDestructiveFault(DynamicFault):
+    """dRDF: the back-to-back read flips the cell and returns the flipped value."""
+
+    def __init__(self, after: str = "any") -> None:
+        super().__init__(after)
+        self.name = f"dRDF<{self._suffix()}r>"
+
+    def on_dynamic_read(self, state: CellState,
+                        prev_kind: Optional[str]) -> Optional[int]:
+        if not self._sensitised(prev_kind) or state.value is None:
+            return state.value
+        state.value = 1 - state.value
+        return state.value
+
+
+class DynamicDeceptiveReadDestructiveFault(DynamicFault):
+    """dDRDF: the back-to-back read flips the cell but returns the original value."""
+
+    def __init__(self, after: str = "any") -> None:
+        super().__init__(after)
+        self.name = f"dDRDF<{self._suffix()}r>"
+
+    def on_dynamic_read(self, state: CellState,
+                        prev_kind: Optional[str]) -> Optional[int]:
+        if not self._sensitised(prev_kind) or state.value is None:
+            return state.value
+        original = state.value
+        state.value = 1 - state.value
+        return original
+
+
+class DynamicIncorrectReadFault(DynamicFault):
+    """dIRF: the back-to-back read returns the complement; the cell keeps its value."""
+
+    def __init__(self, after: str = "any") -> None:
+        super().__init__(after)
+        self.name = f"dIRF<{self._suffix()}r>"
+
+    def on_dynamic_read(self, state: CellState,
+                        prev_kind: Optional[str]) -> Optional[int]:
+        if not self._sensitised(prev_kind) or state.value is None:
+            return state.value
+        return 1 - state.value
+
+
+# ----------------------------------------------------------------------
 # Two-cell coupling faults
 # ----------------------------------------------------------------------
 class CouplingFault(FaultModel):
@@ -295,6 +419,89 @@ class DisturbCouplingFault(CouplingFault):
 
 
 # ----------------------------------------------------------------------
+# Neighbourhood pattern sensitive faults (beyond-paper)
+# ----------------------------------------------------------------------
+def _check_pattern(pattern) -> Tuple[int, ...]:
+    pattern = tuple(pattern)
+    if not pattern:
+        raise FaultModelError("pattern must name at least one neighbour")
+    return tuple(_check_bit(bit, "pattern entry") for bit in pattern)
+
+
+class NeighbourhoodFault(FaultModel):
+    """Base class of neighbourhood pattern sensitive faults (NPSF).
+
+    The victim is influenced by a *neighbourhood* of k cells (supplied by
+    the :class:`~repro.faults.simulator.FaultInjection`, e.g. the type-1
+    neighbourhood of the four orthogonally adjacent cells).  ``pattern``
+    has one bit per neighbourhood cell, in injection order.
+    """
+
+    is_neighbourhood = True
+
+    def __init__(self, pattern, victim_value: int) -> None:
+        self.pattern = _check_pattern(pattern)
+        self.victim_value = _check_bit(victim_value, "victim_value")
+
+    def _pattern_str(self) -> str:
+        return "".join(str(bit) for bit in self.pattern)
+
+
+class StaticNeighbourhoodPatternFault(NeighbourhoodFault):
+    """SNPSF: while all neighbours hold ``pattern`` the victim is forced.
+
+    The condition is checked after every write to a neighbourhood cell
+    and before every victim access, mirroring how CFst treats its single
+    aggressor.
+    """
+
+    def __init__(self, pattern, victim_value: int) -> None:
+        super().__init__(pattern, victim_value)
+        self.name = f"SNPSF<{self._pattern_str()};{self.victim_value}>"
+
+    def _matches(self, neighbour_values) -> bool:
+        return all(value == bit
+                   for value, bit in zip(neighbour_values, self.pattern))
+
+    def on_neighbourhood_write(self, victim, index, old_value, new_value,
+                               neighbour_values) -> None:
+        if self._matches(neighbour_values):
+            victim.value = self.victim_value
+
+    def on_neighbourhood_state(self, victim, neighbour_values) -> None:
+        if self._matches(neighbour_values):
+            victim.value = self.victim_value
+
+
+class ActiveNeighbourhoodPatternFault(NeighbourhoodFault):
+    """ANPSF: a neighbour's write transition, with the rest in ``pattern``, forces the victim.
+
+    ``rising=True`` sensitises on a 0→1 write transition of any one
+    neighbourhood cell while every *other* neighbourhood cell matches its
+    pattern entry (the transitioning cell's entry is ignored).
+    """
+
+    def __init__(self, rising: bool, pattern, victim_value: int) -> None:
+        super().__init__(pattern, victim_value)
+        self.rising = rising
+        arrow = "up" if rising else "down"
+        self.name = f"ANPSF<{arrow};{self._pattern_str()};{self.victim_value}>"
+
+    def on_neighbourhood_write(self, victim, index, old_value, new_value,
+                               neighbour_values) -> None:
+        if old_value is None:
+            return
+        if self.rising and not (old_value == 0 and new_value == 1):
+            return
+        if not self.rising and not (old_value == 1 and new_value == 0):
+            return
+        for j, (value, bit) in enumerate(zip(neighbour_values, self.pattern)):
+            if j != index and value != bit:
+                return
+        victim.value = self.victim_value
+
+
+# ----------------------------------------------------------------------
 # Standard fault lists
 # ----------------------------------------------------------------------
 def single_cell_fault_models() -> Tuple[FaultModel, ...]:
@@ -321,4 +528,27 @@ def coupling_fault_models() -> Tuple[CouplingFault, ...]:
         IdempotentCouplingFault(False, 0), IdempotentCouplingFault(False, 1),
         InversionCouplingFault(True), InversionCouplingFault(False),
         DisturbCouplingFault(0), DisturbCouplingFault(1),
+    )
+
+
+def dynamic_fault_models() -> Tuple[DynamicFault, ...]:
+    """The two-operation dynamic fault battery (beyond-paper)."""
+    return tuple(
+        factory(after)
+        for factory in (DynamicReadDestructiveFault,
+                        DynamicDeceptiveReadDestructiveFault,
+                        DynamicIncorrectReadFault)
+        for after in ("w", "r", "any")
+    )
+
+
+def neighbourhood_fault_models(size: int = 4) -> Tuple[NeighbourhoodFault, ...]:
+    """The NPSF battery for a ``size``-cell neighbourhood (beyond-paper)."""
+    zeros = (0,) * size
+    ones = (1,) * size
+    return (
+        StaticNeighbourhoodPatternFault(zeros, 1),
+        StaticNeighbourhoodPatternFault(ones, 0),
+        ActiveNeighbourhoodPatternFault(True, zeros, 1),
+        ActiveNeighbourhoodPatternFault(False, ones, 0),
     )

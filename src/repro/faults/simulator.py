@@ -40,13 +40,28 @@ class FaultSimulationError(Exception):
 Coordinate = Tuple[int, int]
 
 
+def type1_neighbourhood(geometry: ArrayGeometry,
+                        victim: Coordinate) -> Tuple[Coordinate, ...]:
+    """The type-1 NPSF neighbourhood of ``victim``: its in-bounds
+    orthogonal (north, south, west, east) cells, in that order."""
+    geometry.validate_coordinates(*victim)
+    row, column = victim
+    candidates = ((row - 1, column), (row + 1, column),
+                  (row, column - 1), (row, column + 1))
+    return tuple(
+        (r, c) for r, c in candidates
+        if 0 <= r < geometry.rows and 0 <= c < geometry.words_per_row)
+
+
 @dataclass(frozen=True)
 class FaultInjection:
-    """A fault model placed at a victim cell (and, if coupling, an aggressor)."""
+    """A fault model placed at a victim cell (plus, depending on the model,
+    an aggressor cell or a neighbourhood of cells)."""
 
     fault: FaultModel
     victim: Coordinate
     aggressor: Optional[Coordinate] = None
+    neighbourhood: Optional[Tuple[Coordinate, ...]] = None
 
     def __post_init__(self) -> None:
         if self.fault.is_coupling and self.aggressor is None:
@@ -57,11 +72,33 @@ class FaultInjection:
                 f"{self.fault.describe()} is a single-cell fault and takes no aggressor")
         if self.aggressor is not None and self.aggressor == self.victim:
             raise FaultSimulationError("aggressor and victim must be different cells")
+        if self.fault.is_neighbourhood:
+            if not self.neighbourhood:
+                raise FaultSimulationError(
+                    f"{self.fault.describe()} is a neighbourhood fault and "
+                    "needs a non-empty neighbourhood")
+            object.__setattr__(self, "neighbourhood", tuple(self.neighbourhood))
+            if self.victim in self.neighbourhood:
+                raise FaultSimulationError(
+                    "the victim cannot be part of its own neighbourhood")
+            if len(set(self.neighbourhood)) != len(self.neighbourhood):
+                raise FaultSimulationError("neighbourhood cells must be distinct")
+            pattern = getattr(self.fault, "pattern", None)
+            if pattern is not None and len(pattern) != len(self.neighbourhood):
+                raise FaultSimulationError(
+                    f"{self.fault.describe()} has a {len(pattern)}-cell pattern "
+                    f"but the neighbourhood has {len(self.neighbourhood)} cells")
+        elif self.neighbourhood is not None:
+            raise FaultSimulationError(
+                f"{self.fault.describe()} takes no neighbourhood")
 
     def describe(self) -> str:
-        if self.aggressor is None:
-            return f"{self.fault.describe()}@{self.victim}"
-        return f"{self.fault.describe()}@victim{self.victim}/aggressor{self.aggressor}"
+        if self.aggressor is not None:
+            return f"{self.fault.describe()}@victim{self.victim}/aggressor{self.aggressor}"
+        if self.neighbourhood is not None:
+            return (f"{self.fault.describe()}@victim{self.victim}"
+                    f"/neighbourhood{self.neighbourhood}")
+        return f"{self.fault.describe()}@{self.victim}"
 
 
 @dataclass
@@ -97,11 +134,22 @@ class LogicalMemory:
         self._bus_value = 0
         #: per-cell cycle stamp of the last access (for retention faults).
         self._last_access: Dict[Coordinate, int] = {}
+        #: (cycle, kind) of the victim's most recent access — dynamic faults
+        #: need the *kind* and exact adjacency, which ``_last_access`` (whose
+        #: missing-key default of 0 would alias "never accessed" with cycle 0)
+        #: cannot provide.
+        self._victim_last: Optional[Tuple[int, str]] = None
+        #: neighbourhood cell -> position in the injection's neighbourhood.
+        self._neighbour_index: Dict[Coordinate, int] = {}
         self._cycle = 0
         if injection is not None:
             self.geometry.validate_coordinates(*injection.victim)
             if injection.aggressor is not None:
                 self.geometry.validate_coordinates(*injection.aggressor)
+            if injection.neighbourhood is not None:
+                for position, cell in enumerate(injection.neighbourhood):
+                    self.geometry.validate_coordinates(*cell)
+                    self._neighbour_index[cell] = position
 
     # ------------------------------------------------------------------
     def _state(self, coordinate: Coordinate) -> CellState:
@@ -144,6 +192,26 @@ class LogicalMemory:
         injection.fault.on_aggressor_state(self._state(injection.victim),
                                            aggressor_state.value)
 
+    def _neighbour_values(self) -> Tuple[Optional[int], ...]:
+        assert self.injection is not None and self.injection.neighbourhood
+        return tuple(self._state(cell).value
+                     for cell in self.injection.neighbourhood)
+
+    def _apply_neighbourhood_on_victim_access(self) -> None:
+        injection = self.injection
+        if injection is None or injection.neighbourhood is None:
+            return
+        injection.fault.on_neighbourhood_state(self._state(injection.victim),
+                                               self._neighbour_values())
+
+    def _victim_prev_kind(self) -> Optional[str]:
+        """Kind of the access in the immediately preceding clock cycle,
+        when that access hit the victim; ``None`` otherwise."""
+        if self._victim_last is None:
+            return None
+        cycle, kind = self._victim_last
+        return kind if cycle == self._cycle - 1 else None
+
     # ------------------------------------------------------------------
     def write(self, row: int, column: int, value: int) -> None:
         coordinate = (row, column)
@@ -151,14 +219,25 @@ class LogicalMemory:
         self._touch(coordinate)
         is_aggressor = (self.injection is not None
                         and self.injection.aggressor == coordinate)
-        if coordinate == (self.injection.victim if self.injection else None):
+        is_victim = (self.injection is not None
+                     and self.injection.victim == coordinate)
+        if is_victim:
             self._apply_coupling_on_victim_access()
+            self._apply_neighbourhood_on_victim_access()
         state = self._state(coordinate)
         old_value = state.value
         self._model_for(coordinate).on_write(state, value)
         self._bus_value = value
+        if is_victim:
+            self._victim_last = (self._cycle, "w")
         if is_aggressor:
             self._apply_coupling_after_aggressor(True, old_value, value)
+        neighbour = self._neighbour_index.get(coordinate)
+        if neighbour is not None:
+            assert self.injection is not None
+            self.injection.fault.on_neighbourhood_write(
+                self._state(self.injection.victim), neighbour,
+                old_value, value, self._neighbour_values())
 
     def read(self, row: int, column: int) -> int:
         coordinate = (row, column)
@@ -166,13 +245,22 @@ class LogicalMemory:
         self._touch(coordinate)
         is_aggressor = (self.injection is not None
                         and self.injection.aggressor == coordinate)
-        if self.injection is not None and coordinate == self.injection.victim:
+        is_victim = (self.injection is not None
+                     and self.injection.victim == coordinate)
+        if is_victim:
             self._apply_coupling_on_victim_access()
+            self._apply_neighbourhood_on_victim_access()
         state = self._state(coordinate)
-        observed = self._model_for(coordinate).on_read(state)
+        model = self._model_for(coordinate)
+        if model.is_dynamic:
+            observed = model.on_dynamic_read(state, self._victim_prev_kind())
+        else:
+            observed = model.on_read(state)
         if observed is None:
             observed = self._bus_value
         self._bus_value = observed
+        if is_victim:
+            self._victim_last = (self._cycle, "r")
         if is_aggressor:
             self._apply_coupling_after_aggressor(False, None, state.value)
         return observed

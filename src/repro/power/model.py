@@ -91,7 +91,13 @@ class PowerModel:
     # Elementary quantities
     # ------------------------------------------------------------------
     def bitline_capacitance(self) -> float:
-        return self.tech.bitline_capacitance(self.geometry.rows)
+        """Capacitance of one bit line: one *bank's* worth of cell drains.
+
+        In a banked organisation each bank owns its own bit-line segment of
+        ``rows_per_bank`` cells; the monolithic paper array (``banks=1``)
+        keeps the full-height line.
+        """
+        return self.tech.bitline_capacitance(self.geometry.rows_per_bank)
 
     def address_bits(self, count: int) -> int:
         """Address bits needed to select among ``count`` entries (at least 1)."""
@@ -170,6 +176,17 @@ class PowerModel:
 
     def lptest_line_energy(self) -> float:
         """Energy of one transition of the LPtest line (word-line-class load)."""
+        cap = self.tech.wordline_capacitance(self.geometry.columns)
+        return self.tech.swing_energy(cap)
+
+    def bank_select_energy(self) -> float:
+        """Energy of one bank-select transition (beyond-paper, banked arrays).
+
+        The bank-select lines span the column pitch of one bank like a word
+        line does, so the event energy is word-line-class.  Both backends
+        book exactly this quantity per bank transition, which is what keeps
+        the differential suite's 1e-9 energy agreement.
+        """
         cap = self.tech.wordline_capacitance(self.geometry.columns)
         return self.tech.swing_energy(cap)
 

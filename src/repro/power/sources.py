@@ -39,6 +39,10 @@ class PowerSource(Enum):
     #: Cell array leakage (kept for completeness; negligible at 0.13 µm for
     #: the cycle counts of a March test).
     LEAKAGE = "leakage"
+    #: Bank-select line switching when an access crosses from one sub-array
+    #: bank to another (beyond-paper: the paper's array is monolithic, so
+    #: this source only appears for ``ArrayGeometry(banks > 1)``).
+    BANK_SELECT = "bank_select"
 
     @property
     def is_operation(self) -> bool:

@@ -39,12 +39,15 @@ class Column:
     """One column of the array: BL/BLB pair + pre-charge circuit + state."""
 
     def __init__(self, index: int, rows: int, clock: ClockCycle,
-                 tech: TechnologyParameters | None = None) -> None:
+                 tech: TechnologyParameters | None = None,
+                 bank_index: int = 0) -> None:
         self.tech = tech or default_technology()
         self.index = index
+        self.bank_index = bank_index
         self.clock = clock
         self.pair = BitLinePair(rows=rows, tech=self.tech)
-        self.precharge = PrechargeCircuit(column_index=index, rows=rows, tech=self.tech)
+        self.precharge = PrechargeCircuit(column_index=index, rows=rows,
+                                          tech=self.tech, bank_index=bank_index)
         self._floating: Optional[FloatingContext] = None
         self._last_update_cycle = 0
 

@@ -14,6 +14,10 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 
+#: Row-to-bank interleave modes supported by banked organisations.
+BANK_INTERLEAVE_MODES = ("blocked", "interleaved")
+
+
 @dataclass(frozen=True)
 class ArrayGeometry:
     """Physical organisation of the cell array.
@@ -27,11 +31,25 @@ class ArrayGeometry:
         bit-oriented memory (the paper's case) uses 1; a word-oriented
         memory uses the word width (the columns of one word are interleaved
         across the array and selected together).
+    ``banks``
+        number of row-partitioned sub-arrays (beyond-paper extension; the
+        paper evaluates a single monolithic array, ``banks=1``).  Each bank
+        owns ``rows / banks`` word lines and its own bit-line segment, so
+        bit-line capacitance and floating decay scale with the *bank*
+        height, not the array height.
+    ``bank_interleave``
+        how word-line addresses map to banks: ``"blocked"`` assigns
+        contiguous row ranges to each bank (``bank = row // rows_per_bank``);
+        ``"interleaved"`` stripes consecutive rows across banks
+        (``bank = row % banks``).  The logical address map is unchanged in
+        both modes — only the physical bank a row lives in differs.
     """
 
     rows: int
     columns: int
     bits_per_word: int = 1
+    banks: int = 1
+    bank_interleave: str = "blocked"
 
     def __post_init__(self) -> None:
         if self.rows <= 0:
@@ -40,10 +58,28 @@ class ArrayGeometry:
             raise ValueError(f"columns must be positive, got {self.columns}")
         if self.bits_per_word <= 0:
             raise ValueError(f"bits_per_word must be positive, got {self.bits_per_word}")
+        if self.bits_per_word > self.columns:
+            raise ValueError(
+                f"bits_per_word ({self.bits_per_word}) cannot exceed the number "
+                f"of columns ({self.columns}): one operation cannot select more "
+                "bit-line pairs than the array has"
+            )
         if self.columns % self.bits_per_word != 0:
             raise ValueError(
                 f"columns ({self.columns}) must be a multiple of bits_per_word "
                 f"({self.bits_per_word})"
+            )
+        if self.banks <= 0:
+            raise ValueError(f"banks must be positive, got {self.banks}")
+        if self.rows % self.banks != 0:
+            raise ValueError(
+                f"rows ({self.rows}) must be a multiple of banks ({self.banks}) "
+                "so every bank holds the same number of word lines"
+            )
+        if self.bank_interleave not in BANK_INTERLEAVE_MODES:
+            raise ValueError(
+                f"bank_interleave must be one of {BANK_INTERLEAVE_MODES}, "
+                f"got {self.bank_interleave!r}"
             )
 
     # ------------------------------------------------------------------
@@ -65,6 +101,49 @@ class ArrayGeometry:
     @property
     def is_bit_oriented(self) -> bool:
         return self.bits_per_word == 1
+
+    @property
+    def is_banked(self) -> bool:
+        return self.banks > 1
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Number of word lines (hence bit-line height) of one bank."""
+        return self.rows // self.banks
+
+    # ------------------------------------------------------------------
+    # Bank address map.  Rows are partitioned over banks; decode/encode is
+    # a bijection between global rows and (bank, local row) pairs in both
+    # interleave modes.
+    # ------------------------------------------------------------------
+    def bank_of_row(self, row: int) -> int:
+        """Physical bank that owns global row ``row``."""
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+        if self.bank_interleave == "blocked":
+            return row // self.rows_per_bank
+        return row % self.banks
+
+    def bank_decode(self, row: int) -> Tuple[int, int]:
+        """(bank, local row within the bank) of global row ``row``."""
+        if not 0 <= row < self.rows:
+            raise ValueError(f"row {row} out of range [0, {self.rows})")
+        if self.bank_interleave == "blocked":
+            return divmod(row, self.rows_per_bank)
+        local, bank = divmod(row, self.banks)
+        return bank, local
+
+    def bank_encode(self, bank: int, local_row: int) -> int:
+        """Global row of local row ``local_row`` in bank ``bank`` (inverse
+        of :meth:`bank_decode`)."""
+        if not 0 <= bank < self.banks:
+            raise ValueError(f"bank {bank} out of range [0, {self.banks})")
+        if not 0 <= local_row < self.rows_per_bank:
+            raise ValueError(
+                f"local row {local_row} out of range [0, {self.rows_per_bank})")
+        if self.bank_interleave == "blocked":
+            return bank * self.rows_per_bank + local_row
+        return local_row * self.banks + bank
 
     # ------------------------------------------------------------------
     # Address <-> coordinate conversions.  The *logical address* numbers
@@ -121,11 +200,16 @@ class ArrayGeometry:
     def describe(self) -> str:
         """Human-readable one-line description used in reports."""
         if self.is_bit_oriented:
-            return f"{self.rows}x{self.columns} bit-oriented SRAM array"
-        return (
-            f"{self.rows}x{self.columns} array, word-oriented "
-            f"({self.bits_per_word}-bit words, {self.words_per_row} words/row)"
-        )
+            base = f"{self.rows}x{self.columns} bit-oriented SRAM array"
+        else:
+            base = (
+                f"{self.rows}x{self.columns} array, word-oriented "
+                f"({self.bits_per_word}-bit words, {self.words_per_row} words/row)"
+            )
+        if self.is_banked:
+            base += (f", {self.banks} banks of {self.rows_per_bank} rows "
+                     f"({self.bank_interleave})")
+        return base
 
 
 #: The array organisation used for every experiment in the paper.

@@ -122,6 +122,7 @@ class StressCounters:
     floating_column_cycles: int = 0
     row_transitions: int = 0
     full_restores: int = 0
+    bank_transitions: int = 0
 
     def reset(self) -> None:
         self.full_res_column_cycles = 0
@@ -129,6 +130,7 @@ class StressCounters:
         self.floating_column_cycles = 0
         self.row_transitions = 0
         self.full_restores = 0
+        self.bank_transitions = 0
 
 
 class SRAM:
@@ -154,7 +156,14 @@ class SRAM:
         self.mode = mode
         self.clock = ClockCycle.from_technology(self.tech)
         self.array = CellArray(geometry, tech=self.tech, cell_factory=cell_factory)
-        self.columns = [Column(index=c, rows=geometry.rows, clock=self.clock, tech=self.tech)
+        # One shared Column per bit-line pair, sized to the *bank* height:
+        # a banked organisation splits each physical bit line into one
+        # segment per bank.  Because the low-power policy fully restores
+        # every column at each row's end and floating stretches never span
+        # rows, at most one bank's segment carries state at a time, so a
+        # single Column per pair models per-bank segments exactly.
+        self.columns = [Column(index=c, rows=geometry.rows_per_bank,
+                               clock=self.clock, tech=self.tech)
                         for c in range(geometry.columns)]
         self.row_decoder = RowDecoder(geometry, tech=self.tech)
         self.column_decoder = ColumnDecoder(geometry, tech=self.tech)
@@ -189,6 +198,12 @@ class SRAM:
         #: the module-level :data:`CELL_RES_RATIO`).
         self._cell_res_ratio = CELL_RES_RATIO
         self._lptest_line_cap = self.tech.wordline_capacitance(geometry.columns)
+        #: Currently selected bank (None before the first access).  Only
+        #: tracked for banked geometries; a bank change books one
+        #: bank-select line transition (beyond-paper, word-line-class load).
+        self._active_bank: Optional[int] = None
+        self._bank_select_energy = self.tech.swing_energy(
+            self.tech.wordline_capacitance(geometry.columns))
 
     # ------------------------------------------------------------------
     # Configuration
@@ -213,6 +228,7 @@ class SRAM:
                                    track_per_cycle=self._detailed_ledger)
         self._cycle = 0
         self._active_row = None
+        self._active_bank = None
         self._floating_columns.clear()
         self._attached_columns = set(range(self.geometry.columns))
 
@@ -332,6 +348,14 @@ class SRAM:
             self.counters.row_transitions += 1
             self.row_decoder.deselect()
         self._active_row = row
+        if self.geometry.is_banked:
+            bank = self.geometry.bank_of_row(row)
+            if self._active_bank is not None and bank != self._active_bank:
+                self.counters.bank_transitions += 1
+                self.ledger.record_energy(
+                    cycle, PowerSource.BANK_SELECT, self._bank_select_energy,
+                    row=row, detail="bank-select line transition")
+            self._active_bank = bank
         # Connecting a new row to columns whose bit lines are still floating
         # (i.e. the restoration cycle was skipped) exposes the new row's
         # cells to whatever differential the old row left behind: Figure 7's

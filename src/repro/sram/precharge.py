@@ -55,14 +55,27 @@ class PrechargeCircuit:
     """Behavioural pre-charge circuit of one column."""
 
     def __init__(self, column_index: int, rows: int,
-                 tech: TechnologyParameters | None = None) -> None:
+                 tech: TechnologyParameters | None = None,
+                 bank_index: int = 0) -> None:
         if column_index < 0:
             raise PrechargeError("column_index must be non-negative")
+        if bank_index < 0:
+            raise PrechargeError("bank_index must be non-negative")
         self.tech = tech or default_technology()
         self.column_index = column_index
+        #: Sub-array bank this circuit serves.  ``rows`` is the bit-line
+        #: height the circuit restores against — in a banked organisation
+        #: that is the *bank* height, not the whole array.
+        self.bank_index = bank_index
         self.rows = rows
         self.enabled = True
         self.activity = PrechargeActivity()
+
+    def describe(self) -> str:
+        """Identity string used in error messages and reports."""
+        if self.bank_index:
+            return f"bank {self.bank_index}, column {self.column_index}"
+        return f"column {self.column_index}"
 
     # ------------------------------------------------------------------
     # Control
@@ -91,7 +104,7 @@ class PrechargeCircuit:
         """
         if not self.enabled:
             raise PrechargeError(
-                f"column {self.column_index}: restoration requested while pre-charge is OFF"
+                f"{self.describe()}: restoration requested while pre-charge is OFF"
             )
         result = pair.restore()
         self.activity.restorations += 1
@@ -114,7 +127,7 @@ class PrechargeCircuit:
         """
         if not self.enabled:
             raise PrechargeError(
-                f"column {self.column_index}: RES sustained while pre-charge is OFF"
+                f"{self.describe()}: RES sustained while pre-charge is OFF"
             )
         if duration < 0:
             raise PrechargeError("duration must be non-negative")

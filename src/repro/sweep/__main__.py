@@ -49,6 +49,7 @@ from ..engine import EngineError
 from ..faults import DEFAULT_LOCATION_SEED
 from ..march.library import PAPER_TABLE1_ALGORITHMS
 from ..march.ordering import ORDER_REGISTRY
+from ..sram.geometry import BANK_INTERLEAVE_MODES
 from .journal import JournalError
 from .runner import (
     DEFAULT_SAMPLE,
@@ -88,6 +89,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "pseudo-random for coverage campaigns)")
     parser.add_argument("--backend", default="auto", choices=BACKENDS,
                         help="execution engine (default: auto)")
+    parser.add_argument("--banks", type=int, action="append", default=None,
+                        metavar="N",
+                        help="sub-array bank count, repeatable — each value "
+                             "adds a banked variant of every geometry to "
+                             "power/PRR grids (default: 1, the paper's "
+                             "monolithic array; rows must divide evenly)")
+    parser.add_argument("--bank-interleave", default="blocked",
+                        choices=sorted(BANK_INTERLEAVE_MODES),
+                        help="row-to-bank map for banked geometries: "
+                             "'blocked' contiguous row ranges, 'interleaved' "
+                             "rows striped across banks (default: blocked)")
     parser.add_argument("--processes", type=int, default=None, metavar="N",
                         help="worker processes for the per-case fan-out "
                              "(default: one per CPU core, clamped to the "
@@ -186,6 +198,13 @@ def _warn_ignored_flags(args: argparse.Namespace) -> None:
                                       or args.prr_grid or args.paper_table1):
         print("warning: --seed only affects coverage and PRR campaigns; it "
               "is ignored by plain power sweeps", file=sys.stderr)
+    if args.banks is not None and (args.coverage or args.paper_coverage):
+        print("warning: --banks only affects power and PRR sweeps (banking "
+              "changes energies, not logical fault behaviour); it is "
+              "ignored by coverage campaigns", file=sys.stderr)
+    elif args.banks is not None and (args.paper or args.paper_table1):
+        print("warning: --banks is overridden by the --paper/--paper-table1 "
+              "presets (the paper's array is monolithic)", file=sys.stderr)
 
 
 def _build_cases(args: argparse.Namespace):
@@ -209,7 +228,8 @@ def _build_cases(args: argparse.Namespace):
         geometries = args.geometry or ["64x64"]
         algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
         cases = prr_grid(geometries, algorithms, backend=args.backend,
-                         seed=seed)
+                         seed=seed, banks=tuple(args.banks or (1,)),
+                         bank_interleave=args.bank_interleave)
         title = "BIST PRR campaigns ({count} scenarios)"
     elif args.paper_coverage:
         cases = paper_coverage_cases(backend=args.backend, seed=seed,
@@ -234,7 +254,9 @@ def _build_cases(args: argparse.Namespace):
         algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
         orders = args.order or ["row-major"]
         cases = sweep_grid(geometries, algorithms, orders=orders,
-                           backends=(args.backend,))
+                           backends=(args.backend,),
+                           banks=tuple(args.banks or (1,)),
+                           bank_interleave=args.bank_interleave)
         title = "Sweep results ({count} scenarios)"
     # Sharding applies before the title's scenario count so the report
     # describes what actually ran, not the full grid.

@@ -96,6 +96,17 @@ class SweepError(Exception):
 GeometryLike = Union[ArrayGeometry, Tuple[int, int], Tuple[int, int, int], str]
 
 
+def _geometry_label(rows: int, columns: int, bits_per_word: int,
+                    banks: int) -> str:
+    """The compact geometry spelling used by labels and table rows."""
+    label = f"{rows}x{columns}"
+    if bits_per_word != 1:
+        label += f"x{bits_per_word}"
+    if banks != 1:
+        label += f" ({banks} banks)"
+    return label
+
+
 def parse_geometry(spec: GeometryLike) -> ArrayGeometry:
     """Coerce a geometry specification into an :class:`ArrayGeometry`.
 
@@ -135,6 +146,8 @@ class SweepCase:
     order: str = "row-major"
     any_direction: str = "up"
     backend: str = "auto"
+    banks: int = 1
+    bank_interleave: str = "blocked"
 
     def __post_init__(self) -> None:
         if self.order not in ORDER_REGISTRY:
@@ -145,17 +158,19 @@ class SweepCase:
             raise SweepError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
         get_algorithm(self.algorithm)  # fail fast on unknown names
+        self.geometry()  # fail fast on inconsistent dimensions/banking
 
     def geometry(self) -> ArrayGeometry:
         """The array geometry this case runs on."""
         return ArrayGeometry(rows=self.rows, columns=self.columns,
-                             bits_per_word=self.bits_per_word)
+                             bits_per_word=self.bits_per_word,
+                             banks=self.banks,
+                             bank_interleave=self.bank_interleave)
 
     def label(self) -> str:
         """Short human-readable scenario label used in logs and tables."""
-        geometry = f"{self.rows}x{self.columns}"
-        if self.bits_per_word != 1:
-            geometry += f"x{self.bits_per_word}"
+        geometry = _geometry_label(self.rows, self.columns,
+                                   self.bits_per_word, self.banks)
         return f"{self.algorithm} @ {geometry} [{self.order}, {self.backend}]"
 
 
@@ -181,6 +196,8 @@ class SweepRecord:
     analytical_prr_recharge: float  # + the next-column recharge term
     passed: bool            # no read mismatch in either mode
     elapsed_s: float
+    banks: int = 1
+    bank_interleave: str = "blocked"
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view (the JSON/CSV row)."""
@@ -193,9 +210,8 @@ class SweepRecord:
 
     def table_row(self) -> Dict[str, object]:
         """One row of the sweep report table."""
-        geometry = f"{self.rows}x{self.columns}"
-        if self.bits_per_word != 1:
-            geometry += f"x{self.bits_per_word}"
+        geometry = _geometry_label(self.rows, self.columns,
+                                   self.bits_per_word, self.banks)
         return {
             "Algorithm": self.algorithm,
             "Geometry": geometry,
@@ -277,6 +293,8 @@ def power_record(case: SweepCase, functional, low_power, backend_used: str,
         analytical_prr_recharge=prediction_recharge.prr,
         passed=comparison.functional.passed and comparison.low_power.passed,
         elapsed_s=elapsed,
+        banks=case.banks,
+        bank_interleave=case.bank_interleave,
     )
 
 
@@ -521,6 +539,8 @@ class PrrCase:
     bits_per_word: int = 1
     backend: str = "auto"
     seed: int = 0
+    banks: int = 1
+    bank_interleave: str = "blocked"
 
     def __post_init__(self) -> None:
         if self.backend not in POWER_BACKENDS:
@@ -528,17 +548,19 @@ class PrrCase:
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {POWER_BACKENDS}")
         get_algorithm(self.algorithm)  # fail fast on unknown names
+        self.geometry()  # fail fast on inconsistent dimensions/banking
 
     def geometry(self) -> ArrayGeometry:
         """The array geometry this campaign runs on."""
         return ArrayGeometry(rows=self.rows, columns=self.columns,
-                             bits_per_word=self.bits_per_word)
+                             bits_per_word=self.bits_per_word,
+                             banks=self.banks,
+                             bank_interleave=self.bank_interleave)
 
     def label(self) -> str:
         """Short human-readable scenario label used in logs and tables."""
-        geometry = f"{self.rows}x{self.columns}"
-        if self.bits_per_word != 1:
-            geometry += f"x{self.bits_per_word}"
+        geometry = _geometry_label(self.rows, self.columns,
+                                   self.bits_per_word, self.banks)
         return f"{self.algorithm} PRR @ {geometry} [{self.backend}]"
 
 
@@ -575,6 +597,8 @@ class PrrRecord:
     low_power_planner: str
     passed: bool            # no comparator failure in either mode
     elapsed_s: float
+    banks: int = 1
+    bank_interleave: str = "blocked"
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view (the JSON/CSV row)."""
@@ -588,9 +612,8 @@ class PrrRecord:
     def table_row(self) -> Dict[str, object]:
         """One row of the sweep report table (the Table 1 layout)."""
         algorithm = get_algorithm(self.algorithm)
-        geometry = f"{self.rows}x{self.columns}"
-        if self.bits_per_word != 1:
-            geometry += f"x{self.bits_per_word}"
+        geometry = _geometry_label(self.rows, self.columns,
+                                   self.bits_per_word, self.banks)
         return {
             "Algorithm": self.algorithm,
             "Geometry": geometry,
@@ -676,22 +699,30 @@ def prr_record(case: PrrCase, functional, low_power,
         low_power_planner=low_power.planner,
         passed=functional.passed and low_power.passed,
         elapsed_s=elapsed,
+        banks=case.banks,
+        bank_interleave=case.bank_interleave,
     )
 
 
 def prr_grid(geometries: Iterable[GeometryLike],
              algorithms: Iterable[str],
              backend: str = "auto",
-             seed: int = 0) -> List["PrrCase"]:
-    """Build a grid of BIST power campaigns: one case per geometry x algorithm."""
+             seed: int = 0,
+             banks: Iterable[int] = (1,),
+             bank_interleave: str = "blocked") -> List["PrrCase"]:
+    """Build a grid of BIST power campaigns: one case per
+    geometry x bank-count x algorithm (PRR-vs-bank-count sweeps pass
+    several ``banks``)."""
     cases: List[PrrCase] = []
     for geometry_spec in geometries:
         geometry = parse_geometry(geometry_spec)
-        for algorithm in algorithms:
-            cases.append(PrrCase(
-                rows=geometry.rows, columns=geometry.columns,
-                bits_per_word=geometry.bits_per_word,
-                algorithm=algorithm, backend=backend, seed=seed))
+        for bank_count in banks:
+            for algorithm in algorithms:
+                cases.append(PrrCase(
+                    rows=geometry.rows, columns=geometry.columns,
+                    bits_per_word=geometry.bits_per_word,
+                    algorithm=algorithm, backend=backend, seed=seed,
+                    banks=bank_count, bank_interleave=bank_interleave))
     return cases
 
 
@@ -748,10 +779,19 @@ def case_fingerprint(case: AnyCase) -> Dict[str, object]:
 
 
 def _record_from_dict(cls, data: Dict[str, object]):
-    """Rebuild a record dataclass, coercing CSV's stringly-typed fields."""
+    """Rebuild a record dataclass, coercing CSV's stringly-typed fields.
+
+    Fields with a dataclass default (e.g. ``banks``) may be absent —
+    exports written before the field existed import with the default.
+    """
+    from dataclasses import MISSING
+
     kwargs = {}
     for spec in fields(cls):
         if spec.name not in data:
+            if spec.default is not MISSING:
+                kwargs[spec.name] = spec.default
+                continue
             raise SweepError(f"sweep record is missing field {spec.name!r}")
         value = data[spec.name]
         if spec.type in ("int", int):
@@ -831,7 +871,8 @@ class _WorkerState:
     def session_for(self, case: "SweepCase") -> TestSession:
         """The memoised power-measurement session for ``case``'s axes."""
         key = (case.rows, case.columns, case.bits_per_word, case.order,
-               case.any_direction, case.backend)
+               case.any_direction, case.backend, case.banks,
+               case.bank_interleave)
         session = self._sessions.get(key)
         if session is None:
             geometry = case.geometry()
@@ -856,7 +897,8 @@ class _WorkerState:
 
     def controller_for(self, case: "PrrCase") -> BistController:
         """The memoised BIST controller for ``case``'s axes."""
-        key = (case.rows, case.columns, case.bits_per_word, case.backend)
+        key = (case.rows, case.columns, case.bits_per_word, case.backend,
+               case.banks, case.bank_interleave)
         controller = self._controllers.get(key)
         if controller is None:
             controller = BistController(case.geometry(), backend=case.backend,
@@ -922,7 +964,8 @@ def _trace_warm_specs(case: AnyCase) -> List[Tuple]:
                 for order in case.orders]
     if isinstance(case, PrrCase):
         return [("prr", case.algorithm, case.rows, case.columns,
-                 case.bits_per_word, case.backend)]
+                 case.bits_per_word, case.backend, case.banks,
+                 case.bank_interleave)]
     return []
 
 
@@ -1106,24 +1149,30 @@ def sweep_grid(geometries: Iterable[GeometryLike],
                algorithms: Iterable[str],
                orders: Iterable[str] = ("row-major",),
                backends: Iterable[str] = ("auto",),
-               any_direction: str = "up") -> List[SweepCase]:
+               any_direction: str = "up",
+               banks: Iterable[int] = (1,),
+               bank_interleave: str = "blocked") -> List[SweepCase]:
     """Build the full cross-product grid of scenarios.
 
     ``geometries`` accepts anything :func:`parse_geometry` does; the other
-    axes are names.  The grid order is geometry-major so large scenarios
-    cluster together, which helps the multiprocessing fan-out balance.
+    axes are names (``banks`` enumerates sub-array counts per geometry).
+    The grid order is geometry-major so large scenarios cluster together,
+    which helps the multiprocessing fan-out balance.
     """
     cases: List[SweepCase] = []
     for geometry_spec in geometries:
         geometry = parse_geometry(geometry_spec)
-        for order in orders:
-            for backend in backends:
-                for algorithm in algorithms:
-                    cases.append(SweepCase(
-                        rows=geometry.rows, columns=geometry.columns,
-                        bits_per_word=geometry.bits_per_word,
-                        algorithm=algorithm, order=order,
-                        any_direction=any_direction, backend=backend))
+        for bank_count in banks:
+            for order in orders:
+                for backend in backends:
+                    for algorithm in algorithms:
+                        cases.append(SweepCase(
+                            rows=geometry.rows, columns=geometry.columns,
+                            bits_per_word=geometry.bits_per_word,
+                            algorithm=algorithm, order=order,
+                            any_direction=any_direction, backend=backend,
+                            banks=bank_count,
+                            bank_interleave=bank_interleave))
     return cases
 
 

@@ -42,42 +42,13 @@ from repro.march.ordering import (
 )
 from repro.sram import SRAM, ArrayGeometry, OperatingMode, solid_background
 
-REL_TOL = 1e-9
-
-COUNTER_FIELDS = (
-    "cycles",
-    "row_transitions",
-    "full_restores",
-    "full_res_column_cycles",
-    "floating_column_cycles",
-    "read_hazards",
+from differential import (
+    REL_TOL,
+    assert_aggregates_match,
+    assert_session_equivalent as assert_equivalent,
+    kernel_pair as _kernel_pair,
+    run_both_backends as both_backends,
 )
-
-
-def assert_equivalent(reference, vectorized, label=""):
-    """Assert two TestRunResults agree on every reported measurement."""
-    assert set(reference.energy_by_source) == set(vectorized.energy_by_source), label
-    for source, expected in reference.energy_by_source.items():
-        observed = vectorized.energy_by_source[source]
-        assert observed == pytest.approx(expected, rel=REL_TOL), (label, source)
-    assert vectorized.total_energy == pytest.approx(reference.total_energy,
-                                                    rel=REL_TOL), label
-    assert vectorized.average_power == pytest.approx(reference.average_power,
-                                                     rel=REL_TOL), label
-    for field in COUNTER_FIELDS:
-        assert getattr(vectorized, field) == getattr(reference, field), (label, field)
-    assert reference.mismatches == [] and vectorized.mismatches == [], label
-    assert reference.faulty_swaps == [] and vectorized.faulty_swaps == [], label
-    assert reference.passed and vectorized.passed, label
-    assert vectorized.order == reference.order
-    assert vectorized.geometry == reference.geometry
-
-
-def both_backends(geometry, algorithm, mode, **session_kwargs):
-    reference = TestSession(geometry, **session_kwargs).run(algorithm, mode)
-    vectorized = TestSession(geometry, backend="vectorized",
-                             **session_kwargs).run(algorithm, mode)
-    return reference, vectorized
 
 
 # ----------------------------------------------------------------------
@@ -257,14 +228,6 @@ def test_auto_uses_custom_memory_on_reference_path():
 KERNEL_ORDERS = (None, ColumnMajorOrder, RowMajorSnakeOrder, PseudoRandomOrder)
 
 
-def _kernel_pair(geometry, order_cls, any_direction, detailed):
-    order = order_cls(geometry) if order_cls is not None else None
-    return tuple(
-        VectorizedEngine(geometry, order=order, any_direction=any_direction,
-                         detailed=detailed, kernel=kernel)
-        for kernel in ("segmented", "flat"))
-
-
 @pytest.mark.parametrize("order_cls", KERNEL_ORDERS)
 @pytest.mark.parametrize("mode", list(OperatingMode))
 @pytest.mark.parametrize("any_direction",
@@ -281,16 +244,8 @@ def test_flat_kernel_matches_segmented(order_cls, mode, any_direction):
                 flat.run_aggregates(algorithm, mode)
             continue
         observed = flat.run_aggregates(algorithm, mode)
-        by_source_e, counters_e, cycles_e, stress_e = expected
-        by_source_o, counters_o, cycles_o, stress_o = observed
-        assert cycles_o == cycles_e
-        assert counters_o == counters_e, (algorithm.name, mode)
-        assert set(by_source_o) == set(by_source_e)
-        for source in by_source_e:
-            assert by_source_o[source] == pytest.approx(
-                by_source_e[source], rel=REL_TOL), (algorithm.name, source)
-        assert np.array_equal(stress_o.full_res, stress_e.full_res)
-        assert np.array_equal(stress_o.partial_res, stress_e.partial_res)
+        assert_aggregates_match(expected, observed,
+                                label=(algorithm.name, mode))
 
 
 def test_flat_kernel_handles_single_row_chains():
@@ -309,12 +264,7 @@ def test_flat_kernel_handles_single_row_chains():
     for mode in OperatingMode:
         expected = segmented.run_aggregates(bounce, mode)
         observed = flat.run_aggregates(bounce, mode)
-        assert observed[1] == expected[1]
-        assert observed[2] == expected[2]
-        assert set(observed[0]) == set(expected[0])
-        for source, energy in expected[0].items():
-            assert observed[0][source] == pytest.approx(energy, rel=REL_TOL)
-        assert np.array_equal(observed[3].partial_res, expected[3].partial_res)
+        assert_aggregates_match(expected, observed, label=mode)
     # March C-'s up→up element boundary parks on the last row's far edge
     # and restarts on its first word, which floats mid-chain: both kernels
     # must refuse identically.

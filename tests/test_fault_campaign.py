@@ -57,6 +57,11 @@ from repro.march.element import AddressingDirection
 from repro.march.ordering import AddressComplementOrder, make_order
 from repro.sram.geometry import ArrayGeometry
 
+from differential import (
+    assert_fault_verdicts_identical,
+    fault_verdict as verdict,
+)
+
 GEOMETRY = ArrayGeometry(rows=6, columns=6)
 LOCATIONS = [(0, 0), (0, 5), (2, 3), (5, 0), (5, 5)]
 
@@ -67,11 +72,6 @@ ORDER_FACTORIES = {
     "snake": RowMajorSnakeOrder,
     "address-complement": AddressComplementOrder,
 }
-
-
-def verdict(result):
-    """The triple both backends must agree on, bit for bit."""
-    return (result.detected, result.first_detection_step, result.mismatches)
 
 
 def full_battery(geometry=GEOMETRY, locations=LOCATIONS):
@@ -158,17 +158,8 @@ class TestVectorizedEquivalence:
     def compare(self, algorithm, order, direction=AddressingDirection.UP,
                 geometry=GEOMETRY, battery=None):
         battery = battery if battery is not None else full_battery(geometry)
-        reference = FaultSimulator(geometry, any_direction=direction,
-                                   backend="reference")
-        vectorized = FaultSimulator(geometry, any_direction=direction,
-                                    backend="vectorized")
-        expected = reference.simulate_many(algorithm, order, battery)
-        got = vectorized.simulate_many(algorithm, order, battery)
-        assert vectorized.last_backend_used == "vectorized"
-        for injection, lhs, rhs in zip(battery, expected, got):
-            assert verdict(lhs) == verdict(rhs), (
-                f"{injection.describe()} under {order.name}: "
-                f"reference {verdict(lhs)} vs vectorized {verdict(rhs)}")
+        assert_fault_verdicts_identical(geometry, algorithm, order, battery,
+                                        direction=direction)
 
     @pytest.mark.parametrize("order_name", sorted(ORDER_FACTORIES))
     @pytest.mark.parametrize("direction",
@@ -332,14 +323,8 @@ class TestBorderAggressorEnumeration:
                                               aggressor=aggressor))
         order = ColumnMajorOrder(geometry)
         for direction in (AddressingDirection.UP, AddressingDirection.DOWN):
-            reference = FaultSimulator(geometry, any_direction=direction,
-                                       backend="reference")
-            vectorized = FaultSimulator(geometry, any_direction=direction,
-                                        backend="vectorized")
-            expected = reference.simulate_many(MARCH_SS, order, battery)
-            got = vectorized.simulate_many(MARCH_SS, order, battery)
-            for lhs, rhs in zip(expected, got):
-                assert verdict(lhs) == verdict(rhs), lhs.injection.describe()
+            assert_fault_verdicts_identical(geometry, MARCH_SS, order,
+                                            battery, direction=direction)
 
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,38 @@ class TestValidation:
         with pytest.raises(ValueError):
             ArrayGeometry(rows=8, columns=10, bits_per_word=4)
 
+    def test_rejects_word_width_wider_than_the_array(self):
+        """bits_per_word > columns is physically impossible (one operation
+        cannot select more bit-line pairs than exist); the dedicated check
+        names that contradiction instead of hiding it behind the generic
+        divisibility message."""
+        with pytest.raises(ValueError, match="cannot select more"):
+            ArrayGeometry(rows=8, columns=4, bits_per_word=8)
+        with pytest.raises(ValueError, match=r"bits_per_word \(16\)"):
+            ArrayGeometry(rows=8, columns=8, bits_per_word=16)
+
+    def test_rejects_bad_bank_counts(self):
+        with pytest.raises(ValueError, match="banks must be positive"):
+            ArrayGeometry(rows=8, columns=8, banks=0)
+        with pytest.raises(ValueError, match="multiple of banks"):
+            ArrayGeometry(rows=8, columns=8, banks=3)
+
+    def test_rejects_unknown_interleave_mode(self):
+        with pytest.raises(ValueError, match="bank_interleave"):
+            ArrayGeometry(rows=8, columns=8, banks=2,
+                          bank_interleave="diagonal")
+
+    def test_banked_properties_and_describe(self):
+        geometry = ArrayGeometry(rows=16, columns=8, banks=4,
+                                 bank_interleave="interleaved")
+        assert geometry.is_banked
+        assert geometry.rows_per_bank == 4
+        assert "4 banks of 4 rows" in geometry.describe()
+        monolithic = ArrayGeometry(rows=16, columns=8)
+        assert not monolithic.is_banked
+        assert monolithic.rows_per_bank == 16
+        assert "bank" not in monolithic.describe()
+
     def test_paper_geometry_is_512_by_512_bit_oriented(self):
         assert PAPER_GEOMETRY.rows == 512
         assert PAPER_GEOMETRY.columns == 512

@@ -31,27 +31,13 @@ from repro.sweep.runner import (
     sweep_grid,
 )
 
+from differential import (
+    assert_identical_records,
+    run_both_strategies as run_both,
+)
+
 ALGORITHMS = [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS]
 SIZES = ["8x16", "16x64"]
-
-
-def drop_elapsed(record) -> dict:
-    row = record.as_dict()
-    row.pop("elapsed_s")
-    return row
-
-
-def assert_identical_records(percase_result, batched_result):
-    assert len(percase_result) == len(batched_result)
-    for expected, observed in zip(percase_result, batched_result):
-        assert type(observed) is type(expected)
-        assert drop_elapsed(observed) == drop_elapsed(expected)
-
-
-def run_both(cases):
-    percase = SweepRunner(cases, processes=1, strategy="percase").run()
-    batched = SweepRunner(cases, strategy="batched").run()
-    return percase, batched
 
 
 # ----------------------------------------------------------------------

@@ -248,3 +248,63 @@ class TestGeometryProperties:
             assert not (seen & set(word_columns))
             seen.update(word_columns)
         assert seen == set(range(columns))
+
+
+# ----------------------------------------------------------------------
+# Banked address-map properties
+# ----------------------------------------------------------------------
+from repro.sram.geometry import BANK_INTERLEAVE_MODES  # noqa: E402
+
+banked_geometries = st.builds(
+    lambda banks, rows_per_bank, columns, interleave: ArrayGeometry(
+        rows=banks * rows_per_bank, columns=columns, banks=banks,
+        bank_interleave=interleave),
+    banks=st.sampled_from([1, 2, 4, 8]),
+    rows_per_bank=st.integers(min_value=1, max_value=8),
+    columns=st.integers(min_value=1, max_value=16),
+    interleave=st.sampled_from(sorted(BANK_INTERLEAVE_MODES)),
+)
+
+
+class TestBankedAddressMapProperties:
+    @given(banked_geometries)
+    def test_bank_decode_encode_round_trip(self, geometry):
+        """decode ∘ encode is the identity on every physical row."""
+        for row in range(geometry.rows):
+            bank, local = geometry.bank_decode(row)
+            assert 0 <= bank < geometry.banks
+            assert 0 <= local < geometry.rows_per_bank
+            assert geometry.bank_encode(bank, local) == row
+            assert geometry.bank_of_row(row) == bank
+
+    @given(banked_geometries)
+    def test_bank_map_is_inverse_permutation(self, geometry):
+        """encode ∘ decode is the identity in the other composition order:
+        the bank map is a bijection rows -> banks x rows_per_bank, so the
+        banked array is an exact re-labelling of the monolithic one."""
+        decoded = {geometry.bank_decode(row) for row in range(geometry.rows)}
+        assert len(decoded) == geometry.rows  # injective, hence bijective
+        for bank in range(geometry.banks):
+            for local in range(geometry.rows_per_bank):
+                row = geometry.bank_encode(bank, local)
+                assert geometry.bank_decode(row) == (bank, local)
+
+    @given(banked_geometries)
+    def test_banks_partition_the_rows(self, geometry):
+        """Every bank owns exactly rows_per_bank rows; no row is shared."""
+        by_bank = {}
+        for row in range(geometry.rows):
+            by_bank.setdefault(geometry.bank_of_row(row), set()).add(row)
+        assert set(by_bank) == set(range(geometry.banks))
+        for rows in by_bank.values():
+            assert len(rows) == geometry.rows_per_bank
+
+    @given(st.integers(min_value=1, max_value=32),
+           st.sampled_from(sorted(BANK_INTERLEAVE_MODES)))
+    def test_single_bank_is_the_identity_map(self, rows, interleave):
+        """banks=1 must degenerate to the monolithic array exactly."""
+        geometry = ArrayGeometry(rows=rows, columns=4, banks=1,
+                                 bank_interleave=interleave)
+        for row in range(rows):
+            assert geometry.bank_decode(row) == (0, row)
+            assert geometry.bank_encode(0, row) == row

@@ -32,7 +32,7 @@ from repro.march.parser import parse_march
 from repro.sram import ArrayGeometry, checkerboard_background
 from repro.sweep import PRR_BRACKET_SLACK, PrrCase, run_prr_case
 
-REL_TOL = 1e-9
+from differential import REL_TOL, assert_bist_equivalent, measured_prr
 
 #: Reconciliation tolerance (PRR fraction) between the measured PRR and the
 #: extended analytical variant on bit-oriented arrays — the same two
@@ -50,14 +50,6 @@ DIFFERENTIAL_GEOMETRIES = (
 LIBRARY_IDS = [algorithm.name for algorithm in all_algorithms()]
 
 
-def measured_prr(controller: BistController, algorithm) -> float:
-    """Measured Power Reduction Ratio of one algorithm on one controller."""
-    functional = controller.run(algorithm, low_power=False)
-    low_power = controller.run(algorithm, low_power=True)
-    assert functional.passed and low_power.passed
-    return 1.0 - low_power.average_power / functional.average_power
-
-
 # ----------------------------------------------------------------------
 # Backend equivalence on the whole library
 # ----------------------------------------------------------------------
@@ -72,21 +64,9 @@ class TestBackendEquivalence:
                                     backend="vectorized").run(
             algorithm, low_power=low_power)
         label = f"{algorithm.name}/{'lpt' if low_power else 'functional'}"
-        assert vectorized.cycles == reference.cycles, label
-        assert vectorized.passed and reference.passed, label
-        assert vectorized.failures == reference.failures == 0, label
-        assert set(vectorized.energy_by_source) == \
-            set(reference.energy_by_source), label
-        for source, expected in reference.energy_by_source.items():
-            assert vectorized.energy_by_source[source] == \
-                pytest.approx(expected, rel=REL_TOL), (label, source)
-        assert vectorized.total_energy == \
-            pytest.approx(reference.total_energy, rel=REL_TOL), label
-        assert vectorized.average_power == \
-            pytest.approx(reference.average_power, rel=REL_TOL), label
+        assert_bist_equivalent(reference, vectorized, label)
         assert reference.backend == "reference"
         assert vectorized.backend == "vectorized"
-        assert vectorized.planner == reference.planner
 
     def test_measured_prr_identical_across_backends(self):
         for algorithm in PAPER_TABLE1_ALGORITHMS:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sweep import paper_prr_cases, run_prr_case
+from repro.sweep import PrrCase, paper_prr_cases, run_prr_case
 
 #: algorithm -> (cycles per mode, functional energy [J], low-power test
 #: energy [J], measured PRR) on the full 512 x 512 array.
@@ -78,3 +78,75 @@ def test_paper_scale_runs_stay_healthy(paper_records, algorithm):
     assert record.passed, algorithm
     assert record.within_bracket, algorithm
     assert record.backend_used == "vectorized", algorithm
+
+
+# ----------------------------------------------------------------------
+# Banked 512 x 512 golden (beyond-paper): banks=4 pinned, banks=1 exact
+# ----------------------------------------------------------------------
+#: algorithm -> (cycles per mode, functional energy [J], low-power test
+#: energy [J], measured PRR) on the 512 x 512 array split into 4 banks
+#: (blocked interleave).  Banking shortens every bit line to the bank
+#: height, which shrinks the pre-charge energy both modes pay and roughly
+#: doubles the measured PRR — the beyond-paper effect the `--banks` sweep
+#: axis measures.  Regenerate alongside GOLDEN_TABLE1 (add ``banks=4``).
+GOLDEN_TABLE1_BANKS4 = {
+    "March C-": (2621440, 1.1718989279395841e-05, 3.471295161917524e-06,
+                 0.703788861039347),
+    "March SS": (5767168, 2.5646255201845247e-05, 5.836410414643992e-06,
+                 0.7724264081165322),
+    "MATS+": (1310720, 5.89167242248192e-06, 1.7678252621599162e-06,
+              0.6999450859803227),
+    "March SR": (3670016, 1.6339958786686977e-05, 4.238283561711477e-06,
+                 0.740618466849217),
+    "March G": (6029312, 2.7043784694956035e-05, 6.502357795245076e-06,
+                0.7595618413402826),
+}
+
+
+def _banked_case(case: PrrCase, banks: int) -> PrrCase:
+    return PrrCase(rows=case.rows, columns=case.columns,
+                   algorithm=case.algorithm, backend=case.backend,
+                   seed=case.seed, banks=banks)
+
+
+@pytest.fixture(scope="module")
+def banked_records():
+    """Measured Table 1 on the 4-bank 512 x 512 array, once per module."""
+    return {record.algorithm: record
+            for record in (run_prr_case(_banked_case(case, banks=4))
+                           for case in paper_prr_cases())}
+
+
+def test_single_bank_case_reproduces_the_monolithic_golden(paper_records):
+    """banks=1 must be byte-for-byte today's Table 1: the banked geometry
+    with one bank *is* the monolithic array, not an approximation of it."""
+    for case in paper_prr_cases():
+        record = run_prr_case(_banked_case(case, banks=1))
+        monolithic = paper_records[record.algorithm]
+        assert record.cycles_per_mode == monolithic.cycles_per_mode
+        assert record.functional_energy_j == monolithic.functional_energy_j
+        assert record.low_power_energy_j == monolithic.low_power_energy_j
+        assert record.measured_prr == monolithic.measured_prr
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_TABLE1_BANKS4))
+def test_banked_table1_numbers_are_pinned(banked_records, algorithm):
+    cycles, functional_j, low_power_j, prr = GOLDEN_TABLE1_BANKS4[algorithm]
+    record = banked_records[algorithm]
+    assert record.banks == 4
+    assert record.cycles_per_mode == cycles  # banking never adds cycles
+    assert record.functional_energy_j == pytest.approx(functional_j,
+                                                       rel=GOLDEN_REL_TOL)
+    assert record.low_power_energy_j == pytest.approx(low_power_j,
+                                                      rel=GOLDEN_REL_TOL)
+    assert record.measured_prr == pytest.approx(prr, rel=GOLDEN_REL_TOL)
+
+
+@pytest.mark.parametrize("algorithm", sorted(GOLDEN_TABLE1_BANKS4))
+def test_banking_raises_the_paper_scale_prr(banked_records, algorithm):
+    """At paper scale the 4-bank PRR clears the monolithic one by a wide
+    margin (shorter bit lines leave less RES pre-charge to pay in either
+    mode, but far less in the low-power test)."""
+    assert banked_records[algorithm].measured_prr > \
+        GOLDEN_TABLE1[algorithm][3] + 0.1
+    assert banked_records[algorithm].passed, algorithm
