@@ -22,7 +22,7 @@ regresses past the allowed factor (``benchmarks/check_regression.py``).
 
 Environment knobs:
 
-* ``REPRO_BENCH_ID`` — series id in the output filename (default ``6``);
+* ``REPRO_BENCH_ID`` — series id in the output filename (default ``7``);
 * ``REPRO_BENCH_JSON`` — full override of the output path;
 * ``REPRO_BENCH_QUICK`` / ``REPRO_BENCH_FULL`` — workload tiers, honoured
   per benchmark module (entries record the tier they measured).
@@ -40,7 +40,22 @@ from typing import Dict, List, Optional
 import pytest
 
 #: Series id of the perf-trajectory file this session writes.
-BENCH_SERIES = os.environ.get("REPRO_BENCH_ID", "6")
+BENCH_SERIES = os.environ.get("REPRO_BENCH_ID", "7")
+
+
+def _active_kernel() -> Optional[str]:
+    """The kernel tier a measurement ran on, when the engine layer is up.
+
+    Entries that don't name their tier explicitly get the process-wide
+    active tier, so ``check_regression.py`` can compare like-for-like
+    tiers across trajectories measured with different optional deps.
+    """
+    try:
+        from repro.engine import active_kernel
+
+        return active_kernel()
+    except Exception:  # noqa: BLE001 - engine (numpy) may be absent
+        return None
 
 
 def _git_metadata() -> Dict[str, object]:
@@ -86,6 +101,10 @@ class BenchTrajectory:
         if speedup is not None:
             entry["speedup"] = round(float(speedup), 3)
         entry.update(extra)
+        if entry.get("kernel") is None:
+            active = _active_kernel()
+            if active is not None:
+                entry["kernel"] = active
         # Last write wins per workload (a bench may refine its entry).
         self.entries = [existing for existing in self.entries
                         if existing["workload"] != workload]

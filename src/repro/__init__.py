@@ -100,7 +100,10 @@ from .faults import (
     run_campaign,
     run_coverage,
 )
-from .engine import EngineError  # numpy-free: resolved from engine.dispatch
+from .engine import (  # numpy-free: resolved from engine.dispatch
+    KERNEL_CHOICES,
+    EngineError,
+)
 from .sweep import (
     CoverageCase,
     PrrCase,
@@ -112,7 +115,7 @@ from .sweep import (
     sweep_grid,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: Engine classes resolved lazily (PEP 562) so that importing :mod:`repro`
 #: (or any scalar subsystem) never loads numpy; the vectorized modules load
@@ -123,6 +126,13 @@ _LAZY_ENGINE_EXPORTS = (
     "VectorizedFaultCampaign",
     "UnsupportedFaultCampaign",
     "VectorizedPowerCampaign",
+    # kernel-tier helpers (numpy loads on first use, numba/cupy never
+    # before a compiled tier is actually requested)
+    "KERNELS",
+    "default_kernel",
+    "available_kernels",
+    "active_kernel",
+    "resolve_kernel",
 )
 
 
@@ -165,6 +175,8 @@ __all__ = [
     "VectorizedEngine", "EngineError", "UnsupportedConfiguration",
     "VectorizedFaultCampaign", "UnsupportedFaultCampaign",
     "VectorizedPowerCampaign",
+    "KERNEL_CHOICES", "KERNELS", "default_kernel", "available_kernels",
+    "active_kernel", "resolve_kernel",
     "SweepRunner", "SweepCase", "CoverageCase", "PrrCase", "SweepResult",
     "sweep_grid", "coverage_grid", "prr_grid",
 ]

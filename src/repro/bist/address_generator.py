@@ -36,10 +36,26 @@ class AddressGenerator:
     order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL
 
     def as_address_order(self) -> AddressOrder:
-        """The equivalent software :class:`AddressOrder`."""
+        """The equivalent software :class:`AddressOrder`.
+
+        Memoised per configured :class:`BistOrder`: AddressOrder caches
+        its derived structures (coordinate arrays, rank array, the
+        wordline-sequential verdict) *per instance*, so handing out a
+        fresh order on every call would rebuild them on every call —
+        at 4096 x 4096 that one allocation dominated the whole warm PRR
+        measurement.  Reconfiguring :attr:`order` naturally misses the
+        memo and builds the other order once.
+        """
+        memo = getattr(self, "_order_memo", None)
+        if memo is not None and memo[0] is self.order \
+                and memo[1] is self.geometry:
+            return memo[2]
         if self.order is BistOrder.WORDLINE_SEQUENTIAL:
-            return RowMajorOrder(self.geometry)
-        return ColumnMajorOrder(self.geometry)
+            built: AddressOrder = RowMajorOrder(self.geometry)
+        else:
+            built = ColumnMajorOrder(self.geometry)
+        self._order_memo = (self.order, self.geometry, built)
+        return built
 
     # ------------------------------------------------------------------
     # Hardware-style stepping (used by the controller FSM and its tests)

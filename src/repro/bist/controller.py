@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..circuit.technology import TechnologyParameters, default_technology
-from ..engine.dispatch import BackendDispatcher, EngineError
+from ..engine.dispatch import KERNEL_CHOICES, BackendDispatcher, EngineError
 from ..march.algorithm import MarchAlgorithm
 from ..march.execution import TraceCache
 from ..power.sources import PowerSource
@@ -60,6 +60,9 @@ class BistResult:
     planner: str = ""
     #: execution engine that measured the run ("reference"/"vectorized").
     backend: str = "reference"
+    #: concrete kernel tier of the vectorized campaign ("flat" /
+    #: "segmented" / "jit" / "gpu"); "" on the reference engine.
+    kernel: str = ""
 
     def describe(self) -> str:
         """One-line human-readable summary of the run."""
@@ -100,10 +103,17 @@ class BistController:
                  order: BistOrder = BistOrder.WORDLINE_SEQUENTIAL,
                  background: Optional[BackgroundFunction] = None,
                  backend: str = "reference",
-                 trace_cache: Optional[TraceCache] = None) -> None:
+                 trace_cache: Optional[TraceCache] = None,
+                 kernel: Optional[str] = None) -> None:
         self._dispatch = BackendDispatcher("bist", self._make_engine,
                                            error=BistError)
         self.backend = self._dispatch.validate(backend)
+        if kernel is not None and kernel not in KERNEL_CHOICES:
+            raise BistError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}")
+        #: kernel tier of the vectorized power campaign (``None`` follows
+        #: the process default).
+        self.kernel = kernel
         self.geometry = geometry
         self.tech = tech or default_technology()
         self.address_generator = AddressGenerator(geometry, order)
@@ -189,22 +199,26 @@ class BistController:
         from ..engine import VectorizedPowerCampaign  # deferred: numpy optional
 
         return VectorizedPowerCampaign(
-            self.geometry, tech=self.tech, trace_cache=self._trace_cache)
+            self.geometry, tech=self.tech, trace_cache=self._trace_cache,
+            kernel=self.kernel)
 
     def warm(self, algorithm: MarchAlgorithm) -> None:
         """Pre-compile ``algorithm``'s operation trace (no measurement).
 
         On the vectorized backend this populates the campaign's trace
-        cache so the first :meth:`run` skips compilation — the sweep
-        orchestrator's worker initializer calls this for every algorithm a
-        worker may be handed.  A no-op on the reference backend (which
+        cache — including the compiled segment structure, the dominant
+        cold cost at large geometries — and warms the resolved kernel
+        tier (loading numba's on-disk cache for ``kernel="jit"``), so the
+        first :meth:`run` measures instead of compiling.  The sweep
+        orchestrator's worker initializer calls this for every algorithm
+        a worker may be handed.  A no-op on the reference backend (which
         walks fresh each run) and when the engine is unavailable.
         """
         algorithm.validate()
         if self.backend == "reference":
             return
         try:
-            self._dispatch.engine.trace_for(algorithm, self._current_order())
+            self._dispatch.engine.warm(algorithm, self._current_order())
         except (EngineError, ImportError):  # warming is best-effort
             pass
 

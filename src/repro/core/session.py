@@ -26,7 +26,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuit.technology import TechnologyParameters, default_technology
-from ..engine.dispatch import BackendDispatcher, register_backend_family
+from ..engine.dispatch import (
+    KERNEL_CHOICES,
+    BackendDispatcher,
+    register_backend_family,
+)
 from ..march.algorithm import MarchAlgorithm
 from ..march.element import AddressingDirection
 from ..march.execution import walk
@@ -75,6 +79,10 @@ class TestRunResult:
     full_res_column_cycles: int = 0
     floating_column_cycles: int = 0
     bank_transitions: int = 0
+    #: Concrete kernel tier that measured this run on the vectorized
+    #: backend ("flat" / "segmented" / "jit" / "gpu"); "" on the
+    #: reference backend, which has no kernel seam.
+    kernel: str = ""
 
     @property
     def passed(self) -> bool:
@@ -153,7 +161,8 @@ class TestSession:
                  background: Optional[BackgroundFunction] = None,
                  any_direction: AddressingDirection = AddressingDirection.UP,
                  detailed: Optional[bool] = None,
-                 backend: str = "reference") -> None:
+                 backend: str = "reference",
+                 kernel: Optional[str] = None) -> None:
         self._dispatch = BackendDispatcher("session", self._make_engine,
                                            error=SessionError)
         self.backend = self._dispatch.validate(backend)
@@ -163,6 +172,13 @@ class TestSession:
         self.background = background if background is not None else solid_background(0)
         self.any_direction = any_direction
         self.detailed = detailed
+        #: kernel tier of the vectorized engine (``None`` follows the
+        #: process default; see :func:`repro.engine.vectorized.default_kernel`).
+        #: Validated eagerly — the engine itself is built lazily.
+        if kernel is not None and kernel not in KERNEL_CHOICES:
+            raise SessionError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}")
+        self.kernel = kernel
         #: engine that executed the most recent :meth:`run` (``None`` before
         #: the first run): "reference" or "vectorized".
         self.last_backend_used: Optional[str] = None
@@ -192,7 +208,8 @@ class TestSession:
 
         return VectorizedEngine(
             self.geometry, tech=self.tech, order=self.order,
-            any_direction=self.any_direction, detailed=self.detailed)
+            any_direction=self.any_direction, detailed=self.detailed,
+            kernel=self.kernel)
 
     # ------------------------------------------------------------------
     def run(self, algorithm: MarchAlgorithm, mode: OperatingMode,

@@ -18,6 +18,13 @@
   activity, comparator outcomes and all five Section 5 power sources in
   closed vector form, for both pre-charge planners (the measured Table 1
   workload).
+* :mod:`repro.engine.compiled` / :mod:`repro.engine.gpu` — optional
+  compiled kernel tiers (``kernel="jit"``: a Numba port of the flat
+  kernel's per-slot reductions; ``kernel="gpu"``: the same array program
+  on CuPy).  Imported lazily on first use and never required: when the
+  dependency is absent the engine falls back to the ``"flat"`` numpy
+  kernel with a single warning, and every result records the tier that
+  actually ran.
 * :mod:`repro.engine.grid` — the grid-batched evaluation layer:
   per-geometry groups of sweep scenarios (all algorithms, orders and both
   planners) evaluated through one stacked flat-kernel pass sharing one
@@ -47,6 +54,16 @@ _EXPORTS = {
     "VectorizedEngine": ".vectorized",
     "CellStressTotals": ".vectorized",
     "UnsupportedConfiguration": ".vectorized",
+    # kernel-tier surface (the "jit"/"gpu" compiled tiers and their
+    # availability/fallback helpers) lives on the vectorized module.
+    "KERNELS": ".vectorized",
+    "default_kernel": ".vectorized",
+    "available_kernels": ".vectorized",
+    "active_kernel": ".vectorized",
+    "kernel_available": ".vectorized",
+    "resolve_kernel": ".vectorized",
+    "reset_kernel_state": ".vectorized",
+    "note_kernel_fallback": ".vectorized",
     "VectorizedFaultCampaign": ".fault_campaign",
     "UnsupportedFaultCampaign": ".fault_campaign",
     "VectorizedPowerCampaign": ".power_campaign",
@@ -55,6 +72,7 @@ _EXPORTS = {
     "EngineError": ".dispatch",
     "BackendDispatcher": ".dispatch",
     "BACKEND_CHOICES": ".dispatch",
+    "KERNEL_CHOICES": ".dispatch",
     "register_backend_family": ".dispatch",
     "backend_families": ".dispatch",
     "backend_choices": ".dispatch",
@@ -65,6 +83,7 @@ __all__ = list(_EXPORTS)
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .dispatch import (
         BACKEND_CHOICES,
+        KERNEL_CHOICES,
         BackendDispatcher,
         EngineError,
         backend_choices,
@@ -74,7 +93,19 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .fault_campaign import UnsupportedFaultCampaign, VectorizedFaultCampaign
     from .grid import BatchedGridEngine
     from .power_campaign import VectorizedPowerCampaign
-    from .vectorized import CellStressTotals, UnsupportedConfiguration, VectorizedEngine
+    from .vectorized import (
+        KERNELS,
+        CellStressTotals,
+        UnsupportedConfiguration,
+        VectorizedEngine,
+        active_kernel,
+        available_kernels,
+        default_kernel,
+        kernel_available,
+        note_kernel_fallback,
+        reset_kernel_state,
+        resolve_kernel,
+    )
 
 
 def __getattr__(name: str):

@@ -42,6 +42,14 @@ class EngineError(Exception):
 #: The canonical backend switch values every facade family shares.
 BACKEND_CHOICES: Tuple[str, ...] = ("reference", "vectorized", "auto")
 
+#: The kernel-tier switch shared by every vectorized engine: the two
+#: numpy tiers (``"flat"``, ``"segmented"``), the optional compiled tiers
+#: (``"jit"`` via numba, ``"gpu"`` via cupy — both fall back to ``"flat"``
+#: when the dependency is absent), and ``"auto"`` (best available compiled
+#: tier, else ``"flat"``).  Defined here — NumPy-free — so the sweep CLI
+#: can enumerate the axis without loading any engine module.
+KERNEL_CHOICES: Tuple[str, ...] = ("flat", "segmented", "jit", "gpu", "auto")
+
 #: Facade families registered through :func:`register_backend_family`.
 _FAMILIES: Dict[str, Tuple[str, ...]] = {}
 
@@ -68,6 +76,11 @@ def register_backend_family(family: str,
             f"{existing}, cannot re-register with {registered}")
     _FAMILIES[family] = registered
     return registered
+
+
+# The kernel tier is itself a registered family, so orchestrators discover
+# it exactly like the per-facade backend switches.
+register_backend_family("kernel", KERNEL_CHOICES)
 
 
 def backend_families() -> Dict[str, Tuple[str, ...]]:
@@ -140,6 +153,25 @@ class BackendDispatcher:
     def invalidate(self) -> None:
         """Drop the cached vectorized engine (rebuilt on next use)."""
         self._engine = None
+
+    def warm(self, *args: object, **kwargs: object) -> bool:
+        """Best-effort warm-up of the cached vectorized engine.
+
+        Builds the engine (importing numpy, and — for compiled kernel
+        tiers — triggering the one-time JIT compile / cache load) and
+        forwards ``*args`` to the engine's own ``warm`` method when it has
+        one.  Returns ``True`` when warming ran to completion and
+        ``False`` on any failure: warming is an amortization hint, never a
+        correctness step, so it must not fail a run.
+        """
+        try:
+            engine = self.engine
+            warmer = getattr(engine, "warm", None)
+            if callable(warmer):
+                warmer(*args, **kwargs)
+            return True
+        except Exception:  # noqa: BLE001 - warming is advisory by contract
+            return False
 
     # ------------------------------------------------------------------
     def call(self, chosen: str, *,

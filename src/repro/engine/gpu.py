@@ -1,0 +1,53 @@
+"""CuPy kernel tier (``kernel="gpu"``) of the vectorized engine.
+
+The gpu tier reuses the *identical* array program as the flat tier —
+:func:`repro.engine.vectorized._reduce_tile_arrays` is written against an
+``xp`` array namespace, so this module simply stages the segment tile onto
+the device, runs the shared program with ``xp=cupy``, and brings the five
+per-slot accumulators back as numpy arrays.  No re-derivation means no
+drift: any change to the flat kernel's math is the gpu tier's math on the
+next run.
+
+Integer counters are exact; float energy sums may differ from the CPU
+tiers by summation order only (device-parallel ``bincount``), inside the
+project-wide 1e-9 differential gate.
+
+The tier is strictly opt-in (``kernel="gpu"``): ``kernel="auto"`` prefers
+the jit tier, because per-tile host↔device transfers only pay off once
+segment tiles are large enough to amortize the copies.  Imported lazily by
+:func:`repro.engine.vectorized.kernel_module`; an absent cupy makes the
+import fail cleanly (``ImportError``), which
+:func:`repro.engine.vectorized.resolve_kernel` turns into a
+single-warning fallback to the ``"flat"`` tier.
+"""
+
+from __future__ import annotations
+
+import cupy
+import numpy as np
+
+from .vectorized import _reduce_tile_arrays
+
+
+def reduce_tile(slots, m, first, last, carry, chained, delta_seg, x,
+                n_words, bits, coeff, boundary_gain, total_slots):
+    """The flat kernel's per-tile slot reductions, on the device.
+
+    Same signature and return contract as the numpy tier: five host-side
+    per-slot accumulator arrays of length ``total_slots``.
+    """
+    staged = (cupy.asarray(array) for array in
+              (slots, m, first, last, carry, chained, delta_seg, x))
+    outputs = _reduce_tile_arrays(cupy, *staged, n_words, bits, coeff,
+                                  boundary_gain, total_slots)
+    return tuple(cupy.asnumpy(array) for array in outputs)
+
+
+def warm() -> None:
+    """Initialise the device context with a dummy one-segment reduction."""
+    zero = np.zeros(1, dtype=np.int64)
+    reduce_tile(zero, np.ones(1, dtype=np.int64), zero, zero,
+                np.zeros(1, dtype=np.bool_), np.zeros(1, dtype=np.bool_),
+                zero, np.full(1, 0.5, dtype=np.float64),
+                n_words=1, bits=1, coeff=1.0, boundary_gain=1.0,
+                total_slots=1)

@@ -73,6 +73,24 @@ class BatchedGridEngine:
 
         self._runner = sweep_runner
         self.cases = list(cases)
+        #: Concrete kernel tier of the most recent stacked pass (mirrors
+        #: ``last_backend_used`` on the facades): the tier that actually
+        #: executed, after availability fallback — ``None`` before the
+        #: first stacked group runs.
+        self.last_kernel_used = None
+
+    def _noted(self, case, record):
+        """Stamp :attr:`last_kernel_used` from a finished record and warn
+        (once per process, via the engine layer's shared registry) when
+        the case's requested tier silently fell back."""
+        from .vectorized import note_kernel_fallback  # deferred: numpy path
+
+        used = getattr(record, "kernel_used", "") or None
+        if used is not None:
+            self.last_kernel_used = used
+        note_kernel_fallback(getattr(case, "kernel", None), used,
+                             context="batched grid")
+        return record
 
     # ------------------------------------------------------------------
     def completions(self) -> Iterator[Tuple[int, object]]:
@@ -120,10 +138,10 @@ class BatchedGridEngine:
         """Split the grid into stackable groups and per-case leftovers.
 
         PRR campaigns group per BIST-controller configuration, power
-        sweeps per (geometry, direction) — different algorithms, address
-        orders and requested backends stack together; only the reference
-        backend (which has no bulk kernel) and coverage campaigns (a
-        different engine family) stay per-case.
+        sweeps per (geometry, direction, kernel) — different algorithms,
+        address orders and requested backends stack together; only the
+        reference backend (which has no bulk kernel) and coverage
+        campaigns (a different engine family) stay per-case.
         """
         runner = self._runner
         prr_groups: Dict[Tuple, List[Tuple[int, object]]] = {}
@@ -132,12 +150,14 @@ class BatchedGridEngine:
         for position, case in enumerate(self.cases):
             if isinstance(case, runner.PrrCase) and case.backend != "reference":
                 key = (case.rows, case.columns, case.bits_per_word,
-                       case.backend, case.banks, case.bank_interleave)
+                       case.backend, case.banks, case.bank_interleave,
+                       case.kernel)
                 prr_groups.setdefault(key, []).append((position, case))
             elif isinstance(case, runner.SweepCase) \
                     and case.backend != "reference":
                 key = (case.rows, case.columns, case.bits_per_word,
-                       case.any_direction, case.banks, case.bank_interleave)
+                       case.any_direction, case.banks, case.bank_interleave,
+                       case.kernel)
                 power_groups.setdefault(key, []).append((position, case))
             else:
                 percase.append((position, case))
@@ -179,8 +199,8 @@ class BatchedGridEngine:
                 # backend="vectorized" surfaces the engine error.
                 yield position, runner.execute_case(case)
             else:
-                yield position, runner.prr_record(case, functional,
-                                                  low_power, share)
+                yield position, self._noted(case, runner.prr_record(
+                    case, functional, low_power, share))
 
     def _run_power_group(self, state, members):
         """One stacked pass over a session power group (all orders, both
@@ -192,7 +212,8 @@ class BatchedGridEngine:
         geometry = first_case.geometry()
         direction = AddressingDirection(first_case.any_direction)
         engine = VectorizedEngine(geometry, any_direction=direction,
-                                  detailed=False, trace_cache=state.traces)
+                                  detailed=False, trace_cache=state.traces,
+                                  kernel=first_case.kernel)
         requests = []
         orders = []
         for _, case in members:
@@ -221,5 +242,5 @@ class BatchedGridEngine:
                 results.append(engine.result_from_aggregates(
                     algorithm, mode, by_source, counters, cycles,
                     order_name=orders[index].name))
-            yield position, runner.power_record(
-                case, results[0], results[1], "vectorized", share)
+            yield position, self._noted(case, runner.power_record(
+                case, results[0], results[1], "vectorized", share))

@@ -32,7 +32,9 @@ reference backend instead of silently measuring something else.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from importlib import import_module
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..circuit.technology import TechnologyParameters, default_technology
@@ -61,7 +63,7 @@ try:  # numpy is required for this backend only; the scalar path runs without it
 except ImportError:  # pragma: no cover - the container ships numpy
     np = None  # type: ignore[assignment]
 
-from .dispatch import EngineError
+from .dispatch import EngineError, KERNEL_CHOICES
 
 
 class UnsupportedConfiguration(EngineError):
@@ -89,11 +91,132 @@ def _require_numpy() -> None:
 #: with closed-form decay sums — no per-row/per-segment Python loop on the
 #: hot path.  ``"segmented"`` is the original one-row-segment-at-a-time
 #: evaluation, retained as the differential oracle for the flat kernel and
-#: as the measured baseline of the grid benchmarks.
-KERNELS = ("flat", "segmented")
+#: as the measured baseline of the grid benchmarks.  ``"jit"`` and
+#: ``"gpu"`` are *compiled tiers*: the same per-(unit, element) slot
+#: reductions executed by a numba ``@njit(parallel=True, cache=True)``
+#: kernel (:mod:`repro.engine.compiled`) or a cupy re-run of the identical
+#: array program (:mod:`repro.engine.gpu`).  ``"auto"`` resolves to the
+#: best available compiled tier (currently ``"jit"``), else ``"flat"``.
+#: Compiled tiers are optional: when the dependency is absent a requested
+#: tier falls back to ``"flat"`` with a single :class:`RuntimeWarning`
+#: (see :func:`resolve_kernel`), and importing :mod:`repro` (or this
+#: module) never loads numba/cupy.
+KERNELS = KERNEL_CHOICES
 
 #: Process-wide default kernel; see :func:`default_kernel`.
 _DEFAULT_KERNEL = "flat"
+
+#: Optional compiled-tier implementation modules, imported lazily on first
+#: resolution (never at ``import repro`` time — the PEP 562 contract).
+_TIER_MODULES: Dict[str, str] = {"jit": ".compiled", "gpu": ".gpu"}
+
+#: Lazily-imported tier modules: name -> module, or ``None`` when the
+#: import failed (dependency absent).  :func:`reset_kernel_state` clears it.
+_TIER_CACHE: Dict[str, Optional[object]] = {}
+
+#: Tiers whose fallback has already been warned about (warn once per tier
+#: per process; cleared by :func:`reset_kernel_state`).
+_FALLBACK_WARNED: set = set()
+
+
+def kernel_module(tier: str):
+    """The implementation module of a compiled tier, or ``None``.
+
+    Imports :mod:`repro.engine.compiled` / :mod:`repro.engine.gpu` on
+    first request and memoises the outcome — including the *failed*
+    outcome, so an absent dependency is probed exactly once per process.
+    Returns ``None`` for the built-in numpy tiers (they live here).
+    """
+    if tier not in _TIER_MODULES:
+        return None
+    if tier not in _TIER_CACHE:
+        try:
+            _TIER_CACHE[tier] = import_module(_TIER_MODULES[tier], __package__)
+        except ImportError:
+            _TIER_CACHE[tier] = None
+    return _TIER_CACHE[tier]
+
+
+def kernel_available(tier: str) -> bool:
+    """Whether a kernel tier can actually execute in this process."""
+    if tier in _TIER_MODULES:
+        return kernel_module(tier) is not None
+    return tier in ("flat", "segmented")
+
+
+def available_kernels() -> Tuple[str, ...]:
+    """Every concrete kernel tier runnable in this process (no ``"auto"``)."""
+    return tuple(tier for tier in KERNELS
+                 if tier != "auto" and kernel_available(tier))
+
+
+def resolve_kernel(kernel: str, warn: bool = True) -> str:
+    """Map a requested kernel to the tier that will actually run.
+
+    ``"auto"`` picks the best available compiled tier (``"jit"`` when
+    numba is importable) and otherwise ``"flat"`` — silently, since auto
+    explicitly delegates the choice.  An *explicitly* requested compiled
+    tier whose dependency is absent falls back to ``"flat"`` and warns
+    once per tier per process (:class:`RuntimeWarning`), so a script that
+    asked for ``"jit"`` on a numba-less machine still runs — truthfully
+    reported through ``last_kernel_used`` and the sweep records.
+    """
+    if kernel == "auto":
+        if kernel_available("jit"):
+            return "jit"
+        if warn and "auto" not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add("auto")
+            warnings.warn(
+                "kernel 'auto': no compiled tier is available (numba is "
+                "not importable); using the 'flat' numpy kernel",
+                RuntimeWarning, stacklevel=3)
+        return "flat"
+    if kernel in _TIER_MODULES and not kernel_available(kernel):
+        if warn and kernel not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(kernel)
+            dependency = "numba" if kernel == "jit" else "cupy"
+            warnings.warn(
+                f"kernel {kernel!r} is unavailable ({dependency} is not "
+                "importable); falling back to the 'flat' numpy kernel",
+                RuntimeWarning, stacklevel=3)
+        return "flat"
+    return kernel
+
+
+def note_kernel_fallback(requested: Optional[str], used: Optional[str],
+                         context: str = "") -> bool:
+    """Warn once per process when a *requested* tier ran as ``"flat"``.
+
+    The record-level companion of :func:`resolve_kernel`: callers that
+    observe provenance after the fact (the batched grid engine comparing a
+    case's requested ``kernel`` against the record's ``kernel_used``) warn
+    through the same once-per-tier registry, so a fallback is reported
+    exactly once no matter which seam notices it first.  Returns ``True``
+    when a warning was emitted.
+    """
+    if requested not in ("jit", "gpu", "auto"):
+        return False
+    if used != "flat" or requested in _FALLBACK_WARNED:
+        return False
+    _FALLBACK_WARNED.add(requested)
+    where = f" [{context}]" if context else ""
+    warnings.warn(
+        f"requested kernel {requested!r} fell back to the 'flat' numpy "
+        f"kernel (compiled-tier dependency absent){where}; records carry "
+        "the tier actually used", RuntimeWarning, stacklevel=3)
+    return True
+
+
+def active_kernel() -> str:
+    """The concrete tier the process default currently resolves to."""
+    return resolve_kernel(_DEFAULT_KERNEL, warn=False)
+
+
+def reset_kernel_state() -> None:
+    """Forget tier-availability probes and fallback warnings (test hook:
+    lets a suite patch ``sys.modules`` and re-probe from scratch)."""
+    _TIER_CACHE.clear()
+    _FALLBACK_WARNED.clear()
 
 
 class default_kernel:
@@ -131,6 +254,71 @@ class default_kernel:
 #: so results are bit-identical whether a run is evaluated alone or
 #: stacked into a grid batch.
 DEFAULT_SEGMENT_CHUNK = 1 << 19
+
+
+def _reduce_tile_arrays(xp, slots, m, first, last, carry, chained,
+                        delta_seg, x, n_words, bits, coeff, boundary_gain,
+                        total_slots):
+    """One tile of per-segment slot reductions as an array program.
+
+    The decay-sum and bincount core of the flat kernel, factored out of
+    :meth:`VectorizedEngine._low_power_flat` as a pure function of the
+    segment arrays so every kernel tier executes the *same program*:
+    ``xp`` is :mod:`numpy` on the flat tier and :mod:`cupy` on the gpu
+    tier, and :mod:`repro.engine.compiled` re-derives the identical
+    scalar recurrence under numba.  Returns the five per-slot accumulator
+    tiles ``(wl_count, enabled_sum, prc, recharge, restore)`` — integer
+    counts exact, energies subject only to summation order.
+    """
+    out_word = last + delta_seg
+    valid_out = ((out_word >= 0) & (out_word < n_words)).astype(xp.int64)
+    first_neighbour = first + delta_seg
+    valid_first = ((first_neighbour >= 0)
+                   & (first_neighbour < n_words)).astype(xp.int64)
+    enabled = (m - 1) + valid_out
+
+    wl_count = xp.bincount(slots, weights=(~carry).astype(xp.float64),
+                           minlength=total_slots).astype(xp.int64)
+    enabled_sum = xp.bincount(slots, weights=enabled.astype(xp.float64),
+                              minlength=total_slots).astype(xp.int64)
+
+    prc = xp.zeros(total_slots, dtype=xp.int64)
+    recharge = xp.zeros(total_slots, dtype=xp.float64)
+    restore = xp.zeros(total_slots, dtype=xp.float64)
+    # State-dependent closed forms apply to chain-free segments only
+    # (they start from the all-attached state and restore).
+    free = ~chained
+    if bool(xp.any(free)):
+        slots_f = slots[free]
+        m_f = m[free]
+        x_f = x[free]
+        n_newly = n_words - 1 - valid_first[free]
+        prc = xp.bincount(
+            slots_f,
+            weights=((n_newly + (m_f - 1)) * bits).astype(xp.float64),
+            minlength=total_slots).astype(xp.int64)
+
+        # Within-segment neighbour recharges: the neighbour of visit j
+        # (j >= 1) floated at the segment's first cycle, so the decay
+        # sum over j = 1..J is a geometric series in q = exp(-ops*T/tau).
+        decay_unit = -xp.expm1(-x_f)          # 1 - q, per segment
+        series_j = xp.where(m_f >= 2, m_f - 2 + valid_out[free], 0)
+        series = (series_j
+                  - xp.exp(-x_f) * -xp.expm1(-series_j * x_f) / decay_unit)
+        recharge = xp.bincount(slots_f, weights=coeff * series,
+                               minlength=total_slots)
+
+        # End-of-row restoration: visited words refloated one visit
+        # after their own selection (elapsed t*ops - 1 for t=1..m-1)
+        # plus the never-visited words floating since the first cycle.
+        visited = ((m_f - 1)
+                   - boundary_gain * xp.exp(-x_f)
+                   * -xp.expm1(-(m_f - 1) * x_f) / decay_unit)
+        untouched = ((n_words - m_f - valid_out[free])
+                     * -(boundary_gain * xp.exp(-m_f * x_f) - 1.0))
+        restore = xp.bincount(slots_f, weights=coeff * (visited + untouched),
+                              minlength=total_slots)
+    return wl_count, enabled_sum, prc, recharge, restore
 
 
 @dataclass(frozen=True)
@@ -219,6 +407,10 @@ class VectorizedEngine:
         #: ``partial_res_column_cycles`` count that
         #: :class:`~repro.core.session.TestRunResult` does not surface.
         self.last_counters: Dict[str, int] = {}
+        #: Concrete kernel tier of the most recent run (``"flat"``,
+        #: ``"segmented"``, ``"jit"`` or ``"gpu"`` — never ``"auto"``):
+        #: the tier that actually executed, after availability fallback.
+        self.last_kernel_used: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Constant derivation — every value comes from the shared power model /
@@ -328,6 +520,7 @@ class VectorizedEngine:
             full_res_column_cycles=counters["full_res_column_cycles"],
             floating_column_cycles=counters["floating_column_cycles"],
             bank_transitions=counters.get("bank_transitions", 0),
+            kernel=self.last_kernel_used or "",
         )
 
     def resolved_kernel(self, kernel: Optional[str] = None) -> str:
@@ -344,6 +537,27 @@ class VectorizedEngine:
         order — walks and segment structure compile once per (algorithm,
         order, direction) and are shared by every run and both modes."""
         return self.traces.get(algorithm, self.order, self.any_direction)
+
+    def warm(self, algorithm: Optional[MarchAlgorithm] = None,
+             kernel: Optional[str] = None) -> "VectorizedEngine":
+        """Amortize the one-time costs of a run up front.
+
+        Two warm-up layers: the resolved kernel tier's compiled artefacts
+        (numba's ``cache=True`` on-disk cache is loaded — or the kernel
+        compiled — by a tiny dummy reduction; the gpu tier initialises its
+        device context), and, when ``algorithm`` is given, this engine's
+        memoised trace plus its compiled segment structure (the dominant
+        cold cost at large geometries).  Idempotent and cheap when already
+        warm; reached facade-first through
+        :meth:`repro.engine.dispatch.BackendDispatcher.warm`.
+        """
+        tier = resolve_kernel(self.resolved_kernel(kernel), warn=False)
+        module = kernel_module(tier)
+        if module is not None:
+            module.warm()
+        if algorithm is not None:
+            self.trace_for(algorithm).segment_walk()
+        return self
 
     def run_aggregates(self, algorithm: MarchAlgorithm, mode: OperatingMode,
                        walks=None, trace: Optional[OperationTrace] = None,
@@ -366,10 +580,12 @@ class VectorizedEngine:
         chosen = self.resolved_kernel(kernel)
         if walks is not None and trace is None:
             chosen = "segmented"
-        if chosen == "flat":
+        chosen = resolve_kernel(chosen)
+        if chosen != "segmented":
             if trace is None:
                 trace = self.trace_for(algorithm)
-            result = self.run_aggregates_batch([(algorithm, mode, trace)])[0]
+            result = self.run_aggregates_batch([(algorithm, mode, trace)],
+                                               kernel=chosen)[0]
             by_source, counters, cycles, stress = result
         else:
             if walks is None:
@@ -384,11 +600,13 @@ class VectorizedEngine:
             else:
                 by_source, counters, cycles, stress = \
                     self._run_functional(algorithm, walks)
+            self.last_kernel_used = "segmented"
         self.last_stress = stress
         self.last_counters = counters
         return by_source, counters, cycles, stress
 
-    def run_aggregates_batch(self, requests, collect_errors: bool = False):
+    def run_aggregates_batch(self, requests, collect_errors: bool = False,
+                             kernel: Optional[str] = None):
         """Measure a stack of runs in one flat pass over shared structures.
 
         ``requests`` is a sequence of ``(algorithm, mode, trace)`` units —
@@ -408,7 +626,17 @@ class VectorizedEngine:
         ``collect_errors=True``, yields the exception instance in its
         result slot so a grid driver can reroute just that unit to a
         fallback backend.
+
+        ``kernel`` overrides the engine's kernel for this batch.  The
+        batch path *is* the flat orchestration, so ``"segmented"`` maps
+        to the ``"flat"`` tier here (matching the pre-tier behaviour of
+        this method); the compiled tiers (``"jit"``, ``"gpu"``) swap in
+        their own implementation of the per-segment slot reductions and
+        are availability-checked through :func:`resolve_kernel` first.
         """
+        tier = resolve_kernel(self.resolved_kernel(kernel))
+        if tier == "segmented":
+            tier = "flat"
         prepared = []
         for algorithm, mode, trace in requests:
             algorithm.validate()
@@ -429,8 +657,10 @@ class VectorizedEngine:
             units = [prepared[index] for index in low_power_units]
             for index, outcome in zip(low_power_units,
                                       self._low_power_flat(units,
-                                                           collect_errors)):
+                                                           collect_errors,
+                                                           tier)):
                 results[index] = outcome
+        self.last_kernel_used = tier
         return results
 
     def compare_modes(self, algorithm: MarchAlgorithm) -> "ModeComparison":
@@ -893,7 +1123,8 @@ class VectorizedEngine:
                         float_start[floating] = -1
         return adds, partial_res_cycles
 
-    def _low_power_flat(self, units, collect_errors: bool = False):
+    def _low_power_flat(self, units, collect_errors: bool = False,
+                        tier: str = "flat"):
         """Low-power test mode for a stack of units in one flat pass.
 
         Every quantity of :meth:`_run_low_power` re-derived as per-segment
@@ -907,6 +1138,13 @@ class VectorizedEngine:
         is evaluated alone or stacked with an entire grid, and tiles
         (:attr:`segment_chunk`) are unit-local so chunking preserves the
         same property on degenerate segment-per-access orders.
+
+        ``tier`` selects who executes the per-tile slot reductions: the
+        in-module numpy array program (:func:`_reduce_tile_arrays`, the
+        ``"flat"`` tier) or a compiled tier module's ``reduce_tile`` (the
+        same program under numba / cupy).  Everything around the tile —
+        support checks, chain walks, per-unit assembly — is tier-invariant
+        by construction.
         """
         geo, k = self.geometry, self._k
         bits = geo.bits_per_word
@@ -971,6 +1209,14 @@ class VectorizedEngine:
         recharge = np.zeros(total_slots, dtype=np.float64)
         restore_energy = np.zeros(total_slots, dtype=np.float64)
 
+        module = kernel_module(tier)
+        if module is not None:
+            def reduce_tile(*args):
+                return module.reduce_tile(*args)
+        else:
+            def reduce_tile(*args):
+                return _reduce_tile_arrays(np, *args)
+
         def reduce_piece(unit, lo, hi):
             """Accumulate one unit-local tile of segments into the slots."""
             segwalk = unit["segwalk"]
@@ -980,56 +1226,17 @@ class VectorizedEngine:
             last = segwalk.last_word[lo:hi]
             carry = segwalk.carry_in[lo:hi]
             chained = segwalk.in_chain[lo:hi]
-            ops_seg = ops_arr[slots]
             delta_seg = delta_arr[slots]
             x = x_arr[slots]
 
-            out_word = last + delta_seg
-            valid_out = ((out_word >= 0) & (out_word < n_words)).astype(np.int64)
-            first_neighbour = first + delta_seg
-            valid_first = ((first_neighbour >= 0)
-                           & (first_neighbour < n_words)).astype(np.int64)
-            enabled = (m - 1) + valid_out
-
-            wl_count[:] += np.bincount(slots, weights=~carry,
-                                       minlength=total_slots).astype(np.int64)
-            enabled_sum[:] += np.bincount(slots, weights=enabled,
-                                          minlength=total_slots).astype(np.int64)
-
-            # State-dependent closed forms apply to chain-free segments
-            # only (they start from the all-attached state and restore).
-            free = ~chained
-            if not np.any(free):
-                return
-            slots_f = slots[free]
-            m_f = m[free]
-            x_f = x[free]
-            n_newly = n_words - 1 - valid_first[free]
-            prc_flat[:] += np.bincount(
-                slots_f, weights=(n_newly + (m_f - 1)) * bits,
-                minlength=total_slots).astype(np.int64)
-
-            # Within-segment neighbour recharges: the neighbour of visit j
-            # (j >= 1) floated at the segment's first cycle, so the decay
-            # sum over j = 1..J is a geometric series in q = exp(-ops*T/tau).
-            decay_unit = -np.expm1(-x_f)          # 1 - q, per segment
-            series_j = np.where(m_f >= 2, m_f - 2 + valid_out[free], 0)
-            series = (series_j
-                      - np.exp(-x_f) * -np.expm1(-series_j * x_f) / decay_unit)
-            recharge[:] += np.bincount(slots_f, weights=coeff * series,
-                                       minlength=total_slots)
-
-            # End-of-row restoration: visited words refloated one visit
-            # after their own selection (elapsed t*ops - 1 for t=1..m-1)
-            # plus the never-visited words floating since the first cycle.
-            visited = ((m_f - 1)
-                       - boundary_gain * np.exp(-x_f)
-                       * -np.expm1(-(m_f - 1) * x_f) / decay_unit)
-            untouched = ((n_words - m_f - valid_out[free])
-                         * -(boundary_gain * np.exp(-m_f * x_f) - 1.0))
-            restore_energy[:] += np.bincount(
-                slots_f, weights=coeff * (visited + untouched),
-                minlength=total_slots)
+            wl, enabled, prc, rec, rst = reduce_tile(
+                slots, m, first, last, carry, chained, delta_seg, x,
+                n_words, bits, coeff, boundary_gain, total_slots)
+            wl_count[:] += wl
+            enabled_sum[:] += enabled
+            prc_flat[:] += prc
+            recharge[:] += rec
+            restore_energy[:] += rst
 
         chunk = max(1, int(self.segment_chunk))
         for unit in active:

@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.session import BACKENDS
 from ..engine import EngineError
+from ..engine.dispatch import KERNEL_CHOICES
 from ..faults import DEFAULT_LOCATION_SEED
 from ..march.library import PAPER_TABLE1_ALGORITHMS
 from ..march.ordering import ORDER_REGISTRY
@@ -89,6 +90,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "pseudo-random for coverage campaigns)")
     parser.add_argument("--backend", default="auto", choices=BACKENDS,
                         help="execution engine (default: auto)")
+    parser.add_argument("--kernel", default=None, choices=KERNEL_CHOICES,
+                        help="vectorized-engine kernel tier: 'flat' (the "
+                             "stacked numpy kernel), 'segmented' (the "
+                             "chunked low-memory path), 'jit' (the numba-"
+                             "compiled tier), 'gpu' (the CuPy tier), or "
+                             "'auto' (jit when numba is importable, else "
+                             "flat); compiled tiers fall back to flat with "
+                             "a warning when their dependency is absent, "
+                             "and records carry the tier that actually ran "
+                             "(default: the process-wide engine default)")
     parser.add_argument("--banks", type=int, action="append", default=None,
                         metavar="N",
                         help="sub-array bank count, repeatable — each value "
@@ -202,6 +213,10 @@ def _warn_ignored_flags(args: argparse.Namespace) -> None:
         print("warning: --banks only affects power and PRR sweeps (banking "
               "changes energies, not logical fault behaviour); it is "
               "ignored by coverage campaigns", file=sys.stderr)
+    if args.kernel is not None and (args.coverage or args.paper_coverage):
+        print("warning: --kernel only affects power and PRR sweeps (fault "
+              "verdicts are kernel-tier-invariant by construction); it is "
+              "ignored by coverage campaigns", file=sys.stderr)
     elif args.banks is not None and (args.paper or args.paper_table1):
         print("warning: --banks is overridden by the --paper/--paper-table1 "
               "presets (the paper's array is monolithic)", file=sys.stderr)
@@ -221,7 +236,8 @@ def _build_cases(args: argparse.Namespace):
                          "--paper/--coverage/--paper-coverage")
     if args.paper_table1:
         backend = "vectorized" if args.backend == "auto" else args.backend
-        cases = paper_prr_cases(backend=backend, seed=seed)
+        cases = paper_prr_cases(backend=backend, seed=seed,
+                                kernel=args.kernel)
         title = ("Paper-scale BIST campaign — measured vs. analytical "
                  "Table 1 on the full 512x512 array")
     elif args.prr_grid:
@@ -229,7 +245,8 @@ def _build_cases(args: argparse.Namespace):
         algorithms = args.algorithm or [a.name for a in PAPER_TABLE1_ALGORITHMS]
         cases = prr_grid(geometries, algorithms, backend=args.backend,
                          seed=seed, banks=tuple(args.banks or (1,)),
-                         bank_interleave=args.bank_interleave)
+                         bank_interleave=args.bank_interleave,
+                         kernel=args.kernel)
         title = "BIST PRR campaigns ({count} scenarios)"
     elif args.paper_coverage:
         cases = paper_coverage_cases(backend=args.backend, seed=seed,
@@ -246,7 +263,7 @@ def _build_cases(args: argparse.Namespace):
         title = "DOF-1 coverage campaigns ({count} scenarios)"
     elif args.paper:
         backend = "vectorized" if args.backend == "auto" else args.backend
-        cases = paper_table1_cases(backend=backend)
+        cases = paper_table1_cases(backend=backend, kernel=args.kernel)
         title = ("Paper-scale sweep — measured Table 1 on the full 512x512 "
                  "array")
     else:
@@ -256,7 +273,8 @@ def _build_cases(args: argparse.Namespace):
         cases = sweep_grid(geometries, algorithms, orders=orders,
                            backends=(args.backend,),
                            banks=tuple(args.banks or (1,)),
-                           bank_interleave=args.bank_interleave)
+                           bank_interleave=args.bank_interleave,
+                           kernel=args.kernel)
         title = "Sweep results ({count} scenarios)"
     # Sharding applies before the title's scenario count so the report
     # describes what actually ran, not the full grid.

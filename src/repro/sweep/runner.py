@@ -72,6 +72,7 @@ from ..analysis.tables import render_table
 from ..bist import BistController, POWER_BACKENDS
 from ..core.prr import AnalyticalPowerModel
 from ..core.session import BACKENDS, ModeComparison, TestSession
+from ..engine.dispatch import KERNEL_CHOICES
 from ..faults import (
     DEFAULT_LOCATION_SEED,
     FAULT_BACKENDS,
@@ -148,6 +149,12 @@ class SweepCase:
     backend: str = "auto"
     banks: int = 1
     bank_interleave: str = "blocked"
+    #: vectorized-engine kernel tier (:data:`KERNEL_CHOICES`); ``None``
+    #: follows the process default (see
+    #: :func:`repro.engine.vectorized.default_kernel`), which is what
+    #: keeps kernel-pinning context managers effective under every
+    #: strategy.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.order not in ORDER_REGISTRY:
@@ -157,6 +164,10 @@ class SweepCase:
         if self.backend not in BACKENDS:
             raise SweepError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}")
+        if self.kernel is not None and self.kernel not in KERNEL_CHOICES:
+            raise SweepError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {KERNEL_CHOICES}")
         get_algorithm(self.algorithm)  # fail fast on unknown names
         self.geometry()  # fail fast on inconsistent dimensions/banking
 
@@ -198,6 +209,12 @@ class SweepRecord:
     elapsed_s: float
     banks: int = 1
     bank_interleave: str = "blocked"
+    kernel: str = "default"  # requested kernel tier ("default" = follow
+                             # the process default)
+    kernel_used: str = ""    # concrete tier(s) that measured the modes
+                             # ("flat"/"segmented"/"jit"/"gpu", joined
+                             # with "+" if they differed; "" = reference
+                             # engine only, which has no kernel seam)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view (the JSON/CSV row)."""
@@ -295,7 +312,21 @@ def power_record(case: SweepCase, functional, low_power, backend_used: str,
         elapsed_s=elapsed,
         banks=case.banks,
         bank_interleave=case.bank_interleave,
+        kernel=case.kernel or "default",
+        kernel_used=_kernels_used(functional, low_power),
     )
+
+
+def _kernels_used(*results) -> str:
+    """Concrete kernel tier(s) stamped on a set of mode results.
+
+    Results carry the tier that measured them (``TestRunResult.kernel`` /
+    ``BistResult.kernel``; empty on the reference engine).  Joined sorted
+    with ``"+"`` — mirroring ``backend_used`` — in the rare case an
+    ``"auto"`` backend fallback split the modes across engines.
+    """
+    return "+".join(sorted({result.kernel for result in results
+                            if result.kernel}))
 
 
 # ----------------------------------------------------------------------
@@ -541,12 +572,20 @@ class PrrCase:
     seed: int = 0
     banks: int = 1
     bank_interleave: str = "blocked"
+    #: Kernel tier request for the vectorized campaign (``None`` follows
+    #: the process-wide default, keeping ``default_kernel(...)`` pinning
+    #: effective under every strategy).
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in POWER_BACKENDS:
             raise SweepError(
                 f"unknown backend {self.backend!r}; "
                 f"expected one of {POWER_BACKENDS}")
+        if self.kernel is not None and self.kernel not in KERNEL_CHOICES:
+            raise SweepError(
+                f"unknown kernel {self.kernel!r}; "
+                f"expected one of {KERNEL_CHOICES}")
         get_algorithm(self.algorithm)  # fail fast on unknown names
         self.geometry()  # fail fast on inconsistent dimensions/banking
 
@@ -599,6 +638,8 @@ class PrrRecord:
     elapsed_s: float
     banks: int = 1
     bank_interleave: str = "blocked"
+    kernel: str = "default"   # requested tier ("default" = process default)
+    kernel_used: str = ""     # "+"-joined tiers that ran ("" = reference only)
 
     def as_dict(self) -> Dict[str, object]:
         """Flat dictionary view (the JSON/CSV row)."""
@@ -701,6 +742,8 @@ def prr_record(case: PrrCase, functional, low_power,
         elapsed_s=elapsed,
         banks=case.banks,
         bank_interleave=case.bank_interleave,
+        kernel=case.kernel or "default",
+        kernel_used=_kernels_used(functional, low_power),
     )
 
 
@@ -709,7 +752,8 @@ def prr_grid(geometries: Iterable[GeometryLike],
              backend: str = "auto",
              seed: int = 0,
              banks: Iterable[int] = (1,),
-             bank_interleave: str = "blocked") -> List["PrrCase"]:
+             bank_interleave: str = "blocked",
+             kernel: Optional[str] = None) -> List["PrrCase"]:
     """Build a grid of BIST power campaigns: one case per
     geometry x bank-count x algorithm (PRR-vs-bank-count sweeps pass
     several ``banks``)."""
@@ -722,16 +766,18 @@ def prr_grid(geometries: Iterable[GeometryLike],
                     rows=geometry.rows, columns=geometry.columns,
                     bits_per_word=geometry.bits_per_word,
                     algorithm=algorithm, backend=backend, seed=seed,
-                    banks=bank_count, bank_interleave=bank_interleave))
+                    banks=bank_count, bank_interleave=bank_interleave,
+                    kernel=kernel))
     return cases
 
 
-def paper_prr_cases(backend: str = "vectorized", seed: int = 0) -> List["PrrCase"]:
+def paper_prr_cases(backend: str = "vectorized", seed: int = 0,
+                    kernel: Optional[str] = None) -> List["PrrCase"]:
     """The paper-scale measured Table 1 through the BIST path: 512 x 512,
     all five algorithms, both modes per case."""
     return prr_grid(["512x512"],
                     [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS],
-                    backend=backend, seed=seed)
+                    backend=backend, seed=seed, kernel=kernel)
 
 
 #: Any scenario kind a sweep can hold.
@@ -872,14 +918,14 @@ class _WorkerState:
         """The memoised power-measurement session for ``case``'s axes."""
         key = (case.rows, case.columns, case.bits_per_word, case.order,
                case.any_direction, case.backend, case.banks,
-               case.bank_interleave)
+               case.bank_interleave, case.kernel)
         session = self._sessions.get(key)
         if session is None:
             geometry = case.geometry()
             session = TestSession(
                 geometry, order=self.order_for(case.order, geometry),
                 any_direction=AddressingDirection(case.any_direction),
-                detailed=False, backend=case.backend)
+                detailed=False, backend=case.backend, kernel=case.kernel)
             self._sessions[key] = session
         return session
 
@@ -898,11 +944,12 @@ class _WorkerState:
     def controller_for(self, case: "PrrCase") -> BistController:
         """The memoised BIST controller for ``case``'s axes."""
         key = (case.rows, case.columns, case.bits_per_word, case.backend,
-               case.banks, case.bank_interleave)
+               case.banks, case.bank_interleave, case.kernel)
         controller = self._controllers.get(key)
         if controller is None:
             controller = BistController(case.geometry(), backend=case.backend,
-                                        trace_cache=self.traces)
+                                        trace_cache=self.traces,
+                                        kernel=case.kernel)
             self._controllers[key] = controller
         return controller
 
@@ -1007,7 +1054,8 @@ def _session_for_case(case: "SweepCase") -> TestSession:
     geometry = case.geometry()
     return TestSession(geometry, order=make_order(case.order, geometry),
                        any_direction=AddressingDirection(case.any_direction),
-                       detailed=False, backend=case.backend)
+                       detailed=False, backend=case.backend,
+                       kernel=case.kernel)
 
 
 def _simulator_for_case(case: "CoverageCase") -> FaultSimulator:
@@ -1023,7 +1071,8 @@ def _controller_for_case(case: "PrrCase") -> BistController:
     """Resolve the BIST controller, through the worker state when present."""
     if _WORKER_STATE is not None:
         return _WORKER_STATE.controller_for(case)
-    return BistController(case.geometry(), backend=case.backend)
+    return BistController(case.geometry(), backend=case.backend,
+                          kernel=case.kernel)
 
 
 @dataclass
@@ -1151,7 +1200,8 @@ def sweep_grid(geometries: Iterable[GeometryLike],
                backends: Iterable[str] = ("auto",),
                any_direction: str = "up",
                banks: Iterable[int] = (1,),
-               bank_interleave: str = "blocked") -> List[SweepCase]:
+               bank_interleave: str = "blocked",
+               kernel: Optional[str] = None) -> List[SweepCase]:
     """Build the full cross-product grid of scenarios.
 
     ``geometries`` accepts anything :func:`parse_geometry` does; the other
@@ -1172,15 +1222,17 @@ def sweep_grid(geometries: Iterable[GeometryLike],
                             algorithm=algorithm, order=order,
                             any_direction=any_direction, backend=backend,
                             banks=bank_count,
-                            bank_interleave=bank_interleave))
+                            bank_interleave=bank_interleave,
+                            kernel=kernel))
     return cases
 
 
-def paper_table1_cases(backend: str = "vectorized") -> List[SweepCase]:
+def paper_table1_cases(backend: str = "vectorized",
+                       kernel: Optional[str] = None) -> List[SweepCase]:
     """The paper-scale measured Table 1: 512 x 512, all five algorithms."""
     return sweep_grid(["512x512"],
                       [algorithm.name for algorithm in PAPER_TABLE1_ALGORITHMS],
-                      backends=(backend,))
+                      backends=(backend,), kernel=kernel)
 
 
 def shard_cases(cases: Sequence[AnyCase], index: int,

@@ -23,8 +23,11 @@ re-deriving its own:
   campaign contract (cycles, verdicts, ledger, planner attribution);
 * :func:`fault_verdict` / :func:`assert_fault_verdicts_identical` — fault
   campaigns: detection triples must match **bit for bit**, no tolerance;
-* :func:`kernel_pair` / :func:`assert_aggregates_match` — flat kernel vs.
-  its segmented differential oracle on one engine configuration;
+* :func:`kernel_pair` / :func:`kernel_engines` /
+  :func:`kernel_matrix_tiers` / :func:`assert_aggregates_match` — the
+  kernel-tier matrix on one engine configuration: the segmented oracle
+  against the flat numpy kernel, plus the compiled ``jit``/``gpu`` tiers
+  wherever their dependency is importable;
 * :func:`drop_elapsed` / :func:`assert_identical_records` /
   :func:`run_both_strategies` — sweep records across execution strategies
   (field-for-field identical; ``elapsed_s`` is the one wall-clock exempt
@@ -147,18 +150,46 @@ def assert_fault_verdicts_identical(geometry, algorithm, order, battery,
 
 
 # ----------------------------------------------------------------------
-# Flat kernel vs. the segmented differential oracle
+# Flat kernel vs. the segmented differential oracle (and compiled tiers)
 # ----------------------------------------------------------------------
-def kernel_pair(geometry, order_cls=None,
-                any_direction=AddressingDirection.UP, detailed=True):
-    """One VectorizedEngine per kernel, identically configured."""
+def kernel_matrix_tiers():
+    """Every kernel tier that can actually run here: ``segmented`` and
+    ``flat`` always, plus ``jit``/``gpu`` when their dependency imports.
+    The three-way (or four-way) differential matrix iterates this."""
+    from repro.engine import available_kernels  # deferred: numpy optional
+
+    tiers = ["segmented", "flat"]
+    tiers += [t for t in available_kernels() if t not in tiers]
+    return tuple(tiers)
+
+
+def kernel_engines(geometry, order_cls=None,
+                   any_direction=AddressingDirection.UP, detailed=True,
+                   kernels=None):
+    """One identically-configured VectorizedEngine per kernel tier.
+
+    ``kernels`` defaults to :func:`kernel_matrix_tiers` — the segmented
+    oracle first, then every tier the environment can execute — so a
+    suite comparing ``engines[0]`` against ``engines[1:]`` pins the whole
+    matrix wherever it runs and silently narrows to the classic
+    segmented-vs-flat pair where numba/cupy are absent.
+    """
     from repro.engine import VectorizedEngine  # deferred: numpy optional
 
+    if kernels is None:
+        kernels = kernel_matrix_tiers()
     order = order_cls(geometry) if order_cls is not None else None
     return tuple(
         VectorizedEngine(geometry, order=order, any_direction=any_direction,
                          detailed=detailed, kernel=kernel)
-        for kernel in ("segmented", "flat"))
+        for kernel in kernels)
+
+
+def kernel_pair(geometry, order_cls=None,
+                any_direction=AddressingDirection.UP, detailed=True):
+    """One VectorizedEngine per kernel, identically configured."""
+    return kernel_engines(geometry, order_cls, any_direction, detailed,
+                          kernels=("segmented", "flat"))
 
 
 def assert_aggregates_match(expected, observed, label=""):

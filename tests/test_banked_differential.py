@@ -44,7 +44,7 @@ from differential import (
     assert_fault_verdicts_identical,
     assert_identical_records,
     assert_session_equivalent,
-    kernel_pair,
+    kernel_engines,
     measured_prr,
     run_both_backends,
     run_both_strategies,
@@ -140,22 +140,28 @@ def test_interleave_mode_changes_the_transition_count():
                          [AddressingDirection.UP, AddressingDirection.DOWN])
 @pytest.mark.parametrize("geometry", banked_geometries(), ids=GEOMETRY_IDS)
 def test_banked_flat_kernel_matches_segmented(geometry, order_cls, direction):
+    """Banked sub-array accounting across the whole kernel matrix: the
+    flat numpy kernel always, plus the compiled jit/gpu tiers wherever
+    their dependency is importable."""
     from repro.engine import UnsupportedConfiguration
 
-    segmented, flat = kernel_pair(geometry, order_cls, direction,
-                                  detailed=True)
+    segmented, *others = kernel_engines(geometry, order_cls, direction,
+                                        detailed=True)
     for algorithm in PAPER_TABLE1_ALGORITHMS:
         for mode in OperatingMode:
             try:
                 expected = segmented.run_aggregates(algorithm, mode)
             except UnsupportedConfiguration:
-                with pytest.raises(UnsupportedConfiguration):
-                    flat.run_aggregates(algorithm, mode)
+                for engine in others:
+                    with pytest.raises(UnsupportedConfiguration):
+                        engine.run_aggregates(algorithm, mode)
                 continue
-            observed = flat.run_aggregates(algorithm, mode)
-            assert_aggregates_match(
-                expected, observed,
-                label=(geometry.describe(), algorithm.name, mode))
+            for engine in others:
+                observed = engine.run_aggregates(algorithm, mode)
+                assert_aggregates_match(
+                    expected, observed,
+                    label=(geometry.describe(), engine.kernel,
+                           algorithm.name, mode))
 
 
 def test_banked_batch_is_bit_identical_to_single_runs():

@@ -46,6 +46,7 @@ from differential import (
     REL_TOL,
     assert_aggregates_match,
     assert_session_equivalent as assert_equivalent,
+    kernel_engines as _kernel_engines,
     kernel_pair as _kernel_pair,
     run_both_backends as both_backends,
 )
@@ -233,19 +234,25 @@ KERNEL_ORDERS = (None, ColumnMajorOrder, RowMajorSnakeOrder, PseudoRandomOrder)
 @pytest.mark.parametrize("any_direction",
                          [AddressingDirection.UP, AddressingDirection.DOWN])
 def test_flat_kernel_matches_segmented(order_cls, mode, any_direction):
+    """The full kernel matrix against the segmented oracle: the flat
+    numpy kernel always, plus the compiled jit/gpu tiers wherever their
+    dependency is importable (the CI optional-deps job)."""
     geometry = ArrayGeometry(rows=16, columns=32)
-    segmented, flat = _kernel_pair(geometry, order_cls, any_direction,
-                                   detailed=True)
+    segmented, *others = _kernel_engines(geometry, order_cls, any_direction,
+                                         detailed=True)
     for algorithm in PAPER_TABLE1_ALGORITHMS:
         try:
             expected = segmented.run_aggregates(algorithm, mode)
         except UnsupportedConfiguration:
-            with pytest.raises(UnsupportedConfiguration):
-                flat.run_aggregates(algorithm, mode)
+            for engine in others:
+                with pytest.raises(UnsupportedConfiguration):
+                    engine.run_aggregates(algorithm, mode)
             continue
-        observed = flat.run_aggregates(algorithm, mode)
-        assert_aggregates_match(expected, observed,
-                                label=(algorithm.name, mode))
+        for engine in others:
+            observed = engine.run_aggregates(algorithm, mode)
+            assert_aggregates_match(
+                expected, observed,
+                label=(engine.kernel, algorithm.name, mode))
 
 
 def test_flat_kernel_handles_single_row_chains():
