@@ -17,6 +17,9 @@ The package is organised as one subpackage per subsystem:
   fault campaigns and BIST power campaigns
 * :mod:`repro.sweep`    — scenario-grid sweep runner (power + coverage +
   measured-vs-analytical PRR) and the ``python -m repro.sweep`` CLI
+* :mod:`repro.serve`    — long-running campaign service: JSON/HTTP front,
+  content-addressed result cache, request coalescing onto stacked engine
+  passes, replayable workload traces (``python -m repro.serve``)
 
 Quickstart::
 
@@ -115,7 +118,7 @@ from .sweep import (
     sweep_grid,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 #: Engine classes resolved lazily (PEP 562) so that importing :mod:`repro`
 #: (or any scalar subsystem) never loads numpy; the vectorized modules load

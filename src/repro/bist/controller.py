@@ -119,9 +119,6 @@ class BistController:
         self.address_generator = AddressGenerator(geometry, order)
         self.background = background if background is not None else solid_background(0)
         self.comparator = Comparator()
-        #: engine that measured the most recent :meth:`run` (``None`` before
-        #: the first run): "reference" or "vectorized".
-        self.last_backend_used: Optional[str] = None
         self._reference = ReferencePowerBackend(geometry, tech=self.tech)
         # ``trace_cache`` optionally shares compiled traces across
         # controllers (the sweep orchestrator passes its process-local one).
@@ -132,6 +129,19 @@ class BistController:
         # address generator.
         self._address_order = None
         self._address_order_key = None
+
+    @property
+    def last_backend_used(self) -> Optional[str]:
+        """Engine that measured the calling thread's most recent
+        :meth:`run` (``None`` before the first run): "reference" or
+        "vectorized".  Thread-local so concurrent runs through a shared
+        controller never mis-attribute provenance.
+        """
+        return self._dispatch.last_backend_used
+
+    @last_backend_used.setter
+    def last_backend_used(self, backend: Optional[str]) -> None:
+        self._dispatch.note_backend_used(backend)
 
     def _current_order(self):
         """The generator's AddressOrder, cached per generator configuration."""

@@ -179,9 +179,19 @@ class TestSession:
             raise SessionError(
                 f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}")
         self.kernel = kernel
-        #: engine that executed the most recent :meth:`run` (``None`` before
-        #: the first run): "reference" or "vectorized".
-        self.last_backend_used: Optional[str] = None
+
+    @property
+    def last_backend_used(self) -> Optional[str]:
+        """Engine that executed the calling thread's most recent
+        :meth:`run` (``None`` before the first run): "reference" or
+        "vectorized".  Thread-local so concurrent runs through a shared
+        session (the serving worker pool) never mis-attribute provenance.
+        """
+        return self._dispatch.last_backend_used
+
+    @last_backend_used.setter
+    def last_backend_used(self, backend: Optional[str]) -> None:
+        self._dispatch.note_backend_used(backend)
 
     # ------------------------------------------------------------------
     def _build_memory(self, mode: OperatingMode, label: str) -> SRAM:

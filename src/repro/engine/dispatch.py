@@ -25,6 +25,7 @@ without importing any vectorized code.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Optional, Sequence, Tuple, TypeVar
 
 
@@ -129,8 +130,26 @@ class BackendDispatcher:
         self._factory = factory
         self._error = error
         self._engine: Optional[object] = None
+        # Provenance is per-thread: under a concurrent worker pool (the
+        # serving layer shares one facade across executor threads), a
+        # facade-global attribute would let one request's fallback
+        # mis-attribute another request's backend.
+        self._provenance = threading.local()
 
     # ------------------------------------------------------------------
+    @property
+    def last_backend_used(self) -> Optional[str]:
+        """Backend that ran this thread's most recent call, or ``None``.
+
+        Thread-local by design: each worker thread observes only the
+        provenance of runs it executed itself.
+        """
+        return getattr(self._provenance, "backend_used", None)
+
+    def note_backend_used(self, backend: Optional[str]) -> None:
+        """Record which backend actually ran, for the calling thread."""
+        self._provenance.backend_used = backend
+
     def validate(self, backend: str) -> str:
         """Return ``backend`` unchanged, or raise the facade's error."""
         if backend not in self.choices:

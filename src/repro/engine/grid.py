@@ -65,7 +65,7 @@ class BatchedGridEngine:
     what the runner's streaming journal/progress loop consumes.
     """
 
-    def __init__(self, cases) -> None:
+    def __init__(self, cases, worker_state=None) -> None:
         _require_numpy()
         # Deferred: the runner imports this module lazily (numpy optional),
         # so importing it back here at module level would be circular.
@@ -73,6 +73,13 @@ class BatchedGridEngine:
 
         self._runner = sweep_runner
         self.cases = list(cases)
+        #: Optional pre-warmed :class:`repro.sweep.runner._WorkerState` to
+        #: evaluate under.  Long-lived callers (the campaign service runs
+        #: one batch per request wave on a pool thread) pass their thread's
+        #: persistent state so compiled traces and facades stay warm across
+        #: batches; by default each :meth:`completions` call builds a fresh
+        #: one scoped to the run.
+        self._worker_state = worker_state
         #: Concrete kernel tier of the most recent stacked pass (mirrors
         #: ``last_backend_used`` on the facades): the tier that actually
         #: executed, after availability fallback — ``None`` before the
@@ -102,8 +109,9 @@ class BatchedGridEngine:
         memoised orders, facades and compiled traces.
         """
         runner = self._runner
-        state = runner._WorkerState()
-        previous = runner._WORKER_STATE
+        state = self._worker_state if self._worker_state is not None \
+            else runner._WorkerState()
+        previous = runner._get_worker_state()
         runner._set_worker_state(state)
         try:
             prr_groups, power_groups, percase = self._plan()

@@ -32,6 +32,7 @@ reference backend instead of silently measuring something else.
 
 from __future__ import annotations
 
+import threading
 import warnings
 from dataclasses import dataclass
 from importlib import import_module
@@ -115,8 +116,21 @@ _TIER_MODULES: Dict[str, str] = {"jit": ".compiled", "gpu": ".gpu"}
 _TIER_CACHE: Dict[str, Optional[object]] = {}
 
 #: Tiers whose fallback has already been warned about (warn once per tier
-#: per process; cleared by :func:`reset_kernel_state`).
+#: per process; cleared by :func:`reset_kernel_state`).  Guarded by
+#: ``_FALLBACK_LOCK``: the serving layer resolves kernels from concurrent
+#: worker threads, and an unguarded check-and-add could warn twice or —
+#: worse — interleave with :func:`reset_kernel_state`.
 _FALLBACK_WARNED: set = set()
+_FALLBACK_LOCK = threading.Lock()
+
+
+def _claim_fallback_warning(tier: str) -> bool:
+    """Atomically claim the once-per-process warning for ``tier``."""
+    with _FALLBACK_LOCK:
+        if tier in _FALLBACK_WARNED:
+            return False
+        _FALLBACK_WARNED.add(tier)
+        return True
 
 
 def kernel_module(tier: str):
@@ -164,16 +178,14 @@ def resolve_kernel(kernel: str, warn: bool = True) -> str:
     if kernel == "auto":
         if kernel_available("jit"):
             return "jit"
-        if warn and "auto" not in _FALLBACK_WARNED:
-            _FALLBACK_WARNED.add("auto")
+        if warn and _claim_fallback_warning("auto"):
             warnings.warn(
                 "kernel 'auto': no compiled tier is available (numba is "
                 "not importable); using the 'flat' numpy kernel",
                 RuntimeWarning, stacklevel=3)
         return "flat"
     if kernel in _TIER_MODULES and not kernel_available(kernel):
-        if warn and kernel not in _FALLBACK_WARNED:
-            _FALLBACK_WARNED.add(kernel)
+        if warn and _claim_fallback_warning(kernel):
             dependency = "numba" if kernel == "jit" else "cupy"
             warnings.warn(
                 f"kernel {kernel!r} is unavailable ({dependency} is not "
@@ -196,9 +208,8 @@ def note_kernel_fallback(requested: Optional[str], used: Optional[str],
     """
     if requested not in ("jit", "gpu", "auto"):
         return False
-    if used != "flat" or requested in _FALLBACK_WARNED:
+    if used != "flat" or not _claim_fallback_warning(requested):
         return False
-    _FALLBACK_WARNED.add(requested)
     where = f" [{context}]" if context else ""
     warnings.warn(
         f"requested kernel {requested!r} fell back to the 'flat' numpy "
@@ -216,7 +227,8 @@ def reset_kernel_state() -> None:
     """Forget tier-availability probes and fallback warnings (test hook:
     lets a suite patch ``sys.modules`` and re-probe from scratch)."""
     _TIER_CACHE.clear()
-    _FALLBACK_WARNED.clear()
+    with _FALLBACK_LOCK:
+        _FALLBACK_WARNED.clear()
 
 
 class default_kernel:
@@ -400,17 +412,45 @@ class VectorizedEngine:
         # scales with the bank height, not the whole array.
         self._tau = self.tech.floating_discharge_tau(geometry.rows_per_bank)
         self._k = self._derive_constants()
-        #: Per-cell stress totals of the most recent :meth:`run` (``None``
-        #: when stress tracking is off).
-        self.last_stress: Optional[CellStressTotals] = None
-        #: Raw counters of the most recent :meth:`run`, including the
-        #: ``partial_res_column_cycles`` count that
-        #: :class:`~repro.core.session.TestRunResult` does not surface.
-        self.last_counters: Dict[str, int] = {}
-        #: Concrete kernel tier of the most recent run (``"flat"``,
-        #: ``"segmented"``, ``"jit"`` or ``"gpu"`` — never ``"auto"``):
-        #: the tier that actually executed, after availability fallback.
-        self.last_kernel_used: Optional[str] = None
+        # Per-run provenance (last_stress / last_counters /
+        # last_kernel_used) is thread-local: the serving layer drives one
+        # engine from a pool of worker threads, and a facade-global slot
+        # would let one request's run overwrite another's provenance
+        # between its measurement and its record assembly.
+        self._run_state = threading.local()
+
+    @property
+    def last_stress(self) -> Optional[CellStressTotals]:
+        """Per-cell stress totals of the calling thread's most recent
+        :meth:`run` (``None`` when stress tracking is off)."""
+        return getattr(self._run_state, "stress", None)
+
+    @last_stress.setter
+    def last_stress(self, stress: Optional[CellStressTotals]) -> None:
+        self._run_state.stress = stress
+
+    @property
+    def last_counters(self) -> Dict[str, int]:
+        """Raw counters of the calling thread's most recent :meth:`run`,
+        including the ``partial_res_column_cycles`` count that
+        :class:`~repro.core.session.TestRunResult` does not surface."""
+        return getattr(self._run_state, "counters", {})
+
+    @last_counters.setter
+    def last_counters(self, counters: Dict[str, int]) -> None:
+        self._run_state.counters = counters
+
+    @property
+    def last_kernel_used(self) -> Optional[str]:
+        """Concrete kernel tier of the calling thread's most recent run
+        (``"flat"``, ``"segmented"``, ``"jit"`` or ``"gpu"`` — never
+        ``"auto"``): the tier that actually executed, after availability
+        fallback."""
+        return getattr(self._run_state, "kernel_used", None)
+
+    @last_kernel_used.setter
+    def last_kernel_used(self, tier: Optional[str]) -> None:
+        self._run_state.kernel_used = tier
 
     # ------------------------------------------------------------------
     # Constant derivation — every value comes from the shared power model /

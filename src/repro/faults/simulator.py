@@ -314,9 +314,19 @@ class FaultSimulator:
         # simulators (the sweep orchestrator passes its process-local one).
         self._reference = ReferenceFaultBackend(geometry, any_direction,
                                                 traces=trace_cache)
-        #: name of the engine that executed the most recent simulate call
-        #: ("reference"/"vectorized"; None before the first call).
-        self.last_backend_used: Optional[str] = None
+
+    @property
+    def last_backend_used(self) -> Optional[str]:
+        """Engine that executed the calling thread's most recent simulate
+        call ("reference"/"vectorized"; ``None`` before the first call).
+        Thread-local so concurrent campaigns through a shared simulator
+        never mis-attribute provenance.
+        """
+        return self._dispatch.last_backend_used
+
+    @last_backend_used.setter
+    def last_backend_used(self, backend: Optional[str]) -> None:
+        self._dispatch.note_backend_used(backend)
 
     # ------------------------------------------------------------------
     def _make_engine(self):

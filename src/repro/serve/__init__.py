@@ -1,0 +1,62 @@
+"""Campaign serving layer: cache, coalesce, execute, trace.
+
+* :mod:`repro.serve.service` — :class:`CampaignService`, the asyncio
+  HTTP front with the worker-pool executor, request coalescing and the
+  content-addressed result cache;
+* :mod:`repro.serve.cache` — :class:`ResultCache`, the digest-addressed
+  on-disk record store;
+* :mod:`repro.serve.trace` — the replayable JSONL workload trace;
+* :mod:`repro.serve.client` — :class:`ServeClient` and the ordered
+  concurrent :func:`~repro.serve.client.replay` helper;
+* :mod:`repro.serve.__main__` — the ``python -m repro.serve`` command.
+
+Quickstart::
+
+    from repro.serve import CampaignService, ServeClient, running_service
+
+    with running_service("cache-dir", trace_path="trace.jsonl") \\
+            as (service, host, port):
+        with ServeClient(host, port) as client:
+            first = client.submit({"kind": "prr", "rows": 16,
+                                   "columns": 64, "algorithm": "MATS+"})
+            again = client.submit({"kind": "prr", "rows": 16,
+                                   "columns": 64, "algorithm": "MATS+"})
+    assert again["served"]["outcome"] == "hit"
+"""
+
+from .cache import CACHE_FORMAT, CACHE_VERSION, ResultCache
+from .client import ServeClient, replay
+from .service import (
+    CampaignService,
+    DEFAULT_PORT,
+    ServeError,
+    ServiceThread,
+    running_service,
+)
+from .trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    TraceError,
+    WorkloadTrace,
+    load_trace,
+    replay_cases,
+)
+
+__all__ = [
+    "CACHE_FORMAT",
+    "CACHE_VERSION",
+    "CampaignService",
+    "DEFAULT_PORT",
+    "ResultCache",
+    "ServeClient",
+    "ServeError",
+    "ServiceThread",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceError",
+    "WorkloadTrace",
+    "load_trace",
+    "replay",
+    "replay_cases",
+    "running_service",
+]

@@ -1,0 +1,93 @@
+"""``python -m repro.serve`` — run the campaign service from the shell.
+
+Example::
+
+    python -m repro.serve --port 8077 --cache-dir serve-cache \\
+        --trace serve-trace.jsonl --workers 4
+
+The process prints one readiness line (``[serve] listening on ...``) once
+the socket is bound — scripts and CI wait for it — then serves until
+interrupted (SIGINT/SIGTERM), draining in-flight waves on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from .service import DEFAULT_PORT, CampaignService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve campaign requests over JSON/HTTP with a "
+                    "content-addressed result cache, request coalescing "
+                    "and a replayable workload trace.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"bind port; 0 picks a free one "
+                             f"(default: {DEFAULT_PORT})")
+    parser.add_argument("--cache-dir", default="serve-cache",
+                        help="content-addressed result cache directory "
+                             "(default: ./serve-cache)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="append every request to this JSONL workload "
+                             "trace (default: no trace)")
+    parser.add_argument("--trace-fsync", action="store_true",
+                        help="fsync the trace per request (durable but "
+                             "adds per-request latency)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="executor pool size (default: min(4, cpus))")
+    parser.add_argument("--coalesce-window", type=float, default=0.005,
+                        metavar="SECONDS",
+                        help="how long cache-miss requests pool before an "
+                             "engine wave launches (default: 0.005)")
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> int:
+    service = CampaignService(
+        args.cache_dir, trace_path=args.trace, trace_fsync=args.trace_fsync,
+        workers=args.workers, coalesce_window=args.coalesce_window)
+    await service.start(args.host, args.port)
+    print(f"[serve] listening on http://{service.host}:{service.port} "
+          f"(cache: {service.cache.root}, workers: {service.workers})",
+          flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # non-POSIX loops
+            loop.add_signal_handler(signum, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        await service.stop()
+    print("[serve] stopped", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.coalesce_window < 0:
+        print("error: --coalesce-window must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        return asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # signal handlers unavailable (rare)
+        return 0
+    except OSError as exc:  # bind failure: port in use, bad address
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Content-addressed on-disk result cache for served campaign requests.
+
+Every campaign request is keyed by the sha256 digest of its canonical
+case fingerprint (:func:`repro.sweep.runner.fingerprint_digest`): two
+requests describing the same scenario — whatever client serialised them,
+in whatever key order — address the same cache entry.  A hit streams the
+stored record back without touching an engine; a miss executes and then
+stores, so the cache grows monotonically with the distinct-scenario
+workload.
+
+Entries are one JSON document per digest, fanned out over 256
+two-hex-character subdirectories (``<root>/ab/abcdef....json``) so a
+million-entry cache never puts a million files in one directory.  Writes
+are atomic (temp file in the same directory, fsync, ``os.replace``) and
+reads are defensive: a torn, foreign or unreadable entry is simply a
+cache miss — the scenario re-executes and the entry is rewritten — never
+an error surfaced to a client.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: The ``format`` tag every cache entry carries.
+CACHE_FORMAT = "repro-serve-cache"
+#: The entry schema version this module writes.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Digest-addressed store of completed campaign records.
+
+    ``root`` is created on first store; a missing root is an empty cache.
+    The cache holds flat dictionaries (the same ``record.as_dict()`` form
+    the journal and the JSON exports carry) — mapping records back to
+    their dataclasses is the caller's concern.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        """Where the entry of ``digest`` lives (whether or not it exists)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """The stored entry of ``digest``, or ``None`` on any miss.
+
+        A corrupt, torn or foreign file reads as a miss by design: the
+        serving layer re-executes the scenario and overwrites the entry,
+        which is self-healing — a kill mid-store never poisons the cache.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            return None  # torn final write: re-execute and rewrite
+        if not isinstance(entry, dict) \
+                or entry.get("format") != CACHE_FORMAT \
+                or entry.get("version") != CACHE_VERSION \
+                or not isinstance(entry.get("record"), dict):
+            return None
+        return entry
+
+    def store(self, digest: str, fingerprint: Dict[str, object],
+              kind: str, record: Dict[str, object]) -> Dict[str, object]:
+        """Atomically persist one completed scenario under ``digest``.
+
+        The fingerprint is stored next to the record so the cache is
+        audit-friendly (an entry names the scenario it answers) and so a
+        replayed workload trace can be validated against it.
+        """
+        entry = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "digest": digest,
+            "kind": kind,
+            "fingerprint": fingerprint,
+            "record": record,
+        }
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{digest[:8]}-", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of entries currently on disk (a scan, not a counter)."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

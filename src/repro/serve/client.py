@@ -1,0 +1,130 @@
+"""Blocking JSON/HTTP client for the campaign service.
+
+:class:`ServeClient` wraps one keep-alive connection; :func:`replay`
+drives a whole case list (for example the cases of a recorded workload
+trace, see :func:`repro.serve.trace.replay_cases`) through a thread pool
+of clients, preserving input order in the returned responses — the
+primitive both the load benchmark and the CI smoke burst are built on.
+
+Usage::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient("127.0.0.1", 8077) as client:
+        response = client.submit({"kind": "prr", "rows": 16, "columns": 64,
+                                  "algorithm": "MATS+"})
+        print(response["record"]["prr_percent"],
+              response["served"]["outcome"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+from .service import ServeError
+
+
+class ServeClient:
+    """One keep-alive connection to a campaign service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _exchange(self, method: str, path: str,
+                  payload: Optional[Dict[str, object]] = None
+                  ) -> Dict[str, object]:
+        body = json.dumps(payload).encode("utf-8") \
+            if payload is not None else None
+        headers = {"Content-Type": "application/json"} \
+            if body is not None else {}
+        try:
+            self._conn.request(method, path, body=body, headers=headers)
+            response = self._conn.getresponse()
+            data = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self._conn.close()  # reconnect lazily on the next exchange
+            raise ServeError(
+                f"request to {self.host}:{self.port} failed: {exc}") from exc
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"service returned a non-JSON body (status "
+                f"{response.status}): {exc}") from exc
+        if response.status != 200:
+            raise ServeError(
+                f"service returned {response.status}: "
+                f"{decoded.get('error', decoded)}")
+        return decoded
+
+    # ------------------------------------------------------------------
+    def submit(self, case: Dict[str, object]) -> Dict[str, object]:
+        """Run (or fetch) one campaign case; returns the ``/v1/run`` payload.
+
+        ``case`` is the flat kind-tagged dictionary form
+        (:func:`repro.sweep.runner.case_fingerprint` shape); the response
+        carries ``kind``, the flat ``record``, and a ``served`` block
+        naming the digest, outcome (``hit``/``miss``/``coalesced``) and
+        server-side latency.
+        """
+        return self._exchange("POST", "/v1/run", {"case": case})
+
+    def stats(self) -> Dict[str, object]:
+        """The service's live counters (``GET /v1/stats``)."""
+        return self._exchange("GET", "/v1/stats")
+
+    def health(self) -> Dict[str, object]:
+        """Liveness probe (``GET /healthz``)."""
+        return self._exchange("GET", "/healthz")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay(host: str, port: int, cases: Sequence[Dict[str, object]],
+           concurrency: int = 8, timeout: float = 60.0
+           ) -> List[Dict[str, object]]:
+    """Submit ``cases`` through a pool of clients; responses in input order.
+
+    Each pool thread keeps its own keep-alive connection, so a
+    1000-request replay opens ``concurrency`` sockets, not 1000.  An
+    individual request failure surfaces as the :class:`ServeError` it
+    raised (re-raised when the result list is assembled).
+    """
+    local = threading.local()
+
+    def client() -> ServeClient:
+        if getattr(local, "client", None) is None:
+            local.client = ServeClient(host, port, timeout=timeout)
+        return local.client
+
+    clients: List[ServeClient] = []
+    lock = threading.Lock()
+
+    def submit_one(case: Dict[str, object]) -> Dict[str, object]:
+        c = client()
+        with lock:
+            if c not in clients:
+                clients.append(c)
+        return c.submit(case)
+
+    try:
+        with ThreadPoolExecutor(max_workers=concurrency,
+                                thread_name_prefix="repro-replay") as pool:
+            return list(pool.map(submit_one, cases))
+    finally:
+        for c in clients:
+            c.close()

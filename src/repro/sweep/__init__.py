@@ -38,9 +38,11 @@ from .runner import (
     SweepResult,
     SweepRunner,
     case_fingerprint,
+    case_from_dict,
     case_kind,
     coverage_grid,
     execute_case,
+    fingerprint_digest,
     paper_coverage_cases,
     paper_prr_cases,
     paper_table1_cases,
@@ -71,9 +73,11 @@ __all__ = [
     "SweepResult",
     "SweepRunner",
     "case_fingerprint",
+    "case_from_dict",
     "case_kind",
     "coverage_grid",
     "execute_case",
+    "fingerprint_digest",
     "paper_coverage_cases",
     "paper_prr_cases",
     "paper_table1_cases",

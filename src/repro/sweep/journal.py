@@ -193,23 +193,36 @@ class RunJournal:
         """The ``meta`` of the journal's header line, or ``None``.
 
         Scans only the leading lines (headers are written before any
-        entry); a malformed header raises :class:`JournalError` like any
-        other corrupt line would on :meth:`load`.
+        entry); a malformed *complete* header raises :class:`JournalError`
+        like any other corrupt line would on :meth:`load`.  A torn,
+        newline-less header fragment — the artifact of a kill during the
+        very first header write — is "no header yet", matching the
+        torn-tail tolerance of :meth:`load` and :meth:`open`: all three
+        entry points agree that such a journal is empty and restartable.
         """
         if not self.path.exists():
             return None
-        with self.path.open(encoding="utf-8") as handle:
-            for line in handle:
-                if not line.strip():
-                    continue
-                if not _is_header_line(line):
-                    return None
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise JournalError(
-                        f"journal header is not valid JSON: {exc}") from exc
-                return dict(payload.get("meta") or {})
+        text = self.path.read_text(encoding="utf-8")
+        lines = text.split("\n")
+        complete = lines[:-1]          # every line closed by a newline
+        torn_tail = lines[-1]          # "" when the file ends in a newline
+        for line in complete:
+            if not line.strip():
+                continue
+            if not _is_header_line(line):
+                return None
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"journal header is not valid JSON: {exc}") from exc
+            return dict(payload.get("meta") or {})
+        if torn_tail.strip() and not _looks_torn(torn_tail):
+            # A newline-less fragment that could not be the start of a
+            # header or entry line is foreign content, not a torn write.
+            raise JournalError(
+                f"journal {self.path} holds unrecognised content; "
+                "is it a repro-sweep journal?")
         return None
 
     def close(self) -> None:

@@ -49,9 +49,11 @@ Design notes:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
+import threading
 import time
 from collections import Counter
 from dataclasses import asdict, dataclass, field, fields
@@ -824,6 +826,52 @@ def case_fingerprint(case: AnyCase) -> Dict[str, object]:
                                  sort_keys=True))
 
 
+def fingerprint_digest(fingerprint: Dict[str, object]) -> str:
+    """The content address of one case fingerprint (hex sha256).
+
+    Canonical form: compact separators, sorted keys — the same scenario
+    always hashes to the same digest, whichever client serialised it.
+    The serving layer keys its on-disk result cache and its request
+    coalescing on this digest.
+    """
+    canonical = json.dumps(fingerprint, sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def case_from_dict(data: Dict[str, object]) -> AnyCase:
+    """Rebuild a case dataclass from its flat (fingerprint) dictionary.
+
+    The inverse of :func:`case_fingerprint`: accepts the kind-tagged flat
+    form (``kind`` defaults to ``"power"``, matching the record loaders)
+    and rejects unknown kinds and unknown or missing fields with
+    :class:`SweepError` — a served request must fail loudly, not half
+    parse.  ``case_from_dict(case_fingerprint(case)) == case`` for every
+    case kind.
+    """
+    if not isinstance(data, dict):
+        raise SweepError(
+            f"a case description must be a JSON object, got "
+            f"{type(data).__name__}")
+    payload = dict(data)
+    kind = payload.pop("kind", "power")
+    cls = _CASE_KINDS.get(kind)
+    if cls is None:
+        raise SweepError(
+            f"unknown case kind {kind!r}; expected one of "
+            f"{sorted(_CASE_KINDS)}")
+    allowed = {spec.name for spec in fields(cls)}
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise SweepError(
+            f"unknown field(s) {unknown} for a {kind!r} case; expected a "
+            f"subset of {sorted(allowed)}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:  # missing required fields
+        raise SweepError(f"invalid {kind!r} case: {exc}") from exc
+
+
 def _record_from_dict(cls, data: Dict[str, object]):
     """Rebuild a record dataclass, coercing CSV's stringly-typed fields.
 
@@ -1016,41 +1064,51 @@ def _trace_warm_specs(case: AnyCase) -> List[Tuple]:
     return []
 
 
-#: The process-local worker state (``None`` until a sweep initializes it).
-_WORKER_STATE: Optional[_WorkerState] = None
+#: The worker state of the executing thread (``None`` until a sweep —
+#: or the serving layer's worker pool — installs one).  Thread-local
+#: rather than a plain module global: concurrent batched passes (the
+#: campaign service runs one per executor thread) must not stomp each
+#: other's memoised facades mid-run.  Pool worker *processes* each see
+#: their own main thread, so the multiprocessing path is unchanged.
+_WORKER_STATE_SLOT = threading.local()
+
+
+def _get_worker_state() -> Optional[_WorkerState]:
+    """The calling thread's installed worker state, or ``None``."""
+    return getattr(_WORKER_STATE_SLOT, "state", None)
 
 
 def _init_worker(cases: Sequence[AnyCase]) -> None:
     """``multiprocessing.Pool`` initializer: fresh pre-warmed worker state."""
-    global _WORKER_STATE
     state = _WorkerState()
-    _WORKER_STATE = state
+    _set_worker_state(state)
     state.warm(cases)
 
 
 def _set_worker_state(state: Optional[_WorkerState]) -> None:
-    """Install (or clear) the process-local worker state.
+    """Install (or clear) the calling thread's worker state.
 
     Sequential runs scope their state to the run — installed before the
     first case, restored afterwards — so a long-lived process executing
     many sweeps does not accumulate facades and compiled traces forever;
     pool workers die with their pool, which bounds theirs naturally.
     """
-    global _WORKER_STATE
-    _WORKER_STATE = state
+    _WORKER_STATE_SLOT.state = state
 
 
 def _order_for(name: str, geometry: ArrayGeometry):
     """Resolve an address order, through the worker state when present."""
-    if _WORKER_STATE is not None:
-        return _WORKER_STATE.order_for(name, geometry)
+    state = _get_worker_state()
+    if state is not None:
+        return state.order_for(name, geometry)
     return make_order(name, geometry)
 
 
 def _session_for_case(case: "SweepCase") -> TestSession:
     """Resolve the session facade, through the worker state when present."""
-    if _WORKER_STATE is not None:
-        return _WORKER_STATE.session_for(case)
+    state = _get_worker_state()
+    if state is not None:
+        return state.session_for(case)
     geometry = case.geometry()
     return TestSession(geometry, order=make_order(case.order, geometry),
                        any_direction=AddressingDirection(case.any_direction),
@@ -1060,8 +1118,9 @@ def _session_for_case(case: "SweepCase") -> TestSession:
 
 def _simulator_for_case(case: "CoverageCase") -> FaultSimulator:
     """Resolve the fault simulator, through the worker state when present."""
-    if _WORKER_STATE is not None:
-        return _WORKER_STATE.simulator_for(case)
+    state = _get_worker_state()
+    if state is not None:
+        return state.simulator_for(case)
     return FaultSimulator(case.geometry(),
                           any_direction=AddressingDirection(case.any_direction),
                           backend=case.backend)
@@ -1069,8 +1128,9 @@ def _simulator_for_case(case: "CoverageCase") -> FaultSimulator:
 
 def _controller_for_case(case: "PrrCase") -> BistController:
     """Resolve the BIST controller, through the worker state when present."""
-    if _WORKER_STATE is not None:
-        return _WORKER_STATE.controller_for(case)
+    state = _get_worker_state()
+    if state is not None:
+        return state.controller_for(case)
     return BistController(case.geometry(), backend=case.backend,
                           kernel=case.kernel)
 
@@ -1432,7 +1492,7 @@ class SweepRunner:
         if workers <= 1:
             state = _WorkerState()
             state.warm(cases)
-            previous = _WORKER_STATE
+            previous = _get_worker_state()
             _set_worker_state(state)
             try:
                 for index, case in pending:
@@ -1475,11 +1535,18 @@ class SweepRunner:
                 and self.journal.stat().st_size > 0:
             # Appending a fresh campaign onto another run's journal would
             # poison any later resume (stale indices/fingerprints from the
-            # old grid survive last-wins merging) — refuse up front.
-            raise SweepError(
-                f"journal {self.journal} already exists; resume it "
-                "(run(resume=True) / --resume) or remove the file to start "
-                "a fresh campaign")
+            # old grid survive last-wins merging) — refuse up front.  But
+            # only completed cases make a journal worth protecting: a run
+            # killed before its first append leaves an entry-less file
+            # (header-only, or a torn header fragment) that records no
+            # measurement, so a fresh campaign may reclaim it.  A corrupt
+            # or foreign file still fails loudly here via load().
+            if RunJournal(self.journal).load():
+                raise SweepError(
+                    f"journal {self.journal} already exists; resume it "
+                    "(run(resume=True) / --resume) or remove the file to "
+                    "start a fresh campaign")
+            self.journal.write_bytes(b"")  # stale header: restart fresh
         pending = [(index, case) for index, case in enumerate(self.cases)
                    if records[index] is None]
         strategy_used = self.resolve_strategy([case for _, case in pending])

@@ -160,6 +160,61 @@ def test_session_reports_last_backend_used():
     assert session.last_backend_used == "reference"
 
 
+def test_last_backend_used_is_thread_local():
+    # One facade shared by a worker pool: each thread's run must see its
+    # own provenance, not whichever run happened to finish last globally.
+    import threading
+
+    from repro.march import get_algorithm
+    from repro.sram.memory import OperatingMode
+
+    geometry = ArrayGeometry(4, 16)
+    session = TestSession(geometry, backend="vectorized")
+    algorithm = get_algorithm("MATS+")
+    session.run(algorithm, OperatingMode.FUNCTIONAL)
+    assert session.last_backend_used == "vectorized"
+
+    seen = {}
+
+    def probe():
+        seen["before"] = session.last_backend_used  # fresh thread: unset
+        session.run(algorithm, OperatingMode.FUNCTIONAL, backend="reference")
+        seen["after"] = session.last_backend_used
+
+    worker = threading.Thread(target=probe)
+    worker.start()
+    worker.join()
+    assert seen == {"before": None, "after": "reference"}
+    # ...and the worker's run did not clobber the main thread's view.
+    assert session.last_backend_used == "vectorized"
+
+
+def test_facade_provenance_is_thread_local_everywhere():
+    # BistController and FaultSimulator carry the same per-thread seam.
+    import threading
+
+    geometry = ArrayGeometry(4, 16)
+    controller = BistController(geometry, backend="vectorized")
+    simulator = FaultSimulator(geometry, backend="reference")
+    assert controller.last_backend_used is None
+    assert simulator.last_backend_used is None
+    controller.last_backend_used = "vectorized"
+    simulator.last_backend_used = "reference"
+
+    observed = {}
+
+    def probe():
+        observed["controller"] = controller.last_backend_used
+        observed["simulator"] = simulator.last_backend_used
+
+    worker = threading.Thread(target=probe)
+    worker.start()
+    worker.join()
+    assert observed == {"controller": None, "simulator": None}
+    assert controller.last_backend_used == "vectorized"
+    assert simulator.last_backend_used == "reference"
+
+
 # ----------------------------------------------------------------------
 # numpy independence of the dispatch layer
 # ----------------------------------------------------------------------

@@ -214,6 +214,67 @@ def test_grid_engine_tracks_last_kernel_used(clean_kernels):
     assert records and engine.last_kernel_used == "flat"
 
 
+def test_engine_run_state_is_thread_local(clean_kernels):
+    # One engine shared by a serving worker pool: last_kernel_used /
+    # last_stress / last_counters are per-thread observations, so a run
+    # on one thread must not leak provenance into another.
+    import threading
+
+    from repro.engine.vectorized import VectorizedEngine
+
+    engine = VectorizedEngine(ArrayGeometry(8, 16), kernel="flat")
+    engine.run(get_algorithm("MATS+"), OperatingMode.FUNCTIONAL)
+    assert engine.last_kernel_used == "flat"
+    assert engine.last_counters
+
+    observed = {}
+
+    def probe():
+        observed["kernel"] = engine.last_kernel_used
+        observed["counters"] = engine.last_counters
+        observed["stress"] = engine.last_stress
+        engine.run(get_algorithm("MATS+"), OperatingMode.LOW_POWER_TEST)
+        observed["after"] = engine.last_kernel_used
+
+    worker = threading.Thread(target=probe)
+    worker.start()
+    worker.join()
+    # The fresh thread starts blank and its own run fills its own slot...
+    assert observed["kernel"] is None
+    assert observed["counters"] == {}
+    assert observed["stress"] is None
+    assert observed["after"] == "flat"
+    # ...without clobbering the main thread's provenance.
+    assert engine.last_kernel_used == "flat"
+    assert engine.last_counters
+
+
+def test_fallback_warns_exactly_once_across_threads(clean_kernels):
+    # The warn-once registry is shared process state hit concurrently by
+    # the serving pool: N racing resolutions of a missing tier must
+    # produce exactly one warning, not N and not zero.
+    import threading
+
+    monkeypatch = clean_kernels
+    _absent(monkeypatch, "jit")
+    caught = []
+    barrier = threading.Barrier(4)
+
+    def resolve():
+        barrier.wait()
+        with warnings.catch_warnings(record=True) as log:
+            warnings.simplefilter("always")
+            resolve_kernel("jit")
+        caught.extend(log)
+
+    threads = [threading.Thread(target=resolve) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len([w for w in caught if "falling back" in str(w.message)]) == 1
+
+
 def test_old_exports_import_with_default_kernel_fields():
     row = {"rows": 8, "columns": 8, "bits_per_word": 1,
            "algorithm": "MATS+", "order": "row-major", "any_direction": "up",

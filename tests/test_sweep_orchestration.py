@@ -218,12 +218,11 @@ def test_fresh_run_refuses_an_existing_journal(tmp_path):
     assert len(SweepRunner(cases, processes=1, journal=path).run()) == 2
 
 
-def test_sequential_worker_state_is_scoped_to_the_run(monkeypatch):
-    monkeypatch.setattr(runner_module, "_WORKER_STATE", None)
+def test_sequential_worker_state_is_scoped_to_the_run(clear_worker_state):
     SweepRunner(_fast_cases(2), processes=1).run()
-    # The run-scoped state must not leak into the module global, so
+    # The run-scoped state must not leak into the thread's slot, so
     # long-lived processes don't accumulate facades across sweeps.
-    assert runner_module._WORKER_STATE is None
+    assert runner_module._get_worker_state() is None
 
 
 def test_resume_without_journal_is_an_error():
@@ -335,6 +334,85 @@ def test_torn_tail_is_only_dropped_from_a_valid_journal(tmp_path):
         load_journal(tmp_path / "ok.jsonl")
 
 
+def test_torn_header_only_journal_reads_as_empty(tmp_path):
+    # A kill -9 during the very first header write leaves a lone torn
+    # header fragment. All three readers must agree it means "no journal
+    # yet": read_header() -> None (it used to raise), load() -> [], and
+    # both a fresh run and --resume must start over cleanly.
+    path = tmp_path / "run.jsonl"
+    cases = _fast_cases(2)
+    SweepRunner(cases, processes=1, journal=path).run()
+    header_line = path.read_text().splitlines()[0]
+    path.write_text(header_line[:25])  # torn mid-header, no newline
+    assert RunJournal(path).read_header() is None
+    assert RunJournal(path).load() == []
+    assert load_journal(path) == []
+    resumed = SweepRunner(cases, processes=1, journal=path).run(resume=True)
+    assert len(resumed) == 2
+    assert RunJournal(path).read_header() is not None
+
+    path.write_text(header_line[:25])
+    fresh = SweepRunner(cases, processes=1, journal=path).run()
+    assert len(fresh) == 2
+    assert len(load_journal(path)) == 2
+
+
+def test_entry_less_journal_restarts_fresh(tmp_path):
+    # A journal holding a header but zero entries records a run that
+    # never measured anything — a fresh (non-resume) run must restart
+    # it, not refuse with "journal already exists".
+    path = tmp_path / "run.jsonl"
+    cases = _fast_cases(2)
+    SweepRunner(cases, processes=1, journal=path).run()
+    header_line = path.read_text().splitlines()[0]
+
+    path.write_text(header_line + "\n")  # header-only variant
+    result = SweepRunner(cases, processes=1, journal=path).run()
+    assert len(result) == 2
+    assert len(load_journal(path)) == 2
+    # The stale header was replaced, not stacked under a second one.
+    assert path.read_text().count("journal-header") == 1
+
+    path.write_text("")  # zero-byte variant
+    result = SweepRunner(cases, processes=1, journal=path).run()
+    assert len(result) == 2
+
+    # One completed entry is real progress: still refused.
+    with pytest.raises(SweepError, match="already exists"):
+        SweepRunner(cases, processes=1, journal=path).run()
+
+
+def test_header_plus_torn_entry_resumes(tmp_path):
+    # Kill -9 after the header but mid-first-entry: the header survives,
+    # the torn entry is dropped, and --resume re-runs the whole grid.
+    path = tmp_path / "run.jsonl"
+    cases = _fast_cases(2)
+    SweepRunner(cases, processes=1, journal=path).run()
+    lines = path.read_text().splitlines()
+    path.write_text(lines[0] + "\n" + lines[1][:40])
+    assert RunJournal(path).read_header() is not None  # header intact
+    assert load_journal(path) == []
+    resumed = SweepRunner(cases, processes=1, journal=path).run(resume=True)
+    assert len(resumed) == 2
+    assert [e.case_index for e in load_journal(path)] == [0, 1]
+
+
+def test_read_header_still_rejects_foreign_content(tmp_path):
+    # The torn-fragment tolerance must not swallow foreign files: content
+    # that is neither a header nor the start of a journal line fails
+    # loudly from read_header(), exactly as it does from load().
+    path = tmp_path / "foreign.jsonl"
+    path.write_text('{"format": "foreign-file')
+    with pytest.raises(JournalError, match="unrecognised content"):
+        RunJournal(path).read_header()
+    # A *complete* non-header first line is simply "no header" here —
+    # judging whether it is a valid entry line stays load()'s job.
+    path.write_text("complete garbage\n")
+    assert RunJournal(path).read_header() is None
+    with pytest.raises(JournalError):
+        RunJournal(path).load()
+
+
 def test_journal_rejects_unknown_versions(tmp_path):
     path = tmp_path / "future.jsonl"
     path.write_text(json.dumps({
@@ -423,15 +501,23 @@ def test_journal_round_trip_of_all_kinds(tmp_path):
 # ----------------------------------------------------------------------
 # Worker state: memoised orders/facades, pre-warmed shared trace cache
 # ----------------------------------------------------------------------
-def test_worker_initializer_prewarms_shared_traces(monkeypatch):
-    monkeypatch.setattr(runner_module, "_WORKER_STATE", None)
+@pytest.fixture
+def clear_worker_state():
+    """Run the test with an empty thread-local worker-state slot, and
+    drop whatever the test installed afterwards."""
+    runner_module._set_worker_state(None)
+    yield
+    runner_module._set_worker_state(None)
+
+
+def test_worker_initializer_prewarms_shared_traces(clear_worker_state):
     # A seed sweep: both cases replay the same algorithm x order traces,
     # so the initializer compiles them (3 orders) exactly once up front.
     cases = [CoverageCase(rows=8, columns=8, algorithm="MATS+",
                           include_coupling=False, sample=2, seed=seed)
              for seed in (1, 2)]
     runner_module._init_worker(cases)
-    state = runner_module._WORKER_STATE
+    state = runner_module._get_worker_state()
     assert state is not None
     assert len(state.traces) == len(cases[0].orders)
     geometry = cases[0].geometry()
@@ -441,37 +527,34 @@ def test_worker_initializer_prewarms_shared_traces(monkeypatch):
     assert state.simulator_for(cases[0]) is state.simulator_for(cases[1])
 
 
-def test_worker_initializer_skips_unshared_traces(monkeypatch):
+def test_worker_initializer_skips_unshared_traces(clear_worker_state):
     # A grid of unique scenarios (the --paper-table1 shape) must NOT
     # pre-compile the whole grid in every worker — each trace is needed
     # by exactly one case and compiles lazily when that case runs.
-    monkeypatch.setattr(runner_module, "_WORKER_STATE", None)
     cases = coverage_grid(["8x8"], ["MATS+", "March C-"],
                           orders=("row-major",), sample=2)
     runner_module._init_worker(cases)
-    state = runner_module._WORKER_STATE
+    state = runner_module._get_worker_state()
     assert len(state.traces) == 0
     # A direct (shared=None) warm still compiles everything the case needs.
     state.warm_case(cases[0])
     assert len(state.traces) == 1
 
 
-def test_worker_state_reuses_controllers_and_sessions(monkeypatch):
-    monkeypatch.setattr(runner_module, "_WORKER_STATE", None)
+def test_worker_state_reuses_controllers_and_sessions(clear_worker_state):
     prr = [PrrCase(rows=8, columns=64, algorithm="MATS+",
                    backend="vectorized", seed=seed) for seed in (1, 2)]
     power = _fast_cases(2)
     runner_module._init_worker(prr + power)
-    state = runner_module._WORKER_STATE
+    state = runner_module._get_worker_state()
     assert state.controller_for(prr[0]) is state.controller_for(prr[1])
     assert state.session_for(power[0]) is state.session_for(power[1])
     # The seed-swept PRR scenario shares one trace: pre-compiled at init.
     assert len(state.traces) == 1
 
 
-def test_worker_state_results_match_fresh_facades(monkeypatch):
+def test_worker_state_results_match_fresh_facades(clear_worker_state):
     cases = _mixed_cases()
-    monkeypatch.setattr(runner_module, "_WORKER_STATE", None)
     fresh = [runner_module.execute_case(case) for case in cases]
     runner_module._init_worker(cases)
     warmed = [runner_module.execute_case(case) for case in cases]
