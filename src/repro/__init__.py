@@ -20,6 +20,9 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.serve`    — long-running campaign service: JSON/HTTP front,
   content-addressed result cache, request coalescing onto stacked engine
   passes, replayable workload traces (``python -m repro.serve``)
+* :mod:`repro.devtools` — AST-based static analysis enforcing the repo's
+  lazy-import / thread-safety / durability / provenance / schema
+  invariants as a CI gate (``python -m repro.devtools.lint``)
 
 Quickstart::
 
@@ -118,7 +121,7 @@ from .sweep import (
     sweep_grid,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Engine classes resolved lazily (PEP 562) so that importing :mod:`repro`
 #: (or any scalar subsystem) never loads numpy; the vectorized modules load

@@ -173,10 +173,13 @@ class TechnologyParameters:
             "name": self.name,
             "vdd": self.vdd,
             "clock_period": self.clock_period,
+            "temperature_c": self.temperature_c,
             "vth_n": self.vth_n,
             "vth_p": self.vth_p,
             "kp_n": self.kp_n,
             "kp_p": self.kp_p,
+            "channel_length_modulation": self.channel_length_modulation,
+            "min_length_um": self.min_length_um,
             "bitline_cap_per_cell": self.bitline_cap_per_cell,
             "bitline_cap_fixed": self.bitline_cap_fixed,
             "cell_node_cap": self.cell_node_cap,
@@ -188,6 +191,11 @@ class TechnologyParameters:
             "precharge_overhead_factor": self.precharge_overhead_factor,
             "res_equilibrium_current": self.res_equilibrium_current,
             "cell_leakage_current": self.cell_leakage_current,
+            "cell_access_width_um": self.cell_access_width_um,
+            "cell_pulldown_width_um": self.cell_pulldown_width_um,
+            "cell_pullup_width_um": self.cell_pullup_width_um,
+            "precharge_pmos_width_um": self.precharge_pmos_width_um,
+            "write_driver_width_um": self.write_driver_width_um,
         }
 
 

@@ -1,0 +1,50 @@
+"""Static-analysis devtools: the repo's invariants as machine-checked rules.
+
+PR 8's serving layer flushed out three shared-state bugs that had silently
+survived seven PRs — process-global run provenance, a torn-header crash
+and an entry-less-journal refusal — all violations of invariants this
+repository had only enforced by convention and after-the-fact tests.
+:mod:`repro.devtools.lint` turns those hard-won rules into an AST-based
+checker pass (stdlib :mod:`ast` only, honouring the no-hard-deps rule)
+gated in CI::
+
+    python -m repro.devtools.lint src/repro benchmarks tests
+
+Architecture (see ``docs/static_analysis.md`` for the rule catalog):
+
+* :mod:`repro.devtools.findings` — :class:`Finding` records (file, line,
+  rule id, message), the explicit empty-by-default :class:`Baseline`, and
+  the human/JSON report renderers;
+* :mod:`repro.devtools.project` — module discovery and one-shot AST
+  parsing: a :class:`Project` holds every scanned :class:`LintModule`
+  (dotted name, path, source, tree) plus the scope helpers checkers share;
+* :mod:`repro.devtools.importgraph` — the whole-package *eager* import
+  graph, resolved statically through the repo's PEP 562 ``__getattr__``
+  lazy-export seams (what really executes on ``import repro``);
+* :mod:`repro.devtools.framework` — the :class:`Checker` protocol and the
+  :class:`LintRunner` driving per-file walks and whole-project passes;
+* :mod:`repro.devtools.checkers` — the shipped rules, ``RPR001``
+  (lazy-import purity) through ``RPR006`` (export-schema consistency);
+* :mod:`repro.devtools.lint` — the CLI (``python -m repro.devtools.lint``;
+  exit 0 clean / 1 findings / 2 usage or crash).
+
+The framework is the seam later PRs extend: a new invariant (for example
+a shard-lease checker for the distributed orchestrator) is one new
+:class:`Checker` registered in :func:`repro.devtools.checkers.all_checkers`.
+"""
+
+from .findings import Baseline, BaselineError, Finding
+from .framework import Checker, LintRunner
+from .project import LintModule, LintUsageError, Project, load_project
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Checker",
+    "Finding",
+    "LintModule",
+    "LintRunner",
+    "LintUsageError",
+    "Project",
+    "load_project",
+]

@@ -1,0 +1,166 @@
+"""RPR003 — atomic-write discipline in the durability-bearing packages.
+
+The journal/cache/trace layers promise crash-durable files: a reader must
+never observe a half-written artifact.  PR 8's torn-header incident is
+the canonical failure.  The discipline, enforced here for every module
+under ``sweep/`` and ``serve/``:
+
+* a **truncating** write (``open(..., "w"/"x")``, ``Path.write_text``,
+  ``Path.write_bytes``) must be the tempfile pattern — ``mkstemp`` +
+  ``fsync`` + ``os.replace`` in the *same function* — or be routed
+  through the :mod:`repro.durable` helpers (which are exactly that
+  pattern, and live outside this rule's scope on purpose);
+* an **appending** or read-write open (``"a"``, ``"+"``) must ``fsync``
+  in the same function or somewhere in the same class (journal-style
+  classes open in one method and flush in another);
+* module-level writes are always findings — import time is no place for
+  durable I/O.
+
+Only statically-visible string modes are judged; a dynamic mode is
+outside what syntax can prove and stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..findings import Finding
+from ..project import LintModule, Project
+from .common import call_name, enclosing_class, function_calls
+
+#: Package segments this rule applies to (the durability-bearing layers).
+SCOPE_SEGMENTS = ("serve", "sweep")
+
+_TRUNCATE = "truncate"
+_APPEND = "append"
+
+
+def _static_mode(node: ast.Call) -> Optional[str]:
+    """The literal mode string of an open-style call, if visible."""
+    candidates: List[ast.expr] = []
+    name = call_name(node)
+    if name in {"open", "fdopen"}:
+        # ``open(path, mode)`` / ``Path.open(mode)`` / ``os.fdopen(fd, mode)``
+        # all take the mode as the second positional argument — except the
+        # bound ``Path.open``, where it is the first.
+        if isinstance(node.func, ast.Attribute) and name == "open":
+            candidates.extend(node.args[:1])
+        else:
+            candidates.extend(node.args[1:2])
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            candidates = [keyword.value]
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) \
+                and isinstance(candidate.value, str):
+            return candidate.value
+    return None
+
+
+def _write_kind(node: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(kind, description)`` when the call is a write-capable open."""
+    name = call_name(node)
+    if name in {"write_text", "write_bytes"} \
+            and isinstance(node.func, ast.Attribute):
+        return _TRUNCATE, f".{name}(...)"
+    if name in {"open", "fdopen"}:
+        mode = _static_mode(node)
+        if mode is None:
+            return None
+        if any(flag in mode for flag in ("w", "x")):
+            return _TRUNCATE, f"mode {mode!r} open"
+        if "a" in mode or "+" in mode:
+            return _APPEND, f"mode {mode!r} open"
+    return None
+
+
+def _has_atomic_pattern(calls: set) -> bool:
+    return "mkstemp" in calls and "fsync" in calls and "replace" in calls
+
+
+class AtomicWriteChecker:
+    """Flag write-opens that bypass the tempfile/fsync durability pattern."""
+
+    rule_id = "RPR003"
+    title = ("atomic-write discipline: truncating writes need "
+             "mkstemp+fsync+replace, appends need fsync")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.in_scope(SCOPE_SEGMENTS):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: LintModule) -> Iterator[Finding]:
+        for node, parents in _walk_with_scopes(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _write_kind(node)
+            if kind is None:
+                continue
+            style, description = kind
+            function = _enclosing_function(parents)
+            if function is None:
+                yield Finding(
+                    path=module.display_path, line=node.lineno,
+                    rule=self.rule_id,
+                    message=(f"module-level {description}: durable writes "
+                             f"do not belong at import time"))
+                continue
+            calls = function_calls(function)
+            if style == _TRUNCATE:
+                if _has_atomic_pattern(calls) or _routed(calls):
+                    continue
+                yield Finding(
+                    path=module.display_path, line=node.lineno,
+                    rule=self.rule_id,
+                    message=(f"non-atomic {description} in "
+                             f"'{function.name}': truncating writes must "
+                             f"use mkstemp+fsync+os.replace (see "
+                             f"repro.durable)"))
+            else:
+                if "fsync" in calls or _routed(calls):
+                    continue
+                owner = enclosing_class(tuple(parents))
+                if owner is not None and "fsync" in function_calls(owner):
+                    continue
+                yield Finding(
+                    path=module.display_path, line=node.lineno,
+                    rule=self.rule_id,
+                    message=(f"unfsynced {description} in "
+                             f"'{function.name}': appends must fsync "
+                             f"before the write is claimed durable (see "
+                             f"repro.durable)"))
+
+
+def _routed(calls: set) -> bool:
+    """True when the function delegates to the shared durable helpers."""
+    return any("atomic_write" in name or "fsync_append" in name
+               for name in calls)
+
+
+def _enclosing_function(parents: List[ast.AST]
+                        ) -> Optional[ast.FunctionDef]:
+    for node in reversed(parents):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    return None
+
+
+def _walk_with_scopes(tree: ast.Module
+                      ) -> Iterator[Tuple[ast.AST, List[ast.AST]]]:
+    """Every node with its enclosing class/function chain."""
+
+    def walk(node: ast.AST,
+             parents: List[ast.AST]) -> Iterator[Tuple[ast.AST,
+                                                       List[ast.AST]]]:
+        for child in ast.iter_child_nodes(node):
+            yield child, parents
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                yield from walk(child, parents + [child])
+            else:
+                yield from walk(child, parents)
+
+    yield from walk(tree, [])

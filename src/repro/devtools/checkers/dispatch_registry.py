@@ -1,0 +1,177 @@
+"""RPR004 — dispatch-registry consistency.
+
+The backend/kernel story has one rule: requests flow to the
+:class:`~repro.engine.dispatch.BackendDispatcher`, and results report
+what *actually* ran, not what was asked for.  Three statically-checkable
+facets of that contract:
+
+* a function accepting a ``backend=`` or ``kernel=`` parameter must
+  actually *use* it — an accepted-but-ignored selection parameter is a
+  silent lie to the caller;
+* a class that constructs a ``BackendDispatcher`` is a facade and must
+  expose ``last_backend_used`` (the property routing to the dispatcher's
+  thread-local provenance — assigning a bare ``self.last_backend_used``
+  without that property was the PR 8 shape);
+* a round-tripping record dataclass (``as_dict`` + ``from_dict``) with a
+  requested-``backend``/``kernel`` field must also carry the
+  ``backend_used``/``kernel_used`` provenance twin.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set
+
+from ..findings import Finding
+from ..project import LintModule, Project
+from .common import decorator_names, enclosing_class, iter_functions
+
+#: Package segments this rule applies to (everything touching dispatch).
+SCOPE_SEGMENTS = ("bist", "core", "engine", "faults", "serve", "sweep")
+
+#: Selection parameters that must be threaded, and their provenance twins.
+SELECTION_PARAMS = ("backend", "kernel")
+PROVENANCE_TWINS = {"backend": "backend_used", "kernel": "kernel_used"}
+
+
+def _parameter_names(function: ast.AST) -> List[str]:
+    args = function.args
+    names = [arg.arg for arg in args.posonlyargs + args.args
+             + args.kwonlyargs]
+    return names
+
+
+def _loaded_names(function: ast.AST) -> Set[str]:
+    loaded: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loaded.add(node.id)
+    return loaded
+
+
+def _class_properties(cls: ast.ClassDef) -> Set[str]:
+    """Names defined as ``@property`` (or ``@x.setter``) in the class."""
+    names: Set[str] = set()
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = decorator_names(node)
+            if "property" in decorators or "setter" in decorators:
+                names.add(node.name)
+    return names
+
+
+def _constructs_dispatcher(cls: ast.ClassDef) -> bool:
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            if name == "BackendDispatcher":
+                return True
+    return False
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[str]:
+    fields: List[str] = []
+    for node in cls.body:
+        if isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            annotation = ast.dump(node.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append(node.target.id)
+    return fields
+
+
+def _method_names(cls: ast.ClassDef) -> Set[str]:
+    return {node.name for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+class DispatchRegistryChecker:
+    """Flag facades and records that break the dispatch provenance contract."""
+
+    rule_id = "RPR004"
+    title = ("dispatch-registry consistency: selection params must be "
+             "threaded and results must carry *_used provenance")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.in_scope(SCOPE_SEGMENTS):
+                continue
+            yield from self._check_parameters(module)
+            yield from self._check_classes(module)
+
+    def _check_parameters(self, module: LintModule) -> Iterator[Finding]:
+        for function, parents in iter_functions(module.tree):
+            parameters = _parameter_names(function)
+            wanted = [name for name in SELECTION_PARAMS
+                      if name in parameters]
+            if not wanted:
+                continue
+            loaded = _loaded_names(function)
+            for name in wanted:
+                if name in loaded:
+                    continue
+                owner = enclosing_class(parents)
+                where = f"{owner.name}.{function.name}" if owner \
+                    else function.name
+                yield Finding(
+                    path=module.display_path, line=function.lineno,
+                    rule=self.rule_id,
+                    message=(f"'{where}' accepts a '{name}' parameter but "
+                             f"never uses it; selection must thread to the "
+                             f"dispatcher"))
+
+    def _check_classes(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            properties = _class_properties(node)
+            if _constructs_dispatcher(node) \
+                    and "last_backend_used" not in properties:
+                yield Finding(
+                    path=module.display_path, line=node.lineno,
+                    rule=self.rule_id,
+                    message=(f"class '{node.name}' constructs a "
+                             f"BackendDispatcher but does not expose a "
+                             f"'last_backend_used' property routing to its "
+                             f"thread-local provenance"))
+            if "last_backend_used" not in properties:
+                yield from self._check_bare_assignment(node, module)
+            yield from self._check_record_fields(node, module)
+
+    def _check_bare_assignment(self, cls: ast.ClassDef,
+                               module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) \
+                        and target.attr == "last_backend_used" \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    yield Finding(
+                        path=module.display_path, line=node.lineno,
+                        rule=self.rule_id,
+                        message=(f"class '{cls.name}' assigns bare "
+                                 f"'self.last_backend_used' without a "
+                                 f"property+setter routing to dispatcher "
+                                 f"provenance (process-global in PR 8)"))
+
+    def _check_record_fields(self, cls: ast.ClassDef,
+                             module: LintModule) -> Iterator[Finding]:
+        if "dataclass" not in decorator_names(cls):
+            return
+        methods = _method_names(cls)
+        if "as_dict" not in methods or "from_dict" not in methods:
+            return
+        fields = _dataclass_fields(cls)
+        for requested, used in PROVENANCE_TWINS.items():
+            if requested in fields and used not in fields:
+                yield Finding(
+                    path=module.display_path, line=cls.lineno,
+                    rule=self.rule_id,
+                    message=(f"record '{cls.name}' has a '{requested}' "
+                             f"field but no '{used}' provenance twin; "
+                             f"results must report requested vs used"))

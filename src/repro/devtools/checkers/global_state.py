@@ -1,0 +1,242 @@
+"""RPR002 — no process-global mutable provenance.
+
+The PR 8 bug class: a module- or class-level name that hot-path code
+rebinds or mutates is process-global state — two concurrent sessions
+trample each other's view of it (the original incident was a
+process-global ``last_backend_used``).  In the concurrency-bearing
+packages (``engine``, ``serve``, ``sweep``, ``bist``, ``faults``) such
+state is only legal when it is a ``threading.local`` slot or every write
+sits inside a lock-guarded ``with`` region.
+
+Three write shapes are flagged, all from *function* bodies (module-level
+initialisation is fine — it runs once, under the import lock):
+
+* rebinding a module global (``global NAME`` + assignment);
+* mutating a module-level container (subscript/del/augmented assignment,
+  or a mutator method such as ``.update()``/``.append()``);
+* writing a class attribute through ``Cls.attr``/``type(self).attr``/
+  ``self.__class__.attr``.
+
+Module-level ``__getattr__``/``__dir__`` hooks are exempt: PEP 562 lazy
+caching rebinds module globals by design, idempotently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..importgraph import iter_eager_statements
+from ..project import LintModule, Project
+from .common import MUTATOR_METHODS, call_name, looks_like_lock
+
+#: Package segments this rule applies to (the concurrency-bearing layers).
+SCOPE_SEGMENTS = ("bist", "engine", "faults", "serve", "sweep")
+
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "Counter", "OrderedDict", "defaultdict", "deque", "dict", "list", "set",
+})
+
+_SIMPLE_STATEMENTS = (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr,
+                      ast.Return, ast.Delete, ast.Assert, ast.Raise)
+
+
+def _is_mutable_value(value: Optional[ast.expr]) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                          ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return call_name(value) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _constructed_by(value: Optional[ast.expr], names: Set[str]) -> bool:
+    return isinstance(value, ast.Call) and call_name(value) in names
+
+
+class _ModuleState:
+    """Module-level facts RPR002 judges function bodies against."""
+
+    def __init__(self, module: LintModule) -> None:
+        self.mutables: Set[str] = set()
+        self.thread_locals: Set[str] = set()
+        self.locks: Set[str] = set()
+        self.classes: Set[str] = set()
+        self.exempt_functions: Set[str] = {"__getattr__", "__dir__"}
+        for node in iter_eager_statements(module.tree.body):
+            if isinstance(node, ast.ClassDef):
+                self.classes.add(node.name)
+                continue
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _constructed_by(value, {"local"}):
+                    self.thread_locals.add(target.id)
+                elif _constructed_by(value, {"Lock", "RLock"}):
+                    self.locks.add(target.id)
+                elif _is_mutable_value(value):
+                    self.mutables.add(target.id)
+
+
+class GlobalStateChecker:
+    """Flag unguarded writes to module/class-level state in hot paths."""
+
+    rule_id = "RPR002"
+    title = ("no process-global mutable provenance: module/class state "
+             "written from functions must be thread-local or lock-guarded")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            if not module.in_scope(SCOPE_SEGMENTS):
+                continue
+            state = _ModuleState(module)
+            yield from self._check_module(module, state)
+
+    def _check_module(self, module: LintModule,
+                      state: _ModuleState) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name in state.exempt_functions:
+                continue
+            yield from self._walk(node, module, state, func=None,
+                                  globals_declared=set(), locked=False)
+
+    def _walk(self, node: ast.AST, module: LintModule, state: _ModuleState,
+              func: Optional[str], globals_declared: Set[str],
+              locked: bool) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            declared = {name for sub in ast.walk(node)
+                        if isinstance(sub, ast.Global) for name in sub.names}
+            for child in node.body:
+                yield from self._walk(child, module, state, node.name,
+                                      declared, locked=False)
+            return
+        if isinstance(node, ast.ClassDef):
+            for child in node.body:
+                yield from self._walk(child, module, state, func,
+                                      globals_declared, locked)
+            return
+        if func is None:
+            # Module/class level: initialisation, runs once under the
+            # import lock — only function bodies are hot paths.
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                    yield from self._walk(child, module, state, func,
+                                          globals_declared, locked)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            guarded = locked or any(
+                looks_like_lock(item.context_expr, state.locks)
+                for item in node.items)
+            for item in node.items:
+                yield from self._scan_expressions(
+                    item.context_expr, node.lineno, module, state, func,
+                    locked)
+            for child in node.body:
+                yield from self._walk(child, module, state, func,
+                                      globals_declared, guarded)
+            return
+        if isinstance(node, _SIMPLE_STATEMENTS):
+            yield from self._scan_statement(node, module, state, func,
+                                            globals_declared, locked)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                yield from self._walk(child, module, state, func,
+                                      globals_declared, locked)
+            elif isinstance(child, ast.expr):
+                yield from self._scan_expressions(
+                    child, node.lineno, module, state, func, locked)
+
+    def _scan_statement(self, node: ast.stmt, module: LintModule,
+                        state: _ModuleState, func: str,
+                        globals_declared: Set[str],
+                        locked: bool) -> Iterator[Finding]:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        for target in targets:
+            yield from self._check_target(target, node.lineno, module, state,
+                                          func, globals_declared, locked)
+        yield from self._scan_expressions(node, node.lineno, module, state,
+                                          func, locked)
+
+    def _check_target(self, target: ast.expr, line: int, module: LintModule,
+                      state: _ModuleState, func: str,
+                      globals_declared: Set[str],
+                      locked: bool) -> Iterator[Finding]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_target(element, line, module, state,
+                                              func, globals_declared, locked)
+            return
+        if locked:
+            return
+        if isinstance(target, ast.Name) and target.id in globals_declared:
+            yield Finding(
+                path=module.display_path, line=line, rule=self.rule_id,
+                message=(f"function '{func}' rebinds module global "
+                         f"'{target.id}' outside a lock-guarded region; "
+                         f"use thread-local state or guard with a lock"))
+        elif isinstance(target, ast.Subscript) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id in state.mutables:
+            yield Finding(
+                path=module.display_path, line=line, rule=self.rule_id,
+                message=(f"function '{func}' mutates module-level container "
+                         f"'{target.value.id}' outside a lock-guarded "
+                         f"region"))
+        else:
+            described = _class_attr_target(target, state.classes)
+            if described is not None:
+                yield Finding(
+                    path=module.display_path, line=line, rule=self.rule_id,
+                    message=(f"function '{func}' writes class attribute "
+                             f"'{described}' outside a lock-guarded region; "
+                             f"class-level state is process-global"))
+
+    def _scan_expressions(self, node: ast.AST, line: int, module: LintModule,
+                          state: _ModuleState, func: str,
+                          locked: bool) -> Iterator[Finding]:
+        if locked:
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call) \
+                    or not isinstance(sub.func, ast.Attribute):
+                continue
+            base = sub.func.value
+            if isinstance(base, ast.Name) and base.id in state.mutables \
+                    and sub.func.attr in MUTATOR_METHODS:
+                yield Finding(
+                    path=module.display_path, line=getattr(sub, "lineno",
+                                                           line),
+                    rule=self.rule_id,
+                    message=(f"function '{func}' mutates module-level "
+                             f"container '{base.id}' via .{sub.func.attr}() "
+                             f"outside a lock-guarded region"))
+
+
+def _class_attr_target(target: ast.expr,
+                       module_classes: Set[str]) -> Optional[str]:
+    if not isinstance(target, ast.Attribute):
+        return None
+    base = target.value
+    if isinstance(base, ast.Name) and base.id in module_classes:
+        return f"{base.id}.{target.attr}"
+    if isinstance(base, ast.Call) and isinstance(base.func, ast.Name) \
+            and base.func.id == "type":
+        return f"type(...).{target.attr}"
+    if isinstance(base, ast.Attribute) and base.attr == "__class__":
+        return f"__class__.{target.attr}"
+    return None

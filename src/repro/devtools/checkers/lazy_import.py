@@ -1,0 +1,52 @@
+"""RPR001 — lazy-import purity.
+
+``import repro`` must stay cheap and optional-dependency-free: the heavy
+numerics stacks (numpy, numba, cupy) load behind the PEP 562
+``__getattr__`` seams and the engine dispatcher, never at package import
+time.  The dynamic test (``tests/test_lazy_imports.py``) proves it for
+one interpreter run; this rule proves it for the whole *static* eager
+import graph, including edges that only materialise through lazy-export
+maps (``from repro.engine import KERNEL_CHOICES`` eagerly loads
+``repro.engine.dispatch``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..findings import Finding
+from ..importgraph import ImportGraph
+from ..project import Project
+
+#: Top-level modules the eager graph of a scanned package must not reach.
+FORBIDDEN_ROOTS = ("cupy", "numba", "numpy")
+
+
+class LazyImportChecker:
+    """Prove no scanned root package eagerly reaches a forbidden module."""
+
+    rule_id = "RPR001"
+    title = ("lazy-import purity: package import graphs must not eagerly "
+             "reach numpy/numba/cupy")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = ImportGraph(project)
+        for root in project.root_packages():
+            parents = graph.reachable_from(root)
+            for target in sorted(parents):
+                if target not in FORBIDDEN_ROOTS:
+                    continue
+                importer, edge = parents[target]
+                module = project.by_name.get(edge.importer)
+                if module is None:  # pragma: no cover - importer is scanned
+                    continue
+                chain: List[str] = graph.chain_to(parents, target, root)
+                yield Finding(
+                    path=module.display_path,
+                    line=edge.line,
+                    rule=self.rule_id,
+                    message=(
+                        f"'import {root}' eagerly reaches '{target}' "
+                        f"(chain: {' -> '.join(chain)}); heavy numerics "
+                        f"must stay behind the lazy-import seams"),
+                )

@@ -1,0 +1,159 @@
+"""Finding records, baselines and report rendering for the lint pass.
+
+A :class:`Finding` is one rule violation pinned to a file and line.  The
+:class:`Baseline` is the *explicit, empty-by-default* suppression file:
+the committed ``lint-baseline.json`` holds zero entries — the gate policy
+is "fix what the checkers find", and the baseline exists only so that a
+future rule landing against a large tree can ratchet instead of blocking
+(see ``docs/static_analysis.md`` for the policy).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+#: ``format`` tag of the JSON report the CLI emits with ``--format json``.
+REPORT_FORMAT = "repro-lint-report"
+#: ``format`` tag of a baseline file.
+BASELINE_FORMAT = "repro-lint-baseline"
+#: Schema version this module writes (reports and baselines).
+LINT_VERSION = 1
+
+
+class BaselineError(Exception):
+    """Raised on malformed or foreign baseline files."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific location.
+
+    Ordering is by ``(path, line, rule, message)`` so a report is stable
+    across runs and readable file by file.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Baseline identity: ``(rule, path, message)``.
+
+        Line numbers drift with every edit, so they are deliberately not
+        part of the identity a baseline entry matches against.
+        """
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary view (one JSON report/baseline entry)."""
+        return {"rule": self.rule, "path": self.path,
+                "line": self.line, "message": self.message}
+
+    def render(self) -> str:
+        """The canonical one-line human form (``path:line: RULE message``)."""
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Known-and-accepted findings, loaded from an explicit JSON file.
+
+    Matching is by :meth:`Finding.key`; a finding whose key appears here
+    is *suppressed* (reported separately, never gating).  The empty
+    baseline — the committed default — suppresses nothing.
+    """
+
+    keys: Tuple[Tuple[str, str, str], ...] = ()
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        """The zero-entry baseline (what an absent ``--baseline`` means)."""
+        return cls()
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Load and validate a baseline file; foreign content raises."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise BaselineError(
+                f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) \
+                or payload.get("format") != BASELINE_FORMAT:
+            raise BaselineError(
+                f"baseline {path} is not a {BASELINE_FORMAT} document")
+        if payload.get("version") != LINT_VERSION:
+            raise BaselineError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this reader understands version {LINT_VERSION}")
+        entries = payload.get("findings")
+        if not isinstance(entries, list):
+            raise BaselineError(
+                f"baseline {path} has no 'findings' list")
+        keys: List[Tuple[str, str, str]] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise BaselineError(
+                    f"baseline {path} entry {index} is not an object")
+            try:
+                keys.append((str(entry["rule"]), str(entry["path"]),
+                             str(entry["message"])))
+            except KeyError as exc:
+                raise BaselineError(
+                    f"baseline {path} entry {index} is missing {exc}"
+                ) from exc
+        return cls(tuple(keys))
+
+    def split(self, findings: Sequence[Finding]
+              ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(gating, suppressed)``."""
+        known = set(self.keys)
+        gating = [f for f in findings if f.key() not in known]
+        suppressed = [f for f in findings if f.key() in known]
+        return gating, suppressed
+
+    @staticmethod
+    def document(findings: Sequence[Finding]) -> Dict[str, object]:
+        """The baseline JSON document that would suppress ``findings``."""
+        return {
+            "format": BASELINE_FORMAT,
+            "version": LINT_VERSION,
+            "findings": [{"rule": f.rule, "path": f.path,
+                          "message": f.message} for f in sorted(findings)],
+        }
+
+
+def render_human(findings: Sequence[Finding],
+                 suppressed: Sequence[Finding],
+                 checked_files: int) -> str:
+    """The plain-text report: one line per finding plus a summary line."""
+    lines = [finding.render() for finding in sorted(findings)]
+    summary = (f"{len(findings)} finding(s) in {checked_files} file(s)"
+               if findings else f"clean: {checked_files} file(s) checked")
+    if suppressed:
+        summary += f" ({len(suppressed)} baseline-suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding],
+                suppressed: Sequence[Finding],
+                checked_files: int,
+                rules: Sequence[str]) -> str:
+    """The machine-readable report (the CI artifact)."""
+    payload: Dict[str, object] = {
+        "format": REPORT_FORMAT,
+        "version": LINT_VERSION,
+        "checked_files": checked_files,
+        "rules": list(rules),
+        "findings": [finding.as_dict() for finding in sorted(findings)],
+        "suppressed": [finding.as_dict() for finding in sorted(suppressed)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,60 @@
+"""The pluggable checker framework: ``Checker`` protocol + ``LintRunner``.
+
+A checker is a named rule over a whole :class:`~repro.devtools.project.Project`
+— most walk each module's AST independently, the import-graph rule reasons
+over the package as a whole; both fit the same ``check(project)`` seam.
+The runner is deliberately thin: load once, run every (selected) checker,
+return sorted findings.  New invariants land as new checkers registered in
+:func:`repro.devtools.checkers.all_checkers`; nothing else changes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkable
+
+from .findings import Finding
+from .project import LintUsageError, Project
+
+
+@runtime_checkable
+class Checker(Protocol):
+    """One rule: a stable id, a human title, and a project-wide pass."""
+
+    #: Stable rule identifier carried by findings and baselines (``RPR00x``).
+    rule_id: str
+    #: One-line description shown by ``--rules`` and in reports.
+    title: str
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        """Yield every violation of this rule in ``project``."""
+        ...
+
+
+class LintRunner:
+    """Runs a set of checkers over a project and collects their findings."""
+
+    def __init__(self, checkers: Sequence[Checker]) -> None:
+        self.checkers: List[Checker] = list(checkers)
+
+    def select(self, rule_ids: Optional[Sequence[str]]) -> "LintRunner":
+        """A runner restricted to ``rule_ids`` (unknown ids are an error)."""
+        if rule_ids is None:
+            return self
+        known = {checker.rule_id: checker for checker in self.checkers}
+        missing = [rule for rule in rule_ids if rule not in known]
+        if missing:
+            raise LintUsageError(
+                f"unknown rule id(s): {', '.join(sorted(missing))}; "
+                f"known: {', '.join(sorted(known))}")
+        return LintRunner([known[rule] for rule in rule_ids])
+
+    def rule_ids(self) -> List[str]:
+        """The ids of every checker this runner will apply, sorted."""
+        return sorted(checker.rule_id for checker in self.checkers)
+
+    def run(self, project: Project) -> List[Finding]:
+        """Apply every checker; findings come back sorted and deduplicated."""
+        findings: List[Finding] = []
+        for checker in self.checkers:
+            findings.extend(checker.check(project))
+        return sorted(set(findings))

@@ -1,0 +1,131 @@
+"""The lint CLI: ``python -m repro.devtools.lint [paths]``.
+
+Exit-code contract (shared with the sweep CLI and documented in
+``docs/static_analysis.md``):
+
+* ``0`` — every selected checker ran and nothing gates (clean tree, or
+  findings fully covered by the explicit baseline);
+* ``1`` — at least one gating finding;
+* ``2`` — the run itself was unusable (bad arguments, missing paths,
+  unparseable sources, malformed baseline), reported as ``error: ...``
+  on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .checkers import all_checkers
+from .findings import Baseline, BaselineError, render_human, render_json
+from .framework import LintRunner
+from .project import LintUsageError, load_project
+
+#: The tree linted when no paths are given (from a repo checkout).
+DEFAULT_TARGET = "src/repro"
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=("Check the repro tree against its machine-enforced "
+                     "invariants (lazy imports, thread-safe state, atomic "
+                     "writes, dispatch provenance, warn-once fallback, "
+                     "export schemas)."))
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help=f"files or directories to lint (default: {DEFAULT_TARGET})")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (json is the CI artifact)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None, metavar="FILE",
+        help="explicit baseline of accepted findings (default: none — "
+             "every finding gates)")
+    parser.add_argument(
+        "--write-baseline", type=Path, default=None, metavar="FILE",
+        help="write a baseline suppressing the current findings, then "
+             "exit 0 (a ratchet for landing new rules, not a fix)")
+    parser.add_argument(
+        "--rules", nargs="*", default=None, metavar="RULE",
+        help="restrict the run to these rule ids; with no ids, list "
+             "every known rule and exit")
+    parser.add_argument(
+        "--exclude", action="append", default=[], metavar="GLOB",
+        help="glob of paths to skip (repeatable)")
+    parser.add_argument(
+        "--output", type=Path, default=None, metavar="FILE",
+        help="also write the report to FILE (stdout is unchanged)")
+    return parser
+
+
+def _resolve_paths(paths: Sequence[Path]) -> List[Path]:
+    if paths:
+        return list(paths)
+    default = Path(DEFAULT_TARGET)
+    if not default.exists():
+        raise LintUsageError(
+            f"no paths given and default target '{DEFAULT_TARGET}' does "
+            f"not exist here; pass the tree to lint explicitly")
+    return [default]
+
+
+def _list_rules(runner: LintRunner) -> str:
+    lines = []
+    for checker in sorted(runner.checkers, key=lambda c: c.rule_id):
+        lines.append(f"{checker.rule_id}  {checker.title}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    runner = LintRunner(all_checkers())
+    if options.rules is not None and not options.rules:
+        print(_list_rules(runner))
+        return EXIT_CLEAN
+    try:
+        runner = runner.select(options.rules)
+        targets = _resolve_paths(options.paths)
+        project = load_project(targets, exclude=options.exclude)
+        baseline = Baseline.load(options.baseline) \
+            if options.baseline is not None else Baseline.empty()
+    except (LintUsageError, BaselineError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    findings = runner.run(project)
+    if options.write_baseline is not None:
+        import json
+
+        document = Baseline.document(findings)
+        options.write_baseline.write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote baseline with {len(findings)} entr"
+              f"{'y' if len(findings) == 1 else 'ies'} to "
+              f"{options.write_baseline}")
+        return EXIT_CLEAN
+    gating, suppressed = baseline.split(findings)
+    if options.format == "json":
+        report = render_json(gating, suppressed, len(project),
+                             runner.rule_ids())
+    else:
+        report = render_human(gating, suppressed, len(project))
+    print(report)
+    if options.output is not None:
+        options.output.write_text(report + "\n", encoding="utf-8")
+    return EXIT_FINDINGS if gating else EXIT_CLEAN
+
+
+def console_main() -> None:
+    """Entry point for the ``repro-lint`` console script."""
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

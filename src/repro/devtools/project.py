@@ -1,0 +1,180 @@
+"""Module discovery and one-shot AST parsing for the lint pass.
+
+A :class:`Project` is the unit every checker receives: the set of scanned
+modules, each parsed exactly once, with their *dotted module names*
+resolved the way the import system would resolve them (ascending the
+directory tree while ``__init__.py`` files are present).  That naming is
+what lets checkers scope rules by package segment — ``repro.serve.cache``
+is in scope for the durability rule wherever the tree is checked out —
+and what the import-graph pass keys its edges on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class LintUsageError(Exception):
+    """Raised on unusable input (missing paths, unparseable sources).
+
+    The CLI maps this to exit code 2 — the shared ``error:``-exit-2
+    convention of the repo's CLIs (see ``docs/static_analysis.md``).
+    """
+
+
+#: Directory names never descended into.  ``lint_fixtures`` holds the
+#: committed violation corpus of the test-suite — deliberately broken
+#: modules that must not gate CI runs over ``tests/``.
+DEFAULT_EXCLUDED_DIRS = ("__pycache__", "lint_fixtures")
+
+
+@dataclass(frozen=True)
+class LintModule:
+    """One parsed source file.
+
+    ``name`` is the dotted module name (``repro.engine.dispatch``); files
+    outside any package use their stem (``conftest``).  ``display_path``
+    is the stable path findings and baselines carry.
+    """
+
+    name: str
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """The dotted-name parts (``("repro", "engine", "dispatch")``)."""
+        return tuple(self.name.split("."))
+
+    @property
+    def is_package(self) -> bool:
+        """True for ``__init__.py`` modules."""
+        return self.path.name == "__init__.py"
+
+    def in_scope(self, package_segments: Iterable[str]) -> bool:
+        """True when any dotted-name part matches a scoping segment."""
+        wanted = set(package_segments)
+        return any(segment in wanted for segment in self.segments)
+
+
+@dataclass
+class Project:
+    """Every scanned module, indexed for the checkers."""
+
+    modules: List[LintModule] = field(default_factory=list)
+    by_name: Dict[str, LintModule] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def root_packages(self) -> List[str]:
+        """Top-level package names among the scanned modules.
+
+        A root package is a scanned ``__init__.py`` whose dotted name has
+        no parent in the scan set — the entry points the import-graph
+        rule walks (``repro`` when ``src/repro`` is scanned).
+        """
+        return sorted(module.name for module in self.modules
+                      if module.is_package and "." not in module.name)
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name the import system would give ``path``.
+
+    Ascends while the containing directory is a package (``__init__.py``
+    present), exactly like package resolution does; a file outside any
+    package is a top-level module named after its stem.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:  # filesystem root
+            break
+        directory = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _display_path(path: Path) -> str:
+    """The stable path findings carry: cwd-relative when possible."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _iter_source_files(root: Path,
+                       exclude: Sequence[str]) -> Iterable[Path]:
+    """Every ``.py`` file under ``root``, pruning excluded directories."""
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        if any(part in DEFAULT_EXCLUDED_DIRS for part in relative.parts):
+            continue
+        if any(fnmatch(relative.as_posix(), pattern) or
+               fnmatch(path.as_posix(), pattern) for pattern in exclude):
+            continue
+        yield path
+
+
+def parse_module(path: Path) -> LintModule:
+    """Parse one source file into a :class:`LintModule`.
+
+    A file that does not parse makes the whole run unusable (exit 2): a
+    tree that is not valid Python cannot be meaningfully checked, and
+    silently skipping it would report "clean" over unchecked code.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintUsageError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintUsageError(
+            f"{path}:{exc.lineno}: not valid Python: {exc.msg}") from exc
+    return LintModule(name=module_name_for(path), path=path.resolve(),
+                      display_path=_display_path(path), source=source,
+                      tree=tree)
+
+
+def load_project(paths: Sequence[Path],
+                 exclude: Sequence[str] = ()) -> Project:
+    """Discover, parse and index every module under ``paths``.
+
+    ``paths`` may mix files and directories; duplicates (the same file
+    reached through two arguments) are scanned once.  An empty scan set
+    is a usage error — "checked nothing" must never read as "clean".
+    """
+    if not paths:
+        raise LintUsageError("no paths to lint")
+    seen: Dict[Path, None] = {}
+    project = Project()
+    for root in paths:
+        root = Path(root)
+        if not root.exists():
+            raise LintUsageError(f"path does not exist: {root}")
+        for path in _iter_source_files(root, exclude):
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen[resolved] = None
+            module = parse_module(resolved)
+            project.modules.append(module)
+            project.by_name[module.name] = module
+    if not project.modules:
+        raise LintUsageError(
+            f"no Python sources found under {[str(p) for p in paths]}")
+    project.modules.sort(key=lambda module: module.display_path)
+    return project

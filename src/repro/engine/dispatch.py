@@ -52,7 +52,11 @@ BACKEND_CHOICES: Tuple[str, ...] = ("reference", "vectorized", "auto")
 KERNEL_CHOICES: Tuple[str, ...] = ("flat", "segmented", "jit", "gpu", "auto")
 
 #: Facade families registered through :func:`register_backend_family`.
+#: Guarded by ``_REGISTRY_LOCK``: facade modules register at import time,
+#: but the serving layer imports facades lazily from worker threads, so
+#: the check-and-set below must be atomic (RPR002).
 _FAMILIES: Dict[str, Tuple[str, ...]] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_backend_family(family: str,
@@ -70,12 +74,13 @@ def register_backend_family(family: str,
     what a family's switch accepts).
     """
     registered = tuple(choices)
-    existing = _FAMILIES.get(family)
-    if existing is not None and existing != registered:
-        raise ValueError(
-            f"backend family {family!r} already registered with choices "
-            f"{existing}, cannot re-register with {registered}")
-    _FAMILIES[family] = registered
+    with _REGISTRY_LOCK:
+        existing = _FAMILIES.get(family)
+        if existing is not None and existing != registered:
+            raise ValueError(
+                f"backend family {family!r} already registered with choices "
+                f"{existing}, cannot re-register with {registered}")
+        _FAMILIES[family] = registered
     return registered
 
 
@@ -86,17 +91,19 @@ register_backend_family("kernel", KERNEL_CHOICES)
 
 def backend_families() -> Dict[str, Tuple[str, ...]]:
     """A snapshot of every registered facade family and its choices."""
-    return dict(_FAMILIES)
+    with _REGISTRY_LOCK:
+        return dict(_FAMILIES)
 
 
 def backend_choices(family: str) -> Tuple[str, ...]:
     """The backend choices of one registered facade family."""
-    try:
-        return _FAMILIES[family]
-    except KeyError:
-        raise KeyError(
-            f"unknown backend family {family!r}; registered: "
-            f"{sorted(_FAMILIES)}") from None
+    with _REGISTRY_LOCK:
+        try:
+            return _FAMILIES[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown backend family {family!r}; registered: "
+                f"{sorted(_FAMILIES)}") from None
 
 
 _T = TypeVar("_T")

@@ -104,8 +104,12 @@ def _require_numpy() -> None:
 #: module) never loads numba/cupy.
 KERNELS = KERNEL_CHOICES
 
-#: Process-wide default kernel; see :func:`default_kernel`.
+#: Process-wide default kernel; see :func:`default_kernel`.  Rebinding it
+#: and mutating ``_TIER_CACHE`` below happen under ``_KERNEL_STATE_LOCK``:
+#: the serving layer resolves kernels from concurrent worker threads, and
+#: unguarded writes to process-wide kernel state are the RPR002 bug class.
 _DEFAULT_KERNEL = "flat"
+_KERNEL_STATE_LOCK = threading.Lock()
 
 #: Optional compiled-tier implementation modules, imported lazily on first
 #: resolution (never at ``import repro`` time — the PEP 562 contract).
@@ -143,12 +147,19 @@ def kernel_module(tier: str):
     """
     if tier not in _TIER_MODULES:
         return None
-    if tier not in _TIER_CACHE:
-        try:
-            _TIER_CACHE[tier] = import_module(_TIER_MODULES[tier], __package__)
-        except ImportError:
-            _TIER_CACHE[tier] = None
-    return _TIER_CACHE[tier]
+    with _KERNEL_STATE_LOCK:
+        if tier in _TIER_CACHE:
+            return _TIER_CACHE[tier]
+    # Probe outside the lock — importing a compiled tier can be slow and
+    # takes the interpreter's import lock; a racing duplicate probe is
+    # idempotent and setdefault keeps the first outcome.
+    try:
+        module: Optional[object] = import_module(
+            _TIER_MODULES[tier], __package__)
+    except ImportError:
+        module = None
+    with _KERNEL_STATE_LOCK:
+        return _TIER_CACHE.setdefault(tier, module)
 
 
 def kernel_available(tier: str) -> bool:
@@ -226,7 +237,8 @@ def active_kernel() -> str:
 def reset_kernel_state() -> None:
     """Forget tier-availability probes and fallback warnings (test hook:
     lets a suite patch ``sys.modules`` and re-probe from scratch)."""
-    _TIER_CACHE.clear()
+    with _KERNEL_STATE_LOCK:
+        _TIER_CACHE.clear()
     with _FALLBACK_LOCK:
         _FALLBACK_WARNED.clear()
 
@@ -250,13 +262,15 @@ class default_kernel:
 
     def __enter__(self) -> "default_kernel":
         global _DEFAULT_KERNEL
-        self._previous = _DEFAULT_KERNEL
-        _DEFAULT_KERNEL = self.kernel
+        with _KERNEL_STATE_LOCK:
+            self._previous = _DEFAULT_KERNEL
+            _DEFAULT_KERNEL = self.kernel
         return self
 
     def __exit__(self, *exc_info) -> None:
         global _DEFAULT_KERNEL
-        _DEFAULT_KERNEL = self._previous
+        with _KERNEL_STATE_LOCK:
+            _DEFAULT_KERNEL = self._previous
 
 
 #: Segments evaluated per flat-kernel tile; bounds the size of the

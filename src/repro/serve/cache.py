@@ -11,7 +11,8 @@ workload.
 Entries are one JSON document per digest, fanned out over 256
 two-hex-character subdirectories (``<root>/ab/abcdef....json``) so a
 million-entry cache never puts a million files in one directory.  Writes
-are atomic (temp file in the same directory, fsync, ``os.replace``) and
+are atomic (:func:`repro.durable.atomic_write_text` — temp file in the
+same directory, fsync, ``os.replace``, enforced by lint rule RPR003) and
 reads are defensive: a torn, foreign or unreadable entry is simply a
 cache miss — the scenario re-executes and the entry is rewritten — never
 an error surfaced to a client.
@@ -20,10 +21,10 @@ an error surfaced to a client.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
+
+from ..durable import atomic_write_text
 
 #: The ``format`` tag every cache entry carries.
 CACHE_FORMAT = "repro-serve-cache"
@@ -89,20 +90,7 @@ class ResultCache:
         }
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                        prefix=f".{digest[:8]}-", suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(entry, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        atomic_write_text(path, json.dumps(entry, sort_keys=True))
         return entry
 
     # ------------------------------------------------------------------

@@ -79,7 +79,9 @@ class _Pending:
 
     __slots__ = ("digest", "kind", "fingerprint", "case", "future")
 
-    def __init__(self, digest: str, kind: str, fingerprint, case, future):
+    def __init__(self, digest: str, kind: str,
+                 fingerprint: Dict[str, object], case: object,
+                 future: asyncio.Future) -> None:
         self.digest = digest
         self.kind = kind
         self.fingerprint = fingerprint
@@ -332,7 +334,8 @@ class CampaignService:
                          "served": {"digest": digest, "outcome": "error"}}
         return answer(entry, outcome)
 
-    def _trace_request(self, digest: str, kind: str, fingerprint,
+    def _trace_request(self, digest: str, kind: str,
+                       fingerprint: Dict[str, object],
                        outcome: str, latency_ms: float,
                        arrival_s: float) -> None:
         if self.trace is not None:

@@ -74,6 +74,7 @@ from ..analysis.tables import render_table
 from ..bist import BistController, POWER_BACKENDS
 from ..core.prr import AnalyticalPowerModel
 from ..core.session import BACKENDS, ModeComparison, TestSession
+from ..durable import atomic_write_bytes, atomic_write_text
 from ..engine.dispatch import KERNEL_CHOICES
 from ..faults import (
     DEFAULT_LOCATION_SEED,
@@ -1186,7 +1187,9 @@ class SweepResult:
         rows = [{"kind": _record_kind(record), **record.as_dict()}
                 for record in self.records]
         payload = {"format": "repro-sweep", "version": 2, "records": rows}
-        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        # Atomic + fsync'd: re-exporting over a previous artifact must
+        # never leave a torn JSON document behind a crash (RPR003).
+        atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
         return path
 
     @classmethod
@@ -1225,11 +1228,15 @@ class SweepResult:
                 "use to_json for mixed results")
         record_cls = kinds.pop() if kinds else SweepRecord
         names = [spec.name for spec in fields(record_cls)]
-        with path.open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=names)
-            writer.writeheader()
-            for record in self.records:
-                writer.writerow(record.as_dict())
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=names)
+        writer.writeheader()
+        for record in self.records:
+            writer.writerow(record.as_dict())
+        # Atomic + fsync'd, same contract as :meth:`to_json` (RPR003).
+        atomic_write_text(path, buffer.getvalue())
         return path
 
     @classmethod
@@ -1546,7 +1553,10 @@ class SweepRunner:
                     f"journal {self.journal} already exists; resume it "
                     "(run(resume=True) / --resume) or remove the file to "
                     "start a fresh campaign")
-            self.journal.write_bytes(b"")  # stale header: restart fresh
+            # Stale entry-less header: restart fresh.  Atomically, so a
+            # crash here leaves either the old header (reclaimed again on
+            # the next run) or a clean empty file — never a torn fragment.
+            atomic_write_bytes(self.journal, b"")
         pending = [(index, case) for index, case in enumerate(self.cases)
                    if records[index] is None]
         strategy_used = self.resolve_strategy([case for _, case in pending])

@@ -1,0 +1,11 @@
+"""Clean corpus root: every rule's shape done right.
+
+``CHOICES`` *is* bound at the top level of ``lintclean.engine``, so this
+``from`` import never triggers the lazy-export seam — numpy (imported at
+the top of ``lintclean.engine.impl``) stays unreachable from an eager
+``import lintclean``.
+"""
+
+from .engine import CHOICES
+
+__all__ = ["CHOICES"]

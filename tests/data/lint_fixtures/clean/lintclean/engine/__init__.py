@@ -1,0 +1,17 @@
+"""Lazy-export package done right: the heavy module stays lazy."""
+
+from importlib import import_module
+
+CHOICES = ("flat", "segmented")
+
+_EXPORTS = {"Engine": ".impl"}
+
+
+def __getattr__(name):
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(name)
+    module = import_module(target, __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

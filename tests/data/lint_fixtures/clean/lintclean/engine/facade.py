@@ -1,0 +1,57 @@
+"""RPR004 done right: threaded params, property-routed provenance."""
+
+from dataclasses import dataclass
+
+
+class BackendDispatcher:
+    last_backend_used = None
+
+    def note_backend_used(self, value):
+        pass
+
+    def dispatch(self, pattern, backend):
+        return pattern, backend
+
+
+class CleanFacade:
+    def __init__(self):
+        self._dispatcher = BackendDispatcher()
+
+    @property
+    def last_backend_used(self):
+        return self._dispatcher.last_backend_used
+
+    @last_backend_used.setter
+    def last_backend_used(self, value):
+        self._dispatcher.note_backend_used(value)
+
+    def run(self, pattern, backend="auto"):
+        return self._dispatcher.dispatch(pattern, backend)
+
+
+@dataclass
+class CleanResult:
+    case_id: str
+    backend: str
+    backend_used: str
+    kernel: str
+    kernel_used: str
+
+    def as_dict(self):
+        return {
+            "case_id": self.case_id,
+            "backend": self.backend,
+            "backend_used": self.backend_used,
+            "kernel": self.kernel,
+            "kernel_used": self.kernel_used,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            case_id=data["case_id"],
+            backend=data["backend"],
+            backend_used=data["backend_used"],
+            kernel=data["kernel"],
+            kernel_used=data["kernel_used"],
+        )

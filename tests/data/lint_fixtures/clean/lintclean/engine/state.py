@@ -1,0 +1,21 @@
+"""RPR002 done right: lock-guarded and thread-local module state."""
+
+import threading
+
+_STATE_LOCK = threading.Lock()
+_CACHE = {}
+_SLOT = threading.local()
+
+
+def remember(key, value):
+    with _STATE_LOCK:
+        _CACHE[key] = value
+
+
+def forget_all():
+    with _STATE_LOCK:
+        _CACHE.clear()
+
+
+def note(value):
+    _SLOT.value = value  # thread-local: per-thread by construction

@@ -1,0 +1,26 @@
+"""RPR003 done right: atomic truncating writes, fsync'd appends."""
+
+import json
+import os
+import tempfile
+
+
+def save_report(path, payload):
+    text = json.dumps(payload)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(str(path)) or ".")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, str(path))
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def append_entry(path, line):
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())

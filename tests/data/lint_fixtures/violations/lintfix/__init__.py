@@ -1,0 +1,5 @@
+"""Violation corpus root: eagerly pulls in the numpy-importing module."""
+
+from . import eager_numpy
+
+__all__ = ["eager_numpy"]

@@ -1,0 +1,3 @@
+import numpy  # RPR001: top-level numpy import reachable from the package root
+
+ZEROS = numpy.zeros(4)

@@ -1,0 +1,18 @@
+"""RPR002 violations: the PR-8 process-global provenance shapes."""
+
+last_backend_used = None
+
+_SEEN = {}
+
+
+def note_backend_used(name):
+    global last_backend_used
+    last_backend_used = name  # line 10: unguarded module-global rebind
+
+
+def record_seen(name):
+    _SEEN[name] = True  # line 14: unguarded module-container mutation
+
+
+def reset_seen():
+    _SEEN.clear()  # line 18: unguarded mutator call

@@ -1,0 +1,29 @@
+"""RPR004 violations: dispatch provenance contract breaks."""
+
+from dataclasses import dataclass
+
+
+class BackendDispatcher:
+    pass
+
+
+class LooseFacade:  # line 10: constructs a dispatcher, no property
+    def __init__(self):
+        self.dispatcher = BackendDispatcher()
+        self.last_backend_used = None  # line 13: bare provenance attribute
+
+    def run(self, pattern, backend="auto"):  # line 15: 'backend' unused
+        return self.dispatcher
+
+
+@dataclass
+class LooseResult:  # line 20: 'backend' without 'backend_used' twin
+    case_id: str
+    backend: str
+
+    def as_dict(self):
+        return {"case_id": self.case_id, "backend": self.backend}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(case_id=data["case_id"], backend=data["backend"])

@@ -1,0 +1,11 @@
+"""RPR005 violation: raw fallback warning outside the claim registry."""
+
+import warnings
+
+
+def resolve(tier):
+    if tier == "gpu":
+        warnings.warn(  # line 8: raw backend/kernel fallback warning
+            "kernel 'gpu' unavailable; falling back to 'flat'",
+            RuntimeWarning)
+    return "flat"

@@ -1,0 +1,11 @@
+"""RPR003 violations: raw writes in a durability-bearing package."""
+
+
+def save_report(path, text):
+    with open(path, "w", encoding="utf-8") as handle:  # line 5: non-atomic
+        handle.write(text)
+
+
+def append_line(path, line):
+    with open(path, "a", encoding="utf-8") as handle:  # line 10: no fsync
+        handle.write(line + "\n")

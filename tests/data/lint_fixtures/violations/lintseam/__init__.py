@@ -1,0 +1,11 @@
+"""Seam corpus root: numpy is reached only through the lazy-export map.
+
+``Engine`` is *not* bound at the top level of ``lintseam.engine``; this
+``from`` import therefore triggers the package's PEP 562 ``__getattr__``
+eagerly, which imports ``lintseam.engine.impl`` — and with it numpy.
+RPR001 must resolve that chain statically.
+"""
+
+from .engine import Engine
+
+__all__ = ["Engine"]

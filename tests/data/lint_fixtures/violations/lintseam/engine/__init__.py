@@ -1,0 +1,15 @@
+"""A PEP 562 lazy-export package whose map hides a numpy import."""
+
+from importlib import import_module
+
+_EXPORTS = {"Engine": ".impl"}
+
+
+def __getattr__(name):
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(name)
+    module = import_module(target, __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

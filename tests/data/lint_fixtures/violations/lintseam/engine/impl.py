@@ -1,0 +1,8 @@
+import numpy  # RPR001: loaded eagerly through the __getattr__ seam
+
+ONES = numpy.ones(2)
+
+
+class Engine:
+    def run(self):
+        return ONES
