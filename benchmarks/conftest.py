@@ -22,7 +22,7 @@ regresses past the allowed factor (``benchmarks/check_regression.py``).
 
 Environment knobs:
 
-* ``REPRO_BENCH_ID`` — series id in the output filename (default ``8``);
+* ``REPRO_BENCH_ID`` — series id in the output filename (default ``9``);
 * ``REPRO_BENCH_JSON`` — full override of the output path;
 * ``REPRO_BENCH_QUICK`` / ``REPRO_BENCH_FULL`` — workload tiers, honoured
   per benchmark module (entries record the tier they measured).
@@ -40,7 +40,7 @@ from typing import Dict, List, Optional
 import pytest
 
 #: Series id of the perf-trajectory file this session writes.
-BENCH_SERIES = os.environ.get("REPRO_BENCH_ID", "8")
+BENCH_SERIES = os.environ.get("REPRO_BENCH_ID", "9")
 
 
 def _active_kernel() -> Optional[str]:

@@ -15,6 +15,7 @@ from ..framework import Checker
 from .atomic_write import AtomicWriteChecker
 from .dispatch_registry import DispatchRegistryChecker
 from .export_schema import ExportSchemaChecker
+from .format_version import FormatVersionChecker
 from .global_state import GlobalStateChecker
 from .lazy_import import LazyImportChecker
 from .warn_once import WarnOnceChecker
@@ -23,6 +24,7 @@ __all__ = [
     "AtomicWriteChecker",
     "DispatchRegistryChecker",
     "ExportSchemaChecker",
+    "FormatVersionChecker",
     "GlobalStateChecker",
     "LazyImportChecker",
     "WarnOnceChecker",
@@ -39,4 +41,5 @@ def all_checkers() -> List[Checker]:
         DispatchRegistryChecker(),
         WarnOnceChecker(),
         ExportSchemaChecker(),
+        FormatVersionChecker(),
     ]

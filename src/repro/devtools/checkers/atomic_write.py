@@ -30,7 +30,7 @@ from ..project import LintModule, Project
 from .common import call_name, enclosing_class, function_calls
 
 #: Package segments this rule applies to (the durability-bearing layers).
-SCOPE_SEGMENTS = ("serve", "sweep")
+SCOPE_SEGMENTS = ("distrib", "serve", "sweep")
 
 _TRUNCATE = "truncate"
 _APPEND = "append"

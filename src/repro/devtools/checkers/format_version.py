@@ -1,0 +1,143 @@
+"""RPR007 — format-version discipline for on-disk document tags.
+
+Every durable artifact family in this repo names itself with a pair of
+module constants: a ``*_FORMAT`` string tag (``"repro-sweep-journal"``,
+``"repro-serve-trace"``, ``"repro-distrib-ledger"``, ...) and a
+``*_VERSION`` schema number, and every loader validates both before
+trusting a document.  The failure mode this rule exists for is silent
+schema drift: a format whose version constant was never minted (so a
+breaking layout change cannot be signalled at all), or a loader that
+checks the format tag but not the version — which resumes, merges or
+serves documents written by an incompatible writer without a peep.
+
+Two checks per module:
+
+* **definition twin** — a module-level ``X_FORMAT = "..."`` constant
+  needs a version constant: the exact twin ``X_VERSION``, or the
+  module's single shared ``*_VERSION`` (families like the journal whose
+  entry and header formats share one schema version), or a ``*_VERSION``
+  whose stem prefixes the format's stem (``JOURNAL_VERSION`` covers
+  ``JOURNAL_HEADER_FORMAT``);
+* **loader discipline** — any function that compares a ``*_FORMAT``
+  constant (the signature of a document loader validating its tag) must
+  also compare a ``*_VERSION`` constant; tag-only validation is exactly
+  the drift hole.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from ..findings import Finding
+from ..project import LintModule, Project
+
+FORMAT_SUFFIX = "_FORMAT"
+VERSION_SUFFIX = "_VERSION"
+
+
+def _module_constants(tree: ast.Module, suffix: str
+                      ) -> Dict[str, int]:
+    """Module-level ``*<suffix>`` assignment names -> first line."""
+    names: Dict[str, int] = {}
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) \
+                    and target.id.endswith(suffix) \
+                    and not target.id.startswith("_"):
+                names.setdefault(target.id, node.lineno)
+    return names
+
+
+def _stem(name: str, suffix: str) -> str:
+    return name[:-len(suffix)]
+
+
+def _has_version_twin(format_name: str, versions: Set[str]) -> bool:
+    if not versions:
+        return False
+    format_stem = _stem(format_name, FORMAT_SUFFIX)
+    if f"{format_stem}{VERSION_SUFFIX}" in versions:
+        return True
+    if len(versions) == 1:
+        # One shared schema version for every format the module defines
+        # (the journal's entry+header pair, the lint report+baseline).
+        return True
+    return any(format_stem.startswith(_stem(version, VERSION_SUFFIX))
+               for version in versions)
+
+
+def _compared_names(node: ast.AST, suffix: str) -> Iterator[ast.Name]:
+    """Every ``Name`` ending in ``suffix`` used inside a comparison."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Compare):
+            continue
+        for operand in [child.left, *child.comparators]:
+            for name in ast.walk(operand):
+                if isinstance(name, ast.Name) \
+                        and name.id.endswith(suffix):
+                    yield name
+
+
+class FormatVersionChecker:
+    """Flag version-less ``*_FORMAT`` tags and version-blind loaders."""
+
+    rule_id = "RPR007"
+    title = ("format-version discipline: every *_FORMAT tag needs a "
+             "*_VERSION constant, and loaders must validate both")
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            yield from self._check_definitions(module)
+            yield from self._check_loaders(module)
+
+    # ------------------------------------------------------------------
+    def _check_definitions(self, module: LintModule) -> Iterator[Finding]:
+        formats = _module_constants(module.tree, FORMAT_SUFFIX)
+        if not formats:
+            return
+        versions = set(_module_constants(module.tree, VERSION_SUFFIX))
+        for name, line in sorted(formats.items(), key=lambda kv: kv[1]):
+            if _has_version_twin(name, versions):
+                continue
+            stem = _stem(name, FORMAT_SUFFIX)
+            yield Finding(
+                path=module.display_path, line=line, rule=self.rule_id,
+                message=(f"format tag '{name}' has no version constant; "
+                         f"define '{stem}{VERSION_SUFFIX}' (and validate "
+                         f"it in the loader) so a breaking schema change "
+                         f"can be signalled instead of silently "
+                         f"mis-parsed"))
+
+    def _check_loaders(self, module: LintModule) -> Iterator[Finding]:
+        for function in _all_functions(module.tree):
+            format_use = next(
+                _compared_names(function, FORMAT_SUFFIX), None)
+            if format_use is None:
+                continue
+            version_use = next(
+                _compared_names(function, VERSION_SUFFIX), None)
+            if version_use is not None:
+                continue
+            yield Finding(
+                path=module.display_path, line=format_use.lineno,
+                rule=self.rule_id,
+                message=(f"'{function.name}' validates the format tag "
+                         f"('{format_use.id}') but never compares a "
+                         f"*{VERSION_SUFFIX} constant; a version-blind "
+                         f"loader silently accepts documents written by "
+                         f"an incompatible schema"))
+
+
+def _all_functions(tree: ast.Module
+                   ) -> Iterator[Union[ast.FunctionDef,
+                                       ast.AsyncFunctionDef]]:
+    """Every (possibly nested/async) function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

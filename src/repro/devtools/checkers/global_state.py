@@ -32,7 +32,7 @@ from ..project import LintModule, Project
 from .common import MUTATOR_METHODS, call_name, looks_like_lock
 
 #: Package segments this rule applies to (the concurrency-bearing layers).
-SCOPE_SEGMENTS = ("bist", "engine", "faults", "serve", "sweep")
+SCOPE_SEGMENTS = ("bist", "distrib", "engine", "faults", "serve", "sweep")
 
 _MUTABLE_CONSTRUCTORS = frozenset({
     "Counter", "OrderedDict", "defaultdict", "deque", "dict", "list", "set",

@@ -47,13 +47,23 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="how long cache-miss requests pool before an "
                              "engine wave launches (default: 0.005)")
+    parser.add_argument("--cache-max-entries", type=int, default=None,
+                        metavar="N",
+                        help="evict least-recently-used cache entries "
+                             "beyond this count (default: unbounded)")
+    parser.add_argument("--cache-max-bytes", type=int, default=None,
+                        metavar="N",
+                        help="evict least-recently-used cache entries "
+                             "beyond this total size (default: unbounded)")
     return parser
 
 
 async def _serve(args: argparse.Namespace) -> int:
     service = CampaignService(
         args.cache_dir, trace_path=args.trace, trace_fsync=args.trace_fsync,
-        workers=args.workers, coalesce_window=args.coalesce_window)
+        workers=args.workers, coalesce_window=args.coalesce_window,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes)
     await service.start(args.host, args.port)
     print(f"[serve] listening on http://{service.host}:{service.port} "
           f"(cache: {service.cache.root}, workers: {service.workers})",
@@ -80,6 +90,12 @@ def main(argv=None) -> int:
     if args.coalesce_window < 0:
         print("error: --coalesce-window must be >= 0", file=sys.stderr)
         return 2
+    for name in ("cache_max_entries", "cache_max_bytes"):
+        value = getattr(args, name)
+        if value is not None and value < 1:
+            flag = "--" + name.replace("_", "-")
+            print(f"error: {flag} must be >= 1", file=sys.stderr)
+            return 2
     try:
         return asyncio.run(_serve(args))
     except KeyboardInterrupt:  # signal handlers unavailable (rare)

@@ -5,8 +5,7 @@ case fingerprint (:func:`repro.sweep.runner.fingerprint_digest`): two
 requests describing the same scenario — whatever client serialised them,
 in whatever key order — address the same cache entry.  A hit streams the
 stored record back without touching an engine; a miss executes and then
-stores, so the cache grows monotonically with the distinct-scenario
-workload.
+stores.
 
 Entries are one JSON document per digest, fanned out over 256
 two-hex-character subdirectories (``<root>/ab/abcdef....json``) so a
@@ -16,11 +15,23 @@ same directory, fsync, ``os.replace``, enforced by lint rule RPR003) and
 reads are defensive: a torn, foreign or unreadable entry is simply a
 cache miss — the scenario re-executes and the entry is rewritten — never
 an error surfaced to a client.
+
+The cache is unbounded by default (it grows monotonically with the
+distinct-scenario workload); pass ``max_entries`` and/or ``max_bytes``
+to cap it with LRU eviction.  Recency is tracked in memory (an ordered
+index, hits move to the back) and mirrored to the entries' file mtimes,
+so a restarted service rebuilds the same LRU order from the directory
+alone.  Eviction is atomic per entry — an unlink of the oldest entry,
+never a rewrite — so a concurrent reader of a victim entry sees a
+well-formed document or a miss, nothing in between.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -39,14 +50,98 @@ class ResultCache:
     The cache holds flat dictionaries (the same ``record.as_dict()`` form
     the journal and the JSON exports carry) — mapping records back to
     their dataclasses is the caller's concern.
+
+    ``max_entries`` / ``max_bytes`` cap the cache (``None`` = unbounded):
+    whenever a store pushes either total past its cap, least-recently-used
+    entries are unlinked until both fit again.  All index bookkeeping is
+    lock-guarded — the serving layer stores from concurrent pool threads.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path],
+                 max_entries: Optional[int] = None,
+                 max_bytes: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        #: entries unlinked by LRU eviction over this instance's lifetime
+        self.evictions = 0
+        self._lock = threading.Lock()
+        # digest -> entry size in bytes, least-recently-used first.
+        # Built lazily from the directory (mtime order) when a cap is
+        # set; not maintained at all for an unbounded cache.
+        self._index: Optional["OrderedDict[str, int]"] = None
+
+    @property
+    def bounded(self) -> bool:
+        """True when an eviction cap is configured."""
+        return self.max_entries is not None or self.max_bytes is not None
 
     def path_for(self, digest: str) -> Path:
         """Where the entry of ``digest`` lives (whether or not it exists)."""
         return self.root / digest[:2] / f"{digest}.json"
+
+    # ------------------------------------------------------------------
+    # LRU index (only maintained when a cap is set)
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> "OrderedDict[str, int]":
+        """The recency index, rebuilt from file mtimes on first use."""
+        if self._index is None:
+            entries = []
+            if self.root.exists():
+                for path in self.root.glob("??/*.json"):
+                    try:
+                        stat = path.stat()
+                    except OSError:
+                        continue  # concurrently evicted
+                    entries.append((stat.st_mtime, path.stem, stat.st_size))
+            entries.sort()  # oldest mtime first = least recently used
+            self._index = OrderedDict(
+                (digest, size) for _, digest, size in entries)
+        return self._index
+
+    def _touch(self, digest: str) -> None:
+        """Record a hit: back of the index, and mirror to the file mtime."""
+        if not self.bounded:
+            return
+        with self._lock:
+            index = self._ensure_index()
+            if digest in index:
+                index.move_to_end(digest)
+        try:
+            os.utime(self.path_for(digest))
+        except OSError:
+            pass  # evicted between read and touch: the read still served
+
+    def _account_store(self, digest: str, size: int) -> None:
+        """Index a stored entry, then evict LRU victims past the caps."""
+        if not self.bounded:
+            return
+        with self._lock:
+            index = self._ensure_index()
+            index.pop(digest, None)  # re-store: replace the old size
+            index[digest] = size
+            while len(index) > 1 and self._over_capacity(index):
+                victim, _ = next(iter(index.items()))
+                index.pop(victim)
+                try:
+                    self.path_for(victim).unlink()
+                except OSError:
+                    pass  # already gone: the accounting removal stands
+                self.evictions += 1
+
+    def _over_capacity(self, index: "OrderedDict[str, int]") -> bool:
+        if self.max_entries is not None and len(index) > self.max_entries:
+            return True
+        if self.max_bytes is not None \
+                and sum(index.values()) > self.max_bytes:
+            return True
+        return False
 
     # ------------------------------------------------------------------
     def get(self, digest: str) -> Optional[Dict[str, object]]:
@@ -70,6 +165,7 @@ class ResultCache:
                 or entry.get("version") != CACHE_VERSION \
                 or not isinstance(entry.get("record"), dict):
             return None
+        self._touch(digest)
         return entry
 
     def store(self, digest: str, fingerprint: Dict[str, object],
@@ -78,7 +174,10 @@ class ResultCache:
 
         The fingerprint is stored next to the record so the cache is
         audit-friendly (an entry names the scenario it answers) and so a
-        replayed workload trace can be validated against it.
+        replayed workload trace can be validated against it.  On a
+        bounded cache the store is what triggers eviction: the new entry
+        lands most-recently-used, then LRU victims are unlinked until
+        the caps hold again.
         """
         entry = {
             "format": CACHE_FORMAT,
@@ -90,10 +189,36 @@ class ResultCache:
         }
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_text(path, json.dumps(entry, sort_keys=True))
+        payload = json.dumps(entry, sort_keys=True)
+        atomic_write_text(path, payload)
+        self._account_store(digest, len(payload.encode("utf-8")))
         return entry
 
     # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Occupancy and eviction counters (for ``GET /v1/stats``)."""
+        if self.bounded:
+            with self._lock:
+                index = self._ensure_index()
+                entries = len(index)
+                size = sum(index.values())
+        else:
+            entries = len(self)
+            size = 0
+            if self.root.exists():
+                for path in self.root.glob("??/*.json"):
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue
+        return {
+            "entries": entries,
+            "bytes": size,
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "evictions": self.evictions,
+        }
+
     def __len__(self) -> int:
         """Number of entries currently on disk (a scan, not a counter)."""
         if not self.root.exists():

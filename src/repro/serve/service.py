@@ -105,8 +105,12 @@ class CampaignService:
                  trace_path: Optional[Union[str, Path]] = None,
                  trace_fsync: bool = False,
                  workers: Optional[int] = None,
-                 coalesce_window: float = 0.005) -> None:
-        self.cache = ResultCache(cache_dir)
+                 coalesce_window: float = 0.005,
+                 cache_max_entries: Optional[int] = None,
+                 cache_max_bytes: Optional[int] = None) -> None:
+        self.cache = ResultCache(cache_dir,
+                                 max_entries=cache_max_entries,
+                                 max_bytes=cache_max_bytes)
         self.trace = WorkloadTrace(trace_path, fsync=trace_fsync) \
             if trace_path is not None else None
         self.workers = workers if workers is not None \
@@ -269,6 +273,7 @@ class CampaignService:
         snapshot["pending"] = len(self._pending)
         snapshot["workers"] = self.workers
         snapshot["uptime_s"] = round(time.monotonic() - self._started_at, 3)
+        snapshot["cache"] = self.cache.stats()
         return snapshot
 
     # ------------------------------------------------------------------

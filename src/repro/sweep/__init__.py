@@ -24,6 +24,12 @@ machines with ``shard_cases(cases, index, total)``.
 """
 
 from .journal import JournalEntry, JournalError, RunJournal, load_journal
+from .merge import (
+    MergeError,
+    MergeReport,
+    load_grid_fingerprints,
+    merge_journals,
+)
 from .runner import (
     CoverageCase,
     CoverageRecord,
@@ -58,8 +64,12 @@ from .runner import (
 __all__ = [
     "JournalEntry",
     "JournalError",
+    "MergeError",
+    "MergeReport",
     "RunJournal",
+    "load_grid_fingerprints",
     "load_journal",
+    "merge_journals",
     "CoverageCase",
     "CoverageRecord",
     "DEFAULT_SAMPLE",

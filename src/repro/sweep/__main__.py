@@ -290,7 +290,14 @@ def _build_cases(args: argparse.Namespace):
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code (0 ok, 2 on bad input)."""
-    args = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments and arguments[0] == "merge":
+        # Journal merging is a subcommand (it unions *finished* shard
+        # journals rather than running a grid), dispatched before the
+        # sweep flag parser so its own help/errors stay coherent.
+        from .merge import merge_main
+        return merge_main(arguments[1:])
+    args = build_parser().parse_args(arguments)
 
     try:
         cases, title = _build_cases(args)  # sharding applied inside

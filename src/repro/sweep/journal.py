@@ -193,12 +193,14 @@ class RunJournal:
         """The ``meta`` of the journal's header line, or ``None``.
 
         Scans only the leading lines (headers are written before any
-        entry); a malformed *complete* header raises :class:`JournalError`
-        like any other corrupt line would on :meth:`load`.  A torn,
-        newline-less header fragment — the artifact of a kill during the
-        very first header write — is "no header yet", matching the
-        torn-tail tolerance of :meth:`load` and :meth:`open`: all three
-        entry points agree that such a journal is empty and restartable.
+        entry); a malformed *complete* header — bad JSON, or a header
+        schema version this reader does not understand — raises
+        :class:`JournalError` like any other corrupt line would on
+        :meth:`load`.  A torn, newline-less header fragment — the
+        artifact of a kill during the very first header write — is "no
+        header yet", matching the torn-tail tolerance of :meth:`load` and
+        :meth:`open`: all three entry points agree that such a journal is
+        empty and restartable.
         """
         if not self.path.exists():
             return None
@@ -216,6 +218,11 @@ class RunJournal:
             except json.JSONDecodeError as exc:
                 raise JournalError(
                     f"journal header is not valid JSON: {exc}") from exc
+            if payload.get("version") != JOURNAL_VERSION:
+                raise JournalError(
+                    f"journal header has version "
+                    f"{payload.get('version')!r}; this reader understands "
+                    f"version {JOURNAL_VERSION}")
             return dict(payload.get("meta") or {})
         if torn_tail.strip() and not _looks_torn(torn_tail):
             # A newline-less fragment that could not be the start of a

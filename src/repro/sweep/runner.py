@@ -1382,7 +1382,8 @@ class SweepRunner:
     def __init__(self, cases: Sequence[AnyCase],
                  processes: Optional[int] = None,
                  journal: Union[str, Path, None] = None,
-                 strategy: str = "auto") -> None:
+                 strategy: str = "auto",
+                 header_meta: Optional[Dict[str, object]] = None) -> None:
         if not cases:
             raise SweepError("a sweep needs at least one case")
         if processes is not None and processes < 1:
@@ -1394,6 +1395,11 @@ class SweepRunner:
         self.processes = processes
         self.journal = Path(journal) if journal is not None else None
         self.strategy = strategy
+        #: extra metadata merged into a fresh journal's header line —
+        #: an orchestrator (e.g. :mod:`repro.distrib`) stamps the lease
+        #: identity and global case indices here, so a shard journal is
+        #: self-describing when merged later.  Runner-owned keys win.
+        self.header_meta = dict(header_meta) if header_meta else None
         #: strategy that actually executed the most recent :meth:`run`
         #: (``None`` before the first run).
         self.strategy_used: Optional[str] = None
@@ -1515,7 +1521,8 @@ class SweepRunner:
                 yield index, record
 
     def run(self, progress: bool = False, resume: bool = False,
-            progress_sink: Optional[Callable[[str], None]] = None
+            progress_sink: Optional[Callable[[str], None]] = None,
+            case_sink: Optional[Callable[[int, AnyRecord], None]] = None
             ) -> SweepResult:
         """Execute every case and return the collected :class:`SweepResult`.
 
@@ -1525,6 +1532,13 @@ class SweepRunner:
         (requires a ``journal``), cases already recorded in the journal are
         restored verbatim instead of re-executed.  Records are returned in
         case order regardless of completion order.
+
+        ``case_sink`` is called as ``case_sink(index, record)`` after each
+        freshly-executed case is journaled (never for restored cases).  An
+        exception it raises aborts the run — this is the cancellation seam
+        a distributed worker uses to stop executing a lease that has been
+        stolen from it: every case completed so far is already durable in
+        the journal, so aborting loses nothing.
         """
         emit = progress_sink if progress_sink is not None else print
         records: List[Optional[AnyRecord]] = [None] * len(self.cases)
@@ -1569,12 +1583,14 @@ class SweepRunner:
                 # strategy actually executes (e.g. a batched request that
                 # fell back to per-case without numpy) is recorded next to
                 # the measurements it produced.
-                journal.write_header({
+                meta: Dict[str, object] = dict(self.header_meta or {})
+                meta.update({
                     "strategy_requested": self.strategy,
                     "strategy_used": strategy_used,
                     "cases": len(self.cases),
                     "pending": len(pending),
                 })
+                journal.write_header(meta)
         try:
             for index, record in self._completions(pending, strategy_used):
                 records[index] = record
@@ -1583,6 +1599,8 @@ class SweepRunner:
                         case_index=index, kind=_record_kind(record),
                         case=case_fingerprint(self.cases[index]),
                         record=record.as_dict()))
+                if case_sink is not None:
+                    case_sink(index, record)
                 if progress:
                     emit(f"[sweep] {record.progress_line()}")
         finally:

@@ -1,0 +1,34 @@
+"""RPR007 done right: version twins minted, loaders validate both.
+
+``PACKET_FORMAT`` has its exact ``PACKET_VERSION`` twin;
+``MANIFEST_FORMAT`` and ``MANIFEST_INDEX_FORMAT`` share the module's
+single ``MANIFEST_VERSION`` (the journal-family shape: several document
+roles, one schema version).
+"""
+
+import json
+
+PACKET_FORMAT = "example-packet"
+PACKET_VERSION = 1
+
+MANIFEST_FORMAT = "example-manifest"
+MANIFEST_INDEX_FORMAT = "example-manifest-index"
+MANIFEST_VERSION = 2
+
+
+def load_packet(text):
+    payload = json.loads(text)
+    if payload.get("format") != PACKET_FORMAT:
+        raise ValueError("not a packet")
+    if payload.get("version") != PACKET_VERSION:
+        raise ValueError("wrong packet version")
+    return payload
+
+
+def load_manifest(text):
+    payload = json.loads(text)
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError("not a manifest")
+    if payload.get("version") != MANIFEST_VERSION:
+        raise ValueError("wrong manifest version")
+    return payload

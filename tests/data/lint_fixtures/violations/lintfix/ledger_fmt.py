@@ -1,0 +1,7 @@
+"""RPR007 violation: a format tag with no version constant at all."""
+
+WIDGET_FORMAT = "example-widget-ledger"  # line 3: no WIDGET_VERSION twin
+
+
+def describe():
+    return {"format": WIDGET_FORMAT}

@@ -1,0 +1,13 @@
+"""RPR007 violation: a loader that checks the tag but not the version."""
+
+import json
+
+PACKET_FORMAT = "example-packet"
+PACKET_VERSION = 1
+
+
+def load_packet(text):
+    payload = json.loads(text)
+    if payload.get("format") != PACKET_FORMAT:  # line 11: no version check
+        raise ValueError("not a packet")
+    return payload

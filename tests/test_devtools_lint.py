@@ -54,9 +54,12 @@ EXPECTED_VIOLATIONS = {
     ("RPR006", "violations/lintfix/records.py", 5),
     ("RPR006", "violations/lintfix/records.py", 15),
     ("RPR006", "violations/lintfix/records.py", 20),
+    ("RPR007", "violations/lintfix/ledger_fmt.py", 3),
+    ("RPR007", "violations/lintfix/loader_fmt.py", 11),
 }
 
-ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+ALL_RULES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+             "RPR007")
 
 
 def run_lint(*paths, rules=None):

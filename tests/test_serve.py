@@ -139,6 +139,129 @@ def test_cache_torn_or_foreign_entries_read_as_misses(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Result cache: size-capped LRU eviction
+# ----------------------------------------------------------------------
+def _digest(n):
+    return f"{n:02x}" + "0" * 62
+
+
+def _fill(cache, n, record=None):
+    digest = _digest(n)
+    cache.store(digest, {"kind": "power", "n": n}, "power",
+                record or {"n": n})
+    return digest
+
+
+def test_cache_lru_eviction_by_entry_count(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=2)
+    first, second, third = (_fill(cache, n) for n in range(3))
+    # Oldest store is the victim; the two most recent survive.
+    assert cache.get(first) is None
+    assert cache.get(second) is not None
+    assert cache.get(third) is not None
+    assert len(cache) == 2
+    assert cache.evictions == 1
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["max_entries"] == 2
+    assert stats["evictions"] == 1
+
+
+def test_cache_lru_hit_refreshes_recency(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=2)
+    first = _fill(cache, 1)
+    second = _fill(cache, 2)
+    assert cache.get(first) is not None  # refresh: first is now newest
+    third = _fill(cache, 3)
+    assert cache.get(second) is None     # second became the LRU victim
+    assert cache.get(first) is not None
+    assert cache.get(third) is not None
+
+
+def test_cache_restore_same_digest_does_not_double_count(tmp_path):
+    cache = ResultCache(tmp_path / "cache", max_entries=2)
+    first = _fill(cache, 1)
+    _fill(cache, 1, record={"n": 1, "rewritten": True})  # same digest
+    second = _fill(cache, 2)
+    assert cache.evictions == 0
+    assert cache.get(first)["record"] == {"n": 1, "rewritten": True}
+    assert cache.get(second) is not None
+
+
+def test_cache_max_bytes_eviction(tmp_path):
+    probe = ResultCache(tmp_path / "probe")
+    entry_size = len(json.dumps(
+        probe.store(_digest(0), {"kind": "power", "n": 0}, "power",
+                    {"n": 0}), sort_keys=True))
+    cache = ResultCache(tmp_path / "cache",
+                        max_bytes=entry_size * 2 + entry_size // 2)
+    first, second, third = (_fill(cache, n) for n in range(3))
+    assert cache.get(first) is None
+    assert cache.get(second) is not None and cache.get(third) is not None
+    assert cache.stats()["bytes"] <= cache.max_bytes
+
+
+def test_cache_lru_order_survives_a_restart(tmp_path):
+    import os as _os
+
+    root = tmp_path / "cache"
+    writer = ResultCache(root)  # unbounded: no index, just files
+    digests = [_fill(writer, n) for n in range(3)]
+    # Pin distinct mtimes (filesystem timestamp granularity is coarser
+    # than this test): oldest first, newest last.
+    for age, digest in enumerate(digests):
+        _os.utime(writer.path_for(digest), (1000 + age, 1000 + age))
+    restarted = ResultCache(root, max_entries=3)
+    _fill(restarted, 3)  # over capacity: evicts the mtime-oldest entry
+    assert restarted.get(digests[0]) is None
+    assert all(restarted.get(d) is not None for d in digests[1:])
+
+
+def test_cache_unbounded_never_evicts(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for n in range(5):
+        _fill(cache, n)
+    assert len(cache) == 5
+    assert cache.evictions == 0
+    stats = cache.stats()
+    assert stats["max_entries"] is None and stats["max_bytes"] is None
+    assert stats["entries"] == 5 and stats["bytes"] > 0
+
+
+def test_cache_rejects_nonpositive_caps(tmp_path):
+    with pytest.raises(ValueError, match="max_entries"):
+        ResultCache(tmp_path / "cache", max_entries=0)
+    with pytest.raises(ValueError, match="max_bytes"):
+        ResultCache(tmp_path / "cache", max_bytes=0)
+
+
+def test_service_surfaces_cache_stats_and_evicts(tmp_path):
+    with running_service(tmp_path / "cache", cache_max_entries=2) \
+            as (service, host, port):
+        with ServeClient(host, port) as client:
+            for rows in (8, 16, 32):
+                client.submit(_power_case(rows=rows))
+            stats = client.stats()
+    cache_stats = stats["cache"]
+    assert cache_stats["max_entries"] == 2
+    assert cache_stats["entries"] == 2
+    assert cache_stats["evictions"] == 1
+    assert len(service.cache) == 2
+
+
+def test_serve_cli_cache_flags(tmp_path):
+    from repro.serve.__main__ import build_parser, main as serve_main
+
+    args = build_parser().parse_args(
+        ["--cache-max-entries", "100", "--cache-max-bytes", "1048576"])
+    assert args.cache_max_entries == 100
+    assert args.cache_max_bytes == 1048576
+    assert build_parser().parse_args([]).cache_max_entries is None
+    assert serve_main(["--cache-max-entries", "0"]) == 2
+    assert serve_main(["--cache-max-bytes", "-5"]) == 2
+
+
+# ----------------------------------------------------------------------
 # Workload trace: append, load, torn tail
 # ----------------------------------------------------------------------
 def test_trace_round_trip_and_replay(tmp_path):
